@@ -1,0 +1,68 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md."""
+
+import pytest
+
+from repro.eval.ablations import (
+    ablation_balancing_overhead,
+    ablation_feedback_mode,
+    ablation_majority_synthesis,
+    ablation_rng_sharing,
+    ablation_sorter_vs_apc,
+)
+from repro.eval.tables import format_table
+
+
+def _print(result: dict, title: str) -> None:
+    print()
+    print(format_table(["Metric", "Value"], list(result.items()), title=title))
+
+
+@pytest.mark.paper_table("Ablation: sorter vs APC block")
+def test_ablation_sorter_vs_apc(benchmark):
+    result = benchmark.pedantic(
+        ablation_sorter_vs_apc,
+        kwargs={"input_size": 25, "stream_length": 1024, "trials": 8},
+        rounds=1,
+        iterations=1,
+    )
+    _print(result, "Ablation: sorter-based block vs prior-work APC block")
+    assert result["sorter_mean_abs_error"] < 0.6
+    assert result["apc_mean_abs_error"] < 0.6
+
+
+@pytest.mark.paper_table("Ablation: feedback accumulator")
+def test_ablation_feedback_mode(benchmark):
+    result = benchmark.pedantic(
+        ablation_feedback_mode,
+        kwargs={"input_size": 49, "stream_length": 1024, "trials": 8},
+        rounds=1,
+        iterations=1,
+    )
+    _print(result, "Ablation: signed vs unsigned feedback accumulator")
+    assert result["signed_mean_abs_error"] < result["unsigned_mean_abs_error"]
+
+
+@pytest.mark.paper_table("Ablation: RNG matrix sharing")
+def test_ablation_rng_sharing(benchmark):
+    result = benchmark.pedantic(
+        ablation_rng_sharing,
+        kwargs={"n_outputs": 100, "cycles": 1024},
+        rounds=1,
+        iterations=1,
+    )
+    _print(result, "Ablation: shared RNG matrix vs private TRNGs")
+    assert result["rng_shared_jj"] < result["rng_private_jj"]
+
+
+@pytest.mark.paper_table("Ablation: majority synthesis")
+def test_ablation_majority_synthesis(benchmark):
+    result = benchmark(ablation_majority_synthesis, 8)
+    _print(result, "Ablation: majority synthesis of a sorter netlist")
+    assert result["gates_rewritten"] > 0
+
+
+@pytest.mark.paper_table("Ablation: buffer/splitter insertion")
+def test_ablation_balancing_overhead(benchmark):
+    result = benchmark(ablation_balancing_overhead, 8)
+    _print(result, "Ablation: automatic buffer/splitter insertion overhead")
+    assert result["phase_aligned"] == 1.0

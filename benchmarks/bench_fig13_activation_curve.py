@@ -1,0 +1,34 @@
+"""Fig. 13: activated output transfer curve of the feature-extraction block."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import fig13_activation_curve
+from repro.eval.tables import format_table
+
+
+@pytest.mark.paper_table("Figure 13")
+def test_fig13_activation_curve(benchmark):
+    data = benchmark.pedantic(
+        fig13_activation_curve,
+        kwargs={"n_inputs": 25, "stream_length": 2048, "n_points": 25},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [z, y, c]
+        for z, y, c in zip(data["inner_product"], data["block_output"], data["ideal_clip"])
+    ]
+    print()
+    print(
+        format_table(
+            ["Inner product", "Block output", "Ideal clip"],
+            rows,
+            title="Figure 13: feature-extraction activation transfer curve",
+        )
+    )
+    # The measured curve is monotone (up to sampling noise) and saturates at
+    # +-1 like the paper's shifted-ReLU-shaped plot.
+    output = data["block_output"]
+    assert np.all(np.diff(output) > -0.1)
+    assert output[0] < -0.9 and output[-1] > 0.9

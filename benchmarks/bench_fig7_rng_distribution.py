@@ -1,0 +1,20 @@
+"""Fig. 7(b): output distribution of the AQFP buffer true RNG."""
+
+import pytest
+
+from repro.eval.figures import fig7_rng_distribution
+from repro.eval.tables import format_table
+
+
+@pytest.mark.paper_table("Figure 7b")
+def test_fig7_rng_distribution(benchmark):
+    result = benchmark(fig7_rng_distribution, 200_000)
+    print()
+    print(
+        format_table(
+            ["Outcome", "Fraction"],
+            [["0", result["zeros"]], ["1", result["ones"]]],
+            title="Figure 7(b): AQFP TRNG output distribution",
+        )
+    )
+    assert abs(result["ones"] - 0.5) < 0.01

@@ -1,0 +1,36 @@
+"""Table 3: relative top-1 inaccuracy of the majority-chain categorization block."""
+
+import pytest
+
+from repro.eval.block_accuracy import table3_categorization
+from repro.eval.tables import format_table
+
+INPUT_SIZES = (100, 200, 500)
+STREAM_LENGTHS = (128, 512, 1024)
+
+
+@pytest.mark.paper_table("Table 3")
+def test_table3_categorization_accuracy(benchmark):
+    table = benchmark.pedantic(
+        table3_categorization,
+        kwargs={
+            "input_sizes": INPUT_SIZES,
+            "stream_lengths": STREAM_LENGTHS,
+            "trials": 4,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [size] + [table[size][length] for length in STREAM_LENGTHS]
+        for size in INPUT_SIZES
+    ]
+    print()
+    print(
+        format_table(
+            ["Input size"] + [str(n) for n in STREAM_LENGTHS],
+            rows,
+            title="Table 3: categorization block relative top-1 inaccuracy",
+        )
+    )
+    assert all(0.0 <= table[s][n] <= 1.0 for s in INPUT_SIZES for n in STREAM_LENGTHS)

@@ -1,0 +1,32 @@
+"""Table 4: stochastic number generator hardware utilisation (AQFP vs CMOS)."""
+
+import pytest
+
+from repro.eval.hardware_report import PAPER_TABLE4_SIZES, table4_sng
+from repro.eval.tables import format_table
+
+HEADERS = [
+    "Size",
+    "AQFP E (pJ)",
+    "CMOS E (pJ)",
+    "E ratio",
+    "AQFP delay (ns)",
+    "CMOS delay (ns)",
+    "Speedup",
+]
+
+
+@pytest.mark.paper_table("Table 4")
+def test_table4_sng_hardware(benchmark):
+    rows = benchmark(table4_sng, PAPER_TABLE4_SIZES)
+    print()
+    print(
+        format_table(
+            HEADERS,
+            [row.as_row() for row in rows],
+            title="Table 4: SNG hardware utilisation",
+        )
+    )
+    # Shape check: AQFP wins by several orders of magnitude and the gap is
+    # roughly constant across sizes (both sides scale linearly).
+    assert all(row.energy_ratio > 1e4 for row in rows)

@@ -1,0 +1,35 @@
+"""Table 5: feature-extraction block hardware utilisation (AQFP vs CMOS)."""
+
+import pytest
+
+from repro.eval.hardware_report import PAPER_TABLE5_SIZES, table5_feature_extraction
+from repro.eval.tables import format_table
+
+HEADERS = [
+    "Size",
+    "AQFP E (pJ)",
+    "CMOS E (pJ)",
+    "E ratio",
+    "AQFP delay (ns)",
+    "CMOS delay (ns)",
+    "Speedup",
+]
+
+
+@pytest.mark.paper_table("Table 5")
+def test_table5_feature_extraction_hardware(benchmark):
+    rows = benchmark.pedantic(
+        table5_feature_extraction, args=(PAPER_TABLE5_SIZES,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            HEADERS,
+            [row.as_row() for row in rows],
+            title="Table 5: feature-extraction block hardware utilisation",
+        )
+    )
+    assert all(row.energy_ratio > 1e3 for row in rows)
+    # Energy grows with input size on both platforms.
+    energies = [row.aqfp.energy_pj for row in rows]
+    assert energies == sorted(energies)

@@ -1,0 +1,31 @@
+"""Table 6: sub-sampling (average pooling) block hardware utilisation."""
+
+import pytest
+
+from repro.eval.hardware_report import PAPER_TABLE6_SIZES, table6_pooling
+from repro.eval.tables import format_table
+
+HEADERS = [
+    "Size",
+    "AQFP E (pJ)",
+    "CMOS E (pJ)",
+    "E ratio",
+    "AQFP delay (ns)",
+    "CMOS delay (ns)",
+    "Speedup",
+]
+
+
+@pytest.mark.paper_table("Table 6")
+def test_table6_pooling_hardware(benchmark):
+    rows = benchmark(table6_pooling, PAPER_TABLE6_SIZES)
+    print()
+    print(
+        format_table(
+            HEADERS,
+            [row.as_row() for row in rows],
+            title="Table 6: sub-sampling block hardware utilisation",
+        )
+    )
+    assert all(row.energy_ratio > 1e3 for row in rows)
+    assert all(row.speedup > 10 for row in rows)

@@ -1,0 +1,34 @@
+"""Table 7: categorization block hardware utilisation (AQFP vs CMOS)."""
+
+import pytest
+
+from repro.eval.hardware_report import PAPER_TABLE7_SIZES, table7_categorization
+from repro.eval.tables import format_table
+
+HEADERS = [
+    "Size",
+    "AQFP E (pJ)",
+    "CMOS E (pJ)",
+    "E ratio",
+    "AQFP delay (ns)",
+    "CMOS delay (ns)",
+    "Speedup",
+]
+
+
+@pytest.mark.paper_table("Table 7")
+def test_table7_categorization_hardware(benchmark):
+    rows = benchmark(table7_categorization, PAPER_TABLE7_SIZES)
+    print()
+    print(
+        format_table(
+            HEADERS,
+            [row.as_row() for row in rows],
+            title="Table 7: categorization block hardware utilisation",
+        )
+    )
+    assert all(row.energy_ratio > 1e4 for row in rows)
+    # The majority chain grows linearly, so energy scales roughly with size.
+    growth = rows[-1].aqfp.energy_pj / rows[0].aqfp.energy_pj
+    size_growth = PAPER_TABLE7_SIZES[-1] / PAPER_TABLE7_SIZES[0]
+    assert 0.3 * size_growth < growth < 3 * size_growth

@@ -1,0 +1,28 @@
+"""Table 8: layer configuration of the evaluated networks (configuration check)."""
+
+import pytest
+
+from repro.eval.network_report import table8_configuration
+from repro.eval.tables import format_table
+
+
+@pytest.mark.paper_table("Table 8")
+def test_table8_architectures(benchmark):
+    rows = benchmark(table8_configuration)
+    print()
+    print(
+        format_table(
+            ["Network", "Layer", "Kind", "Kernel", "Channels", "Units", "Stride"],
+            [
+                [r["network"], r["layer"], r["kind"], r["kernel"], r["channels"], r["units"], r["stride"]]
+                for r in rows
+            ],
+            title="Table 8: DNN layer configuration",
+        )
+    )
+    snn_layers = [r for r in rows if r["network"] == "SNN"]
+    dnn_layers = [r for r in rows if r["network"] == "DNN"]
+    assert len(snn_layers) == 7
+    assert len(dnn_layers) == 10
+    assert all(r["channels"] == 32 for r in rows if r["layer"] == "Conv3_x")
+    assert all(r["kernel"] == 7 for r in rows if r["layer"] == "Conv7_x")

@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the table/figure it reproduces (in the paper's
+row/column layout) in addition to timing the experiment, so running
+``pytest benchmarks/ --benchmark-only -s`` regenerates the full evaluation.
+Sizes are reduced relative to the paper where a full-size run would take
+minutes; EXPERIMENTS.md records the full-size numbers.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper_table(name): paper table/figure reproduced")
+
+
+@pytest.fixture(scope="session")
+def quick_stream_lengths():
+    """Reduced stream-length grid used by the accuracy benchmarks."""
+    return (128, 256, 512, 1024)

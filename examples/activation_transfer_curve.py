@@ -1,0 +1,41 @@
+"""Reproduce Fig. 13: the feature-extraction block's activation transfer curve.
+
+Prints the measured block output versus the ideal clip of equation (1) as an
+ASCII plot plus the underlying data series (no plotting dependency needed).
+
+Run with:  python examples/activation_transfer_curve.py
+"""
+
+import numpy as np
+
+from repro.eval.figures import fig13_activation_curve
+from repro.eval.tables import format_table
+
+
+def ascii_plot(x: np.ndarray, y: np.ndarray, width: int = 61, height: int = 17) -> str:
+    """Minimal ASCII scatter plot of y(x) for terminals."""
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int((xi - x.min()) / (x.max() - x.min()) * (width - 1))
+        row = int((1.0 - (yi + 1.0) / 2.0) * (height - 1))
+        grid[min(max(row, 0), height - 1)][col] = "*"
+    lines = ["".join(row) for row in grid]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    data = fig13_activation_curve(n_inputs=25, stream_length=4096, n_points=61)
+    print("Figure 13: activated output of the feature-extraction block (M=25)")
+    print(ascii_plot(data["inner_product"], data["block_output"]))
+    print()
+    rows = [
+        [z, y, c]
+        for z, y, c in zip(
+            data["inner_product"][::6], data["block_output"][::6], data["ideal_clip"][::6]
+        )
+    ]
+    print(format_table(["Inner product", "Block output", "Ideal clip"], rows))
+
+
+if __name__ == "__main__":
+    main()

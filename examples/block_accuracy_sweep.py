@@ -1,0 +1,50 @@
+"""Reproduce the block-accuracy sweeps of Tables 1-3.
+
+Sweeps input size and bit-stream length for the three proposed blocks and
+prints the tables in the paper's layout.
+
+Run with:  python examples/block_accuracy_sweep.py [--trials N]
+"""
+
+import argparse
+
+from repro.eval.block_accuracy import (
+    table1_feature_extraction,
+    table2_pooling,
+    table3_categorization,
+)
+from repro.eval.tables import format_table
+
+
+def _print_sweep(table: dict, title: str) -> None:
+    lengths = sorted(next(iter(table.values())))
+    rows = [[size] + [table[size][length] for length in lengths] for size in sorted(table)]
+    print()
+    print(format_table(["Input size"] + [str(n) for n in lengths], rows, title=title))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--stream-lengths", type=int, nargs="+", default=[128, 256, 512, 1024])
+    args = parser.parse_args()
+    lengths = tuple(args.stream_lengths)
+
+    _print_sweep(
+        table1_feature_extraction(stream_lengths=lengths, trials=args.trials),
+        "Table 1: feature-extraction block absolute inaccuracy",
+    )
+    _print_sweep(
+        table2_pooling(stream_lengths=lengths, trials=args.trials),
+        "Table 2: average-pooling block absolute inaccuracy",
+    )
+    _print_sweep(
+        table3_categorization(
+            input_sizes=(100, 200, 500), stream_lengths=lengths, trials=max(3, args.trials // 3)
+        ),
+        "Table 3: categorization block relative top-1 inaccuracy",
+    )
+
+
+if __name__ == "__main__":
+    main()

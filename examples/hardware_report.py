@@ -1,0 +1,43 @@
+"""Reproduce the hardware-utilisation comparisons of Tables 4-7.
+
+Prints, for every block family and input size the paper evaluates, the AQFP
+and CMOS energy / delay and the resulting energy-efficiency ratio.
+
+Run with:  python examples/hardware_report.py
+"""
+
+from repro.eval.hardware_report import (
+    table4_sng,
+    table5_feature_extraction,
+    table6_pooling,
+    table7_categorization,
+)
+from repro.eval.tables import format_table
+
+HEADERS = [
+    "Size",
+    "AQFP E (pJ)",
+    "CMOS E (pJ)",
+    "E ratio",
+    "AQFP delay (ns)",
+    "CMOS delay (ns)",
+    "Speedup",
+]
+
+
+def main() -> None:
+    tables = [
+        ("Table 4: stochastic number generators", table4_sng()),
+        ("Table 5: feature-extraction blocks", table5_feature_extraction()),
+        ("Table 6: sub-sampling blocks", table6_pooling()),
+        ("Table 7: categorization blocks", table7_categorization()),
+    ]
+    for title, rows in tables:
+        print()
+        print(format_table(HEADERS, [row.as_row() for row in rows], title=title))
+        best = max(row.energy_ratio for row in rows)
+        print(f"best energy-efficiency gain in this table: {best:.2e}x")
+
+
+if __name__ == "__main__":
+    main()

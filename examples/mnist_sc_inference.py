@@ -1,0 +1,79 @@
+"""Application-level reproduction: digit classification with the SC/AQFP network.
+
+Trains the paper's SNN (Table 8) on the synthetic MNIST-like digit dataset
+with SC-aware training (hardware transfer-curve activations, stream-noise
+injection, weight clipping), then evaluates:
+
+* floating-point (software) accuracy,
+* the fast statistical SC model with stream noise,
+* a bit-exact SC simulation of a few test images through the actual blocks,
+* the Table 9 style hardware roll-up (energy per image, throughput).
+
+Run with:  python examples/mnist_sc_inference.py [--quick]
+"""
+
+import argparse
+import time
+
+from repro.datasets import generate_digit_dataset
+from repro.eval.network_report import network_hardware_rollup
+from repro.eval.tables import format_table
+from repro.nn import ScInferenceEngine, Trainer, TrainingConfig, build_snn
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use a tiny training budget")
+    parser.add_argument("--stream-length", type=int, default=1024)
+    parser.add_argument("--epochs", type=int, default=None)
+    args = parser.parse_args()
+
+    n_train, n_test = (800, 200) if args.quick else (3000, 600)
+    epochs = args.epochs or (2 if args.quick else 5)
+
+    print(f"generating dataset ({n_train} train / {n_test} test images)...")
+    dataset = generate_digit_dataset(n_train, n_test, seed=2019)
+
+    print("building and training the SNN (SC-aware training)...")
+    network = build_snn(seed=1, training_stream_length=args.stream_length)
+    trainer = Trainer(network, TrainingConfig(epochs=epochs, seed=1))
+    start = time.time()
+    trainer.fit(
+        dataset.train_images[:, None] * 2 - 1,
+        dataset.train_labels,
+        dataset.test_images[:, None] * 2 - 1,
+        dataset.test_labels,
+        verbose=True,
+    )
+    print(f"training took {time.time() - start:.1f} s")
+
+    engine = ScInferenceEngine(network, stream_length=args.stream_length, seed=3)
+    test_images = dataset.test_images[:, None]
+    float_result = engine.evaluate_float(test_images, dataset.test_labels)
+    fast_result = engine.evaluate_sc_fast(test_images, dataset.test_labels)
+    bit_exact = engine.evaluate_sc_bit_exact(
+        test_images, dataset.test_labels, max_images=2, position_chunk=24
+    )
+
+    aqfp, cmos = network_hardware_rollup(
+        engine.layer_inventories(), stream_length=args.stream_length
+    )
+    print()
+    print(
+        format_table(
+            ["Platform", "Accuracy", "Energy (uJ/image)", "Throughput (img/ms)"],
+            [
+                ["Software (float)", float_result.accuracy, "-", "-"],
+                ["CMOS SC", fast_result.accuracy, cmos.energy_uj_per_image, cmos.throughput_images_per_ms],
+                ["AQFP SC", fast_result.accuracy, aqfp.energy_uj_per_image, aqfp.throughput_images_per_ms],
+                [f"AQFP bit-exact ({bit_exact.n_images} images)", bit_exact.accuracy, "-", "-"],
+            ],
+            title="Table 9 style network comparison (SNN)",
+        )
+    )
+    print(f"energy-efficiency gain AQFP vs CMOS: "
+          f"{cmos.energy_uj_per_image / aqfp.energy_uj_per_image:.2e}x")
+
+
+if __name__ == "__main__":
+    main()

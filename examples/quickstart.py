@@ -1,0 +1,83 @@
+"""Quickstart: stochastic computing on AQFP in five minutes.
+
+Demonstrates the lowest layers of the stack: generate stochastic numbers
+with the AQFP true-RNG-backed SNG, multiply them with an XNOR gate, push
+them through the paper's three proposed blocks, and cost each block in AQFP
+versus 40 nm CMOS.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.aqfp import AqfpTechnology
+from repro.blocks import (
+    MajorityChainCategorizationBlock,
+    SngBlock,
+    SorterAveragePoolingBlock,
+    SorterFeatureExtractionBlock,
+)
+from repro.cmos.sc_blocks import cmos_apc_feature_extraction_cost
+from repro.eval.tables import format_table
+from repro.sc import xnor_multiply
+
+
+def main() -> None:
+    stream_length = 1024
+    technology = AqfpTechnology()
+
+    # 1. Stochastic number generation from the shared true-RNG matrix.
+    values = np.array([0.5, -0.25, 0.75, -0.8, 0.1, 0.3, -0.6, 0.9, -0.4])
+    weights = np.array([0.3, 0.8, -0.5, -0.9, 0.2, -0.7, 0.6, 0.4, -0.1])
+    value_sng = SngBlock(len(values), n_bits=10, seed=1)
+    weight_sng = SngBlock(len(weights), n_bits=10, seed=2)
+    value_stream = value_sng.generate(values, stream_length)
+    weight_stream = weight_sng.generate(weights, stream_length)
+    print("decoded SNG outputs:", np.round(value_stream.to_values(), 3))
+
+    # 2. Bipolar multiplication is a single XNOR gate per stream.
+    product = xnor_multiply(value_stream.select(0), weight_stream.select(0))
+    print(
+        f"XNOR multiply: {values[0]:+.2f} * {weights[0]:+.2f} "
+        f"= {float(product.to_values()):+.3f} (exact {values[0] * weights[0]:+.3f})"
+    )
+
+    # 3. The sorter-based feature-extraction block fuses the inner product
+    #    with a clipped activation -- no accumulator needed.
+    feature_block = SorterFeatureExtractionBlock(len(values))
+    activated = feature_block.forward(value_stream, weight_stream)
+    print(
+        "feature extraction:",
+        f"decoded {float(activated.to_values()):+.3f}",
+        f"(ideal clip {np.clip((values * weights).sum(), -1, 1):+.3f})",
+    )
+
+    # 4. Average pooling and categorization blocks.
+    pooled = SorterAveragePoolingBlock(4).forward(value_stream.bits[:4])
+    print(
+        "average pooling:",
+        f"decoded {float(pooled.to_values()):+.3f}",
+        f"(exact {values[:4].mean():+.3f})",
+    )
+    chain = MajorityChainCategorizationBlock(len(values))
+    print("categorization chain output value:", float(chain.forward(value_stream, weight_stream).to_values()))
+
+    # 5. Hardware cost: AQFP versus the CMOS SC baseline.
+    aqfp_cost = feature_block.hardware().cost(technology, stream_length)
+    cmos_cost = cmos_apc_feature_extraction_cost(len(values), stream_length=stream_length)
+    print()
+    print(
+        format_table(
+            ["Platform", "JJ / gates", "Energy (pJ)", "Delay (ns)"],
+            [
+                ["AQFP", aqfp_cost.jj_count, aqfp_cost.energy_pj, aqfp_cost.latency_ns],
+                ["CMOS 40nm", cmos_cost.jj_count, cmos_cost.energy_pj, cmos_cost.latency_ns],
+            ],
+            title="Feature-extraction block (9 inputs, 1024-bit streams)",
+        )
+    )
+    print(f"energy-efficiency gain: {cmos_cost.energy_pj / aqfp_cost.energy_pj:.2e}x")
+
+
+if __name__ == "__main__":
+    main()

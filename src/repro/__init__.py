@@ -1,0 +1,44 @@
+"""Stochastic-computing deep learning on AQFP superconducting technology.
+
+This package reproduces the system described in "A Stochastic-Computing
+based Deep Learning Framework using Adiabatic Quantum-Flux-Parametron
+Superconducting Technology" (Cai et al., ISCA 2019).  It contains:
+
+* ``repro.rng`` -- random-bit sources (AQFP true RNG, CMOS LFSR, RNG matrix).
+* ``repro.sc`` -- the stochastic-computing substrate (bit streams, SNGs,
+  arithmetic, APC, FSM activation, correlation analysis).
+* ``repro.sorting`` -- binary bitonic sorting networks.
+* ``repro.aqfp`` -- the AQFP technology model (cell library, netlists,
+  majority synthesis, buffer/splitter insertion, clocking, energy).
+* ``repro.cmos`` -- the 40 nm CMOS baseline cost models.
+* ``repro.blocks`` -- the paper's proposed blocks (SNG, sorter-based
+  feature extraction, sorter-based pooling, majority-chain categorization)
+  plus the prior-work APC baseline.
+* ``repro.nn`` -- float reference layers, training, quantization, and the
+  SC-domain inference engine for the SNN/DNN architectures of Table 8.
+* ``repro.datasets`` -- the synthetic MNIST-like digit dataset.
+* ``repro.eval`` -- reproduction harness for every table and figure in the
+  paper's evaluation.
+"""
+
+from repro.config import ExperimentConfig, default_config
+from repro.errors import (
+    ConfigurationError,
+    EncodingError,
+    NetlistError,
+    ReproError,
+    ShapeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "ReproError",
+    "ConfigurationError",
+    "EncodingError",
+    "NetlistError",
+    "ShapeError",
+    "__version__",
+]

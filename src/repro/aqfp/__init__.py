@@ -1,0 +1,47 @@
+"""AQFP superconducting technology model.
+
+This subpackage provides everything needed to express the paper's blocks as
+adiabatic quantum-flux-parametron hardware and to cost them:
+
+* :mod:`~repro.aqfp.technology` -- technology constants (per-JJ switching
+  energy, AC clock frequency, phases per cycle).
+* :mod:`~repro.aqfp.cells` -- the standard-cell library built from the AQFP
+  buffer in the minimalist-design style (buffer, inverter, constants,
+  splitter, 3-input majority, AND/OR/NAND/NOR).
+* :mod:`~repro.aqfp.netlist` -- a gate-level netlist DAG with validation and
+  JJ/gate statistics.
+* :mod:`~repro.aqfp.gates` -- macro builders (XNOR, comparator cells, sorter
+  networks, majority chains) on top of the netlist.
+* :mod:`~repro.aqfp.balance` -- the automatic buffer and splitter insertion
+  required by AQFP's clock-phase discipline and fan-out rule.
+* :mod:`~repro.aqfp.synthesis` -- majority synthesis passes.
+* :mod:`~repro.aqfp.clocking` -- four-phase clocking / latency model.
+* :mod:`~repro.aqfp.energy` -- energy, latency and throughput estimation.
+* :mod:`~repro.aqfp.simulator` -- cycle-accurate netlist evaluation used to
+  cross-check the vectorised block models.
+"""
+
+from repro.aqfp.balance import balance_netlist
+from repro.aqfp.cells import CELL_LIBRARY, CellSpec, CellType
+from repro.aqfp.clocking import ClockingReport, analyze_clocking
+from repro.aqfp.energy import HardwareCost, estimate_cost
+from repro.aqfp.netlist import GateInstance, Netlist
+from repro.aqfp.simulator import simulate
+from repro.aqfp.synthesis import majority_synthesis
+from repro.aqfp.technology import AqfpTechnology
+
+__all__ = [
+    "AqfpTechnology",
+    "CellType",
+    "CellSpec",
+    "CELL_LIBRARY",
+    "Netlist",
+    "GateInstance",
+    "balance_netlist",
+    "majority_synthesis",
+    "ClockingReport",
+    "analyze_clocking",
+    "HardwareCost",
+    "estimate_cost",
+    "simulate",
+]

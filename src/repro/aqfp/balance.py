@@ -1,0 +1,201 @@
+"""Automatic buffer and splitter insertion (phase balancing).
+
+AQFP imposes two structural rules that CMOS does not:
+
+1. **Phase alignment** -- every data input of a gate must arrive with the
+   same number of clock phases from the primary inputs, because all gates in
+   a phase latch simultaneously.  Paths that are too short must be padded
+   with buffer cells.  (Constant cells are exempt: a constant can be
+   produced in any phase.)
+2. **Explicit fan-out** -- a cell may drive only a limited number of sinks
+   (three for the splitter cell here, one for everything else).  Nets with
+   higher fan-out need a splitter tree.
+
+:func:`balance_netlist` rewrites a netlist to satisfy both rules and reports
+how many buffers and splitters were added -- the "automatic buffer/splitter
+insertion" contribution listed in the paper.  Splitters are inserted first
+(they add logic levels), then paths are padded to equal depth.  Both passes
+are single sweeps in topological order so that even the multi-thousand-gate
+sorter netlists of the large blocks balance quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aqfp.cells import CellType
+from repro.aqfp.netlist import Netlist
+from repro.errors import NetlistError
+
+__all__ = ["BalanceReport", "balance_netlist", "insert_splitters", "insert_path_buffers"]
+
+#: Cells whose outputs never need phase padding or splitting consideration.
+_PHASE_FREE = (CellType.CONST_0, CellType.CONST_1)
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Statistics of a balancing pass."""
+
+    buffers_added: int
+    splitters_added: int
+    jj_before: int
+    jj_after: int
+    depth_before: int
+    depth_after: int
+
+    @property
+    def jj_overhead(self) -> float:
+        """Fractional JJ overhead introduced by balancing."""
+        if self.jj_before == 0:
+            return 0.0
+        return (self.jj_after - self.jj_before) / self.jj_before
+
+
+def _copy_structure(netlist: Netlist) -> tuple[Netlist, dict[int, int]]:
+    """Deep-copy a netlist, returning the copy and an old-to-new id map."""
+    copy = Netlist(netlist.name)
+    mapping: dict[int, int] = {}
+    for node_id in netlist.topological_order():
+        node = netlist.nodes[node_id]
+        if node.cell_type is CellType.INPUT:
+            mapping[node_id] = copy.add_input(node.name)
+        else:
+            new_inputs = [mapping[src] for src in node.inputs]
+            mapping[node_id] = copy.add_gate(node.cell_type, new_inputs, node.name)
+    copy.set_outputs([mapping[o] for o in netlist.outputs])
+    return copy, mapping
+
+
+def insert_splitters(netlist: Netlist, fanout_limit: int = 3) -> tuple[Netlist, int]:
+    """Insert splitter trees so no net drives more sinks than allowed.
+
+    Non-splitter cells may drive a single sink; splitters may drive up to
+    ``fanout_limit`` sinks.  For every over-driven net a splitter tree is
+    grown until it offers one leaf slot per sink.
+
+    Returns:
+        ``(new_netlist, splitters_added)``.
+    """
+    if fanout_limit < 2:
+        raise NetlistError(f"fanout_limit must be >= 2, got {fanout_limit}")
+    source, _ = _copy_structure(netlist)
+    splitters_added = 0
+
+    sinks_map = source.fanout()
+    for node_id in list(source.nodes):
+        node = source.nodes[node_id]
+        sinks = sinks_map.get(node_id, [])
+        limit = fanout_limit if node.cell_type is CellType.SPLITTER else 1
+        if len(sinks) <= limit or node.cell_type in _PHASE_FREE:
+            continue
+        # Grow a splitter tree rooted at this net until it has enough slots.
+        # Each slot is a (driver_node, remaining_capacity) entry; attaching a
+        # splitter consumes one slot and contributes ``fanout_limit`` more.
+        slots: list[int] = [node_id] * limit
+        while len(slots) < len(sinks):
+            driver = slots.pop(0)
+            splitter = source.add_gate(
+                CellType.SPLITTER, (driver,), f"{node.name or node_id}.split"
+            )
+            splitters_added += 1
+            slots.extend([splitter] * fanout_limit)
+        # Re-point each sink's reference to this net at its assigned slot.
+        for sink_id, slot in zip(sinks, slots):
+            sink = source.nodes[sink_id]
+            replaced = False
+            new_inputs = []
+            for src in sink.inputs:
+                if src == node_id and not replaced:
+                    new_inputs.append(slot)
+                    replaced = True
+                else:
+                    new_inputs.append(src)
+            sink.inputs = tuple(new_inputs)
+    return source, splitters_added
+
+
+def insert_path_buffers(netlist: Netlist) -> tuple[Netlist, int]:
+    """Pad short paths with buffers so all gate data inputs share a phase.
+
+    Returns:
+        ``(new_netlist, buffers_added)``.
+    """
+    source, _ = _copy_structure(netlist)
+    buffers_added = 0
+    depth: dict[int, int] = {}
+
+    for node_id in source.topological_order():
+        node = source.nodes[node_id]
+        if node.cell_type is CellType.INPUT or node.cell_type in _PHASE_FREE:
+            depth[node_id] = 0
+            continue
+        if not node.inputs:
+            depth[node_id] = 1
+            continue
+        data_inputs = [
+            src for src in node.inputs if source.nodes[src].cell_type not in _PHASE_FREE
+        ]
+        if not data_inputs:
+            depth[node_id] = 1
+            continue
+        target = max(depth[src] for src in data_inputs)
+        new_inputs = []
+        for src in node.inputs:
+            if source.nodes[src].cell_type in _PHASE_FREE:
+                new_inputs.append(src)
+                continue
+            current = src
+            current_depth = depth[src]
+            while current_depth < target:
+                current = source.add_gate(
+                    CellType.BUFFER, (current,), f"{node.name or node_id}.pad"
+                )
+                buffers_added += 1
+                current_depth += 1
+                depth[current] = current_depth
+            new_inputs.append(current)
+        node.inputs = tuple(new_inputs)
+        depth[node_id] = target + 1
+    return source, buffers_added
+
+
+def balance_netlist(
+    netlist: Netlist, fanout_limit: int = 3
+) -> tuple[Netlist, BalanceReport]:
+    """Run splitter insertion followed by path balancing.
+
+    Output-side balancing (padding primary outputs to equal depth) is also
+    applied so the whole block presents a single latency to its consumer.
+    """
+    jj_before = netlist.jj_count()
+    depth_before = netlist.logic_depth()
+
+    with_splitters, splitters_added = insert_splitters(netlist, fanout_limit)
+    balanced, buffers_added = insert_path_buffers(with_splitters)
+
+    # Equalise primary output depth.
+    depths = balanced.node_depths()
+    outputs = balanced.outputs
+    if outputs:
+        target = max(depths[o] for o in outputs)
+        new_outputs = []
+        for out in outputs:
+            current = out
+            depth = depths[out]
+            while depth < target:
+                current = balanced.add_gate(CellType.BUFFER, (current,), "out.pad")
+                buffers_added += 1
+                depth += 1
+            new_outputs.append(current)
+        balanced.set_outputs(new_outputs)
+
+    report = BalanceReport(
+        buffers_added=buffers_added,
+        splitters_added=splitters_added,
+        jj_before=jj_before,
+        jj_after=balanced.jj_count(),
+        depth_before=depth_before,
+        depth_after=balanced.logic_depth(),
+    )
+    return balanced, report

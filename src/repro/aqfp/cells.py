@@ -1,0 +1,113 @@
+"""AQFP standard-cell library.
+
+The library mirrors the minimalist-design cell set of Takeuchi et al. (2015)
+that the paper builds on: every cell is derived from the basic
+double-junction buffer, and the 3-input majority gate is the natural
+combinational primitive (AND and OR are majority gates with one input tied
+to a constant).  Each spec records the junction count used by the energy
+model and the number of logic inputs used by netlist validation.
+
+Junction counts follow the standard AQFP cell accounting: 2 JJ per buffer
+branch, so a 3-input gate (three input branches merged into one output
+transformer) costs 6 JJ, and constants cost 2 JJ.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import NetlistError
+
+__all__ = ["CellType", "CellSpec", "CELL_LIBRARY", "cell_spec"]
+
+
+class CellType(enum.Enum):
+    """Primitive AQFP cell types available to netlists."""
+
+    INPUT = "input"
+    BUFFER = "buffer"
+    INVERTER = "inverter"
+    CONST_0 = "const_0"
+    CONST_1 = "const_1"
+    SPLITTER = "splitter"
+    MAJ3 = "maj3"
+    AND2 = "and2"
+    OR2 = "or2"
+    NAND2 = "nand2"
+    NOR2 = "nor2"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Static properties of a primitive cell.
+
+    Attributes:
+        cell_type: the cell identifier.
+        n_inputs: number of logic inputs the cell consumes.
+        jj_count: Josephson junctions in the cell.
+        max_fanout: how many sinks the cell output may drive directly.
+        description: one-line description for reports.
+    """
+
+    cell_type: CellType
+    n_inputs: int
+    jj_count: int
+    max_fanout: int
+    description: str
+
+
+#: The standard cell library used by every netlist in this package.
+CELL_LIBRARY: dict[CellType, CellSpec] = {
+    CellType.INPUT: CellSpec(CellType.INPUT, 0, 0, 1, "primary input (no JJ cost)"),
+    CellType.BUFFER: CellSpec(CellType.BUFFER, 1, 2, 1, "double-JJ buffer / pipeline stage"),
+    CellType.INVERTER: CellSpec(
+        CellType.INVERTER, 1, 2, 1, "buffer with negated output transformer coupling"
+    ),
+    CellType.CONST_0: CellSpec(
+        CellType.CONST_0, 0, 2, 1, "constant 0 from asymmetric excitation flux"
+    ),
+    CellType.CONST_1: CellSpec(
+        CellType.CONST_1, 0, 2, 1, "constant 1 from asymmetric excitation flux"
+    ),
+    CellType.SPLITTER: CellSpec(
+        CellType.SPLITTER, 1, 4, 3, "1-to-3 splitter (buffer with three output branches)"
+    ),
+    CellType.MAJ3: CellSpec(CellType.MAJ3, 3, 6, 1, "3-input majority gate"),
+    CellType.AND2: CellSpec(
+        CellType.AND2, 2, 6, 1, "2-input AND (majority with constant-0 branch)"
+    ),
+    CellType.OR2: CellSpec(
+        CellType.OR2, 2, 6, 1, "2-input OR (majority with constant-1 branch)"
+    ),
+    CellType.NAND2: CellSpec(
+        CellType.NAND2, 2, 6, 1, "2-input NAND (inverted-input majority with constant)"
+    ),
+    CellType.NOR2: CellSpec(
+        CellType.NOR2, 2, 6, 1, "2-input NOR (inverted-input majority with constant)"
+    ),
+}
+
+#: Cells that contribute one logic level (clock phase) to path depth.
+LOGIC_CELLS: frozenset[CellType] = frozenset(
+    {
+        CellType.BUFFER,
+        CellType.INVERTER,
+        CellType.SPLITTER,
+        CellType.MAJ3,
+        CellType.AND2,
+        CellType.OR2,
+        CellType.NAND2,
+        CellType.NOR2,
+        CellType.CONST_0,
+        CellType.CONST_1,
+    }
+)
+
+
+def cell_spec(cell_type: CellType) -> CellSpec:
+    """Look up a cell spec, raising :class:`NetlistError` for unknown types."""
+    try:
+        return CELL_LIBRARY[cell_type]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise NetlistError(f"unknown cell type {cell_type!r}") from exc

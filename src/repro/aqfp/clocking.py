@@ -1,0 +1,80 @@
+"""Four-phase clocking analysis.
+
+Every AQFP gate occupies one phase of the four-phase AC excitation clock
+(paper Fig. 3), so a balanced netlist of logic depth ``d`` has a fill
+latency of ``d`` phases and then produces one new result per excitation
+cycle.  :func:`analyze_clocking` turns a netlist plus a technology corner
+into latency / throughput numbers, and reports how the deep pipeline
+interacts with a stochastic stream of length ``N`` (the stream hides the
+fill latency, which is the paper's compatibility argument for SC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aqfp.netlist import Netlist
+from repro.aqfp.technology import AqfpTechnology
+from repro.errors import SimulationError
+
+__all__ = ["ClockingReport", "analyze_clocking"]
+
+
+@dataclass(frozen=True)
+class ClockingReport:
+    """Latency / throughput summary for one netlist.
+
+    Attributes:
+        phases: pipeline depth in clock phases.
+        fill_latency_s: time from first input to first valid output.
+        cycle_time_s: time between consecutive results once the pipe is full.
+        stream_length: stochastic stream length assumed for stream metrics.
+        stream_latency_s: time to push a whole stream through the block.
+        utilization: fraction of cycles doing useful work for one stream
+            (``N / (N + phases/phases_per_cycle)``).
+    """
+
+    phases: int
+    fill_latency_s: float
+    cycle_time_s: float
+    stream_length: int
+    stream_latency_s: float
+    utilization: float
+
+
+def analyze_clocking(
+    netlist: Netlist,
+    technology: AqfpTechnology,
+    stream_length: int = 1024,
+    require_balanced: bool = True,
+) -> ClockingReport:
+    """Compute the clocking report of a netlist.
+
+    Args:
+        netlist: the (preferably balanced) netlist to analyse.
+        technology: AQFP technology constants.
+        stream_length: stochastic stream length for stream-level metrics.
+        require_balanced: raise if the netlist is not phase aligned, because
+            latency numbers for an unbalanced netlist are not meaningful in
+            AQFP.
+    """
+    if stream_length <= 0:
+        raise SimulationError(f"stream_length must be positive, got {stream_length}")
+    if require_balanced and not netlist.is_phase_aligned():
+        raise SimulationError(
+            f"netlist {netlist.name!r} is not phase aligned; run balance_netlist first"
+        )
+    phases = netlist.logic_depth()
+    fill_latency = technology.latency_s(phases)
+    cycle_time = technology.cycle_time_s
+    fill_cycles = phases / technology.phases_per_cycle
+    stream_latency = fill_latency + stream_length * cycle_time
+    utilization = stream_length / (stream_length + fill_cycles)
+    return ClockingReport(
+        phases=phases,
+        fill_latency_s=fill_latency,
+        cycle_time_s=cycle_time,
+        stream_length=stream_length,
+        stream_latency_s=stream_latency,
+        utilization=utilization,
+    )

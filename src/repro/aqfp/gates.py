@@ -1,0 +1,170 @@
+"""Macro builders on top of the AQFP netlist.
+
+The primitives of :mod:`repro.aqfp.cells` are single gates; the paper's
+blocks are built from a few recurring macros:
+
+* XNOR (the bipolar SC multiplier): ``(a AND b) OR (NOT a AND NOT b)``,
+  three logic levels in AQFP.
+* the binary compare-and-swap (one AND + one OR), the unit of every sorting
+  network.
+* full bitonic sorter / merger netlists generated from a
+  :class:`~repro.sorting.network.ComparatorNetwork`.
+* the majority chain used by the categorization block.
+* an n-bit magnitude comparator (for SNGs).
+
+Every builder works on an existing :class:`~repro.aqfp.netlist.Netlist` so
+blocks can compose them freely.
+"""
+
+from __future__ import annotations
+
+from repro.aqfp.cells import CellType
+from repro.aqfp.netlist import Netlist
+from repro.errors import NetlistError
+from repro.sorting.network import ComparatorNetwork
+
+__all__ = [
+    "add_xnor",
+    "add_compare_swap",
+    "add_sorter",
+    "add_majority_chain",
+    "add_magnitude_comparator",
+    "build_sorter_netlist",
+    "build_majority_chain_netlist",
+]
+
+
+def add_xnor(netlist: Netlist, a: int, b: int, name: str = "xnor") -> int:
+    """Add a 2-input XNOR macro and return the id of its output node.
+
+    Built as ``OR(AND(a, b), AND(NOT a, NOT b))``: two inverters, two AND
+    gates and one OR gate (three logic levels before balancing).
+    """
+    not_a = netlist.add_gate(CellType.INVERTER, (a,), f"{name}.na")
+    not_b = netlist.add_gate(CellType.INVERTER, (b,), f"{name}.nb")
+    both = netlist.add_gate(CellType.AND2, (a, b), f"{name}.and_hi")
+    neither = netlist.add_gate(CellType.AND2, (not_a, not_b), f"{name}.and_lo")
+    return netlist.add_gate(CellType.OR2, (both, neither), f"{name}.or")
+
+
+def add_compare_swap(
+    netlist: Netlist, a: int, b: int, name: str = "cas"
+) -> tuple[int, int]:
+    """Add a binary compare-and-swap; returns ``(max_node, min_node)``."""
+    hi = netlist.add_gate(CellType.OR2, (a, b), f"{name}.max")
+    lo = netlist.add_gate(CellType.AND2, (a, b), f"{name}.min")
+    return hi, lo
+
+
+def add_sorter(
+    netlist: Netlist, lane_nodes: list[int], network: ComparatorNetwork, name: str = "sorter"
+) -> list[int]:
+    """Instantiate a comparator network over existing lane nodes.
+
+    Args:
+        netlist: netlist to extend.
+        lane_nodes: node ids currently driving each lane (length = width).
+        network: the comparator network to instantiate.
+        name: prefix for gate names.
+
+    Returns:
+        Node ids driving each lane after the network.
+    """
+    if len(lane_nodes) != network.width:
+        raise NetlistError(
+            f"{len(lane_nodes)} lane nodes for a width-{network.width} network"
+        )
+    lanes = list(lane_nodes)
+    for index, comp in enumerate(network.comparators):
+        hi, lo = add_compare_swap(
+            netlist, lanes[comp.high], lanes[comp.low], f"{name}.c{index}"
+        )
+        lanes[comp.high] = hi
+        lanes[comp.low] = lo
+    return lanes
+
+
+def add_majority_chain(
+    netlist: Netlist, input_nodes: list[int], name: str = "majchain"
+) -> int:
+    """Add the paper's majority-chain reduction and return its output node.
+
+    ``Maj(x0, x1, x2, x3, x4, ...)`` is factorised as
+    ``Maj(...Maj(Maj(x0, x1, x2), x3, x4)..., x_{k-2}, x_{k-1})`` --
+    one 3-input majority gate per pair of additional inputs.  If the input
+    count is even, a constant-0 input pads the final gate (which biases the
+    chain negligibly for long chains, mirroring the hardware).
+    """
+    if not input_nodes:
+        raise NetlistError("majority chain needs at least one input")
+    nodes = list(input_nodes)
+    if len(nodes) == 1:
+        return netlist.add_gate(CellType.BUFFER, (nodes[0],), f"{name}.buf")
+    if len(nodes) == 2:
+        pad = netlist.add_gate(CellType.CONST_0, (), f"{name}.pad")
+        return netlist.add_gate(CellType.MAJ3, (nodes[0], nodes[1], pad), f"{name}.m0")
+    acc = netlist.add_gate(CellType.MAJ3, tuple(nodes[:3]), f"{name}.m0")
+    remaining = nodes[3:]
+    index = 1
+    while remaining:
+        if len(remaining) >= 2:
+            a, b = remaining[0], remaining[1]
+            remaining = remaining[2:]
+        else:
+            a = remaining[0]
+            b = netlist.add_gate(CellType.CONST_0, (), f"{name}.pad{index}")
+            remaining = []
+        acc = netlist.add_gate(CellType.MAJ3, (acc, a, b), f"{name}.m{index}")
+        index += 1
+    return acc
+
+
+def add_magnitude_comparator(
+    netlist: Netlist, value_bits: list[int], random_bits: list[int], name: str = "cmp"
+) -> int:
+    """Add an n-bit ``random < value`` comparator; returns the output node.
+
+    Implemented as the standard ripple structure evaluated from the least
+    significant bit upwards: ``lt = (NOT r_i AND v_i) OR (eq_i AND lt)`` with
+    ``eq_i = XNOR(r_i, v_i)``, so a more significant bit always dominates.
+    The bit lists are ordered MSB first.
+    """
+    if len(value_bits) != len(random_bits) or not value_bits:
+        raise NetlistError("comparator needs equally sized, non-empty bit vectors")
+    less_than: int | None = None
+    pairs = list(zip(value_bits, random_bits))
+    for position, (v_bit, r_bit) in enumerate(reversed(pairs)):
+        tag = f"{name}.b{position}"
+        not_r = netlist.add_gate(CellType.INVERTER, (r_bit,), f"{tag}.nr")
+        strictly = netlist.add_gate(CellType.AND2, (not_r, v_bit), f"{tag}.lt")
+        if less_than is None:
+            less_than = strictly
+            continue
+        equal = add_xnor(netlist, v_bit, r_bit, f"{tag}.eq")
+        carry = netlist.add_gate(CellType.AND2, (equal, less_than), f"{tag}.carry")
+        less_than = netlist.add_gate(CellType.OR2, (strictly, carry), f"{tag}.or")
+    assert less_than is not None
+    return less_than
+
+
+def build_sorter_netlist(network: ComparatorNetwork, name: str = "bitonic") -> Netlist:
+    """Build a standalone netlist for a comparator network.
+
+    Primary inputs are the lanes; primary outputs are the sorted lanes.
+    """
+    netlist = Netlist(name)
+    lane_nodes = [netlist.add_input(f"in{i}") for i in range(network.width)]
+    sorted_nodes = add_sorter(netlist, lane_nodes, network, name)
+    netlist.set_outputs(sorted_nodes)
+    return netlist
+
+
+def build_majority_chain_netlist(n_inputs: int, name: str = "categorize") -> Netlist:
+    """Build a standalone majority-chain netlist with ``n_inputs`` inputs."""
+    if n_inputs <= 0:
+        raise NetlistError(f"n_inputs must be positive, got {n_inputs}")
+    netlist = Netlist(name)
+    inputs = [netlist.add_input(f"in{i}") for i in range(n_inputs)]
+    out = add_majority_chain(netlist, inputs, name)
+    netlist.set_outputs([out])
+    return netlist

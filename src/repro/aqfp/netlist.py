@@ -1,0 +1,225 @@
+"""Gate-level netlist representation for AQFP circuits.
+
+A :class:`Netlist` is a DAG of :class:`GateInstance` nodes.  Every node
+drives exactly one net, identified by the node id; primary inputs are nodes
+of type :class:`~repro.aqfp.cells.CellType.INPUT`.  The class provides
+validation (fan-in arity, acyclicity, dangling references), topological
+ordering for simulation, per-cell statistics, logic depth, and fan-out
+queries used by the buffer/splitter insertion pass.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.aqfp.cells import CellType, cell_spec
+from repro.errors import NetlistError
+
+__all__ = ["GateInstance", "Netlist"]
+
+
+@dataclass
+class GateInstance:
+    """One cell instance in a netlist.
+
+    Attributes:
+        node_id: unique integer id; also the id of the net this cell drives.
+        cell_type: the primitive cell implemented by this instance.
+        inputs: node ids of the driving cells, in port order.
+        name: optional human-readable label used in reports and debugging.
+    """
+
+    node_id: int
+    cell_type: CellType
+    inputs: tuple[int, ...] = ()
+    name: str = ""
+
+
+class Netlist:
+    """A DAG of AQFP cells.
+
+    Args:
+        name: label used in reports.
+    """
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._nodes: dict[int, GateInstance] = {}
+        self._outputs: list[int] = []
+        self._next_id = 0
+
+    # -- construction ------------------------------------------------------
+
+    def _allocate(self, cell_type: CellType, inputs: Sequence[int], name: str) -> int:
+        spec = cell_spec(cell_type)
+        if cell_type is not CellType.INPUT and len(inputs) != spec.n_inputs:
+            raise NetlistError(
+                f"{cell_type.value} expects {spec.n_inputs} inputs, got {len(inputs)}"
+            )
+        for src in inputs:
+            if src not in self._nodes:
+                raise NetlistError(f"input node {src} does not exist")
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = GateInstance(node_id, cell_type, tuple(inputs), name)
+        return node_id
+
+    def add_input(self, name: str = "") -> int:
+        """Add a primary input and return its node id."""
+        return self._allocate(CellType.INPUT, (), name)
+
+    def add_gate(self, cell_type: CellType, inputs: Sequence[int], name: str = "") -> int:
+        """Add a gate of the given type and return its node id."""
+        if cell_type is CellType.INPUT:
+            raise NetlistError("use add_input() for primary inputs")
+        return self._allocate(cell_type, inputs, name)
+
+    def set_outputs(self, node_ids: Iterable[int]) -> None:
+        """Declare the primary outputs (ordered)."""
+        node_ids = list(node_ids)
+        for node_id in node_ids:
+            if node_id not in self._nodes:
+                raise NetlistError(f"output node {node_id} does not exist")
+        self._outputs = node_ids
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> dict[int, GateInstance]:
+        """All node instances keyed by node id."""
+        return self._nodes
+
+    @property
+    def outputs(self) -> list[int]:
+        """Primary output node ids in declaration order."""
+        return list(self._outputs)
+
+    @property
+    def inputs(self) -> list[int]:
+        """Primary input node ids in creation order."""
+        return [n.node_id for n in self._nodes.values() if n.cell_type is CellType.INPUT]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def fanout(self) -> dict[int, list[int]]:
+        """Map each node id to the list of node ids that consume its output."""
+        sinks: dict[int, list[int]] = defaultdict(list)
+        for node in self._nodes.values():
+            for src in node.inputs:
+                sinks[src].append(node.node_id)
+        return dict(sinks)
+
+    def cell_counts(self) -> Counter:
+        """Number of instances of each cell type."""
+        return Counter(node.cell_type for node in self._nodes.values())
+
+    def jj_count(self) -> int:
+        """Total Josephson junction count of the netlist."""
+        return sum(cell_spec(node.cell_type).jj_count for node in self._nodes.values())
+
+    def gate_count(self) -> int:
+        """Number of non-input cells."""
+        return sum(1 for n in self._nodes.values() if n.cell_type is not CellType.INPUT)
+
+    # -- structure checks --------------------------------------------------
+
+    def topological_order(self) -> list[int]:
+        """Return node ids in topological order; raise on cycles."""
+        indegree = {node_id: len(node.inputs) for node_id, node in self._nodes.items()}
+        ready = deque(sorted(nid for nid, deg in indegree.items() if deg == 0))
+        sinks = self.fanout()
+        order: list[int] = []
+        while ready:
+            node_id = ready.popleft()
+            order.append(node_id)
+            for sink in sinks.get(node_id, ()):
+                indegree[sink] -= 1
+                if indegree[sink] == 0:
+                    ready.append(sink)
+        if len(order) != len(self._nodes):
+            raise NetlistError(f"netlist {self.name!r} contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check acyclicity and that declared outputs exist."""
+        self.topological_order()
+        for out in self._outputs:
+            if out not in self._nodes:
+                raise NetlistError(f"declared output {out} does not exist")
+
+    def node_depths(self) -> dict[int, int]:
+        """Logic depth of every node.
+
+        Primary inputs and constant cells sit at depth 0: a constant can be
+        generated in any clock phase, so it never constrains alignment.
+        Every other cell adds one phase on top of its deepest input.
+        """
+        depth: dict[int, int] = {}
+        for node_id in self.topological_order():
+            node = self._nodes[node_id]
+            if node.cell_type in (CellType.INPUT, CellType.CONST_0, CellType.CONST_1):
+                depth[node_id] = 0
+            elif not node.inputs:
+                depth[node_id] = 1
+            else:
+                depth[node_id] = 1 + max(depth[src] for src in node.inputs)
+        return depth
+
+    def logic_depth(self) -> int:
+        """Maximum number of logic cells on any input-to-output path.
+
+        In AQFP every cell occupies one clock phase, so after balancing this
+        equals the pipeline latency in phases.
+        """
+        depth = self.node_depths()
+        if not depth:
+            return 0
+        targets = self._outputs if self._outputs else list(depth)
+        return max(depth[t] for t in targets)
+
+    def is_phase_aligned(self) -> bool:
+        """True when every gate's data inputs arrive at the same logic depth.
+
+        This is the AQFP data-synchronisation requirement that the balancing
+        pass enforces by inserting buffers.  Constant inputs are exempt (they
+        can be produced in any phase).
+        """
+        depth = self.node_depths()
+        for node in self._nodes.values():
+            data_inputs = [
+                src
+                for src in node.inputs
+                if self._nodes[src].cell_type
+                not in (CellType.CONST_0, CellType.CONST_1)
+            ]
+            if len(data_inputs) >= 2:
+                input_depths = {depth[src] for src in data_inputs}
+                if len(input_depths) > 1:
+                    return False
+        return True
+
+    def fanout_violations(self) -> list[int]:
+        """Node ids whose fan-out exceeds their cell's ``max_fanout``."""
+        sinks = self.fanout()
+        violations = []
+        for node_id, node in self._nodes.items():
+            limit = cell_spec(node.cell_type).max_fanout
+            if len(sinks.get(node_id, ())) > limit:
+                violations.append(node_id)
+        return violations
+
+    def summary(self) -> dict[str, object]:
+        """Compact statistics dictionary used by reports and tests."""
+        counts = self.cell_counts()
+        return {
+            "name": self.name,
+            "gates": self.gate_count(),
+            "jj": self.jj_count(),
+            "depth": self.logic_depth(),
+            "inputs": len(self.inputs),
+            "outputs": len(self._outputs),
+            "cells": {cell.value: count for cell, count in sorted(counts.items(), key=lambda kv: kv[0].value)},
+        }

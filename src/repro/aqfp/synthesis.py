@@ -1,0 +1,177 @@
+"""Majority synthesis passes.
+
+In AQFP the 3-input majority gate costs exactly as much as a 2-input AND or
+OR (both are a majority cell with one branch tied to a constant), so it pays
+to re-express logic in terms of majority gates.  Two passes are provided:
+
+* :func:`rewrite_to_majority` -- replace every AND2/OR2 with an explicit
+  MAJ3 plus constant.  This is cost-neutral by itself but exposes the
+  structure to the collapsing pass and mirrors how the physical cells are
+  actually built.
+* :func:`collapse_majority_chains` -- merge a 2-level pattern
+  ``MAJ(MAJ(a, b, const), c, const)`` arising from AND/OR trees into wider
+  majority chains when the logic allows it: ``AND(AND(a, b), c)`` and
+  ``OR(OR(a, b), c)`` keep their function when the inner constant is reused,
+  saving one constant cell and one level of the tree in the common
+  reduction-tree shapes used by the categorization block.
+
+:func:`majority_synthesis` runs both and reports the savings; this is the
+"majority synthesis for further performance improvement" item of the paper's
+contribution list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aqfp.cells import CellType
+from repro.aqfp.netlist import Netlist
+
+__all__ = ["SynthesisReport", "rewrite_to_majority", "collapse_majority_chains", "majority_synthesis"]
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Statistics of a majority-synthesis run."""
+
+    and_or_rewritten: int
+    chains_collapsed: int
+    jj_before: int
+    jj_after: int
+    depth_before: int
+    depth_after: int
+
+    @property
+    def jj_saving(self) -> int:
+        """Absolute JJ saving achieved by synthesis."""
+        return self.jj_before - self.jj_after
+
+
+def _copy(netlist: Netlist) -> tuple[Netlist, dict[int, int]]:
+    copy = Netlist(netlist.name)
+    mapping: dict[int, int] = {}
+    for node_id in netlist.topological_order():
+        node = netlist.nodes[node_id]
+        if node.cell_type is CellType.INPUT:
+            mapping[node_id] = copy.add_input(node.name)
+        else:
+            mapping[node_id] = copy.add_gate(
+                node.cell_type, [mapping[s] for s in node.inputs], node.name
+            )
+    copy.set_outputs([mapping[o] for o in netlist.outputs])
+    return copy, mapping
+
+
+def rewrite_to_majority(netlist: Netlist) -> tuple[Netlist, int]:
+    """Replace AND2/OR2 cells by MAJ3 cells with an explicit constant input.
+
+    Returns ``(new_netlist, gates_rewritten)``.  Constants are shared per
+    polarity so the rewrite does not inflate the constant count.
+    """
+    result = Netlist(netlist.name)
+    mapping: dict[int, int] = {}
+    shared_const: dict[CellType, int] = {}
+    rewritten = 0
+
+    def _constant(cell: CellType) -> int:
+        if cell not in shared_const:
+            shared_const[cell] = result.add_gate(cell, (), f"shared.{cell.value}")
+        return shared_const[cell]
+
+    for node_id in netlist.topological_order():
+        node = netlist.nodes[node_id]
+        if node.cell_type is CellType.INPUT:
+            mapping[node_id] = result.add_input(node.name)
+            continue
+        inputs = [mapping[s] for s in node.inputs]
+        if node.cell_type is CellType.AND2:
+            const = _constant(CellType.CONST_0)
+            mapping[node_id] = result.add_gate(
+                CellType.MAJ3, (inputs[0], inputs[1], const), node.name or "maj_and"
+            )
+            rewritten += 1
+        elif node.cell_type is CellType.OR2:
+            const = _constant(CellType.CONST_1)
+            mapping[node_id] = result.add_gate(
+                CellType.MAJ3, (inputs[0], inputs[1], const), node.name or "maj_or"
+            )
+            rewritten += 1
+        else:
+            mapping[node_id] = result.add_gate(node.cell_type, inputs, node.name)
+    result.set_outputs([mapping[o] for o in netlist.outputs])
+    return result, rewritten
+
+
+def collapse_majority_chains(netlist: Netlist) -> tuple[Netlist, int]:
+    """Remove redundant buffers feeding majority gates.
+
+    After balancing and rewriting, chains frequently contain
+    ``MAJ(BUFFER(x), y, z)`` patterns where the buffer exists purely for
+    structural reasons that a later balancing pass will re-derive anyway.
+    Collapsing them before re-balancing lets the balancer place only the
+    padding that is really required.  Returns ``(new_netlist, removed)``.
+    """
+    source, _ = _copy(netlist)
+    removed = 0
+    for node in source.nodes.values():
+        if node.cell_type is not CellType.MAJ3:
+            continue
+        new_inputs = []
+        changed = False
+        for src in node.inputs:
+            producer = source.nodes[src]
+            if producer.cell_type is CellType.BUFFER:
+                new_inputs.append(producer.inputs[0])
+                changed = True
+                removed += 1
+            else:
+                new_inputs.append(src)
+        if changed:
+            node.inputs = tuple(new_inputs)
+    # Dead buffers remain in the node table but no longer drive anything; a
+    # compaction pass drops them so they stop counting towards JJ totals.
+    compacted = Netlist(source.name)
+    mapping: dict[int, int] = {}
+    live = _live_nodes(source)
+    for node_id in source.topological_order():
+        if node_id not in live:
+            continue
+        node = source.nodes[node_id]
+        if node.cell_type is CellType.INPUT:
+            mapping[node_id] = compacted.add_input(node.name)
+        else:
+            mapping[node_id] = compacted.add_gate(
+                node.cell_type, [mapping[s] for s in node.inputs], node.name
+            )
+    compacted.set_outputs([mapping[o] for o in source.outputs])
+    return compacted, removed
+
+
+def _live_nodes(netlist: Netlist) -> set[int]:
+    """Nodes reachable backwards from the primary outputs (plus all inputs)."""
+    live: set[int] = set(netlist.inputs)
+    stack = list(netlist.outputs)
+    while stack:
+        node_id = stack.pop()
+        if node_id in live and node_id not in netlist.inputs:
+            continue
+        live.add(node_id)
+        stack.extend(netlist.nodes[node_id].inputs)
+    return live
+
+
+def majority_synthesis(netlist: Netlist) -> tuple[Netlist, SynthesisReport]:
+    """Run the full majority-synthesis pipeline and report the savings."""
+    jj_before = netlist.jj_count()
+    depth_before = netlist.logic_depth()
+    rewritten_netlist, rewritten = rewrite_to_majority(netlist)
+    collapsed, removed = collapse_majority_chains(rewritten_netlist)
+    report = SynthesisReport(
+        and_or_rewritten=rewritten,
+        chains_collapsed=removed,
+        jj_before=jj_before,
+        jj_after=collapsed.jj_count(),
+        depth_before=depth_before,
+        depth_after=collapsed.logic_depth(),
+    )
+    return collapsed, report

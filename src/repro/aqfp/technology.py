@@ -1,0 +1,81 @@
+"""AQFP technology constants.
+
+The energy model follows the paper's accounting style: every Josephson
+junction in an AC-powered AQFP cell dissipates a fixed (adiabatic) switching
+energy each excitation cycle, and each logic level occupies one phase of a
+four-phase AC clock.  Both constants are parameters of
+:class:`AqfpTechnology`, so sensitivity studies can sweep them; the defaults
+correspond to the 10 kA/cm2 AIST process operated at 5 GHz that the paper's
+prototype chip uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AqfpTechnology"]
+
+#: Adiabatic switching energy per junction per cycle, in joules.
+#: Measured AQFP dissipation is of order zeptojoules per junction at
+#: gigahertz excitation (Takeuchi et al. 2013/2014); 2 zJ per JJ per cycle
+#: reproduces the order of magnitude of the paper's block-level numbers.
+DEFAULT_ENERGY_PER_JJ_J = 2.0e-21
+
+#: Default AC excitation (clock) frequency in hertz.
+DEFAULT_CLOCK_HZ = 5.0e9
+
+#: Phases per excitation cycle in the standard AQFP clocking scheme (Fig. 3).
+DEFAULT_PHASES_PER_CYCLE = 4
+
+
+@dataclass(frozen=True)
+class AqfpTechnology:
+    """Technology corner for AQFP cost estimation.
+
+    Attributes:
+        energy_per_jj_j: switching energy per JJ per excitation cycle (J).
+        clock_hz: AC excitation frequency (Hz).
+        phases_per_cycle: clock phases per excitation cycle.
+        cooling_overhead: multiplicative wall-plug penalty for 4.2 K cooling;
+            1.0 reports pure device energy (the paper's headline numbers),
+            ~1000 reports energy including cryocooler overhead.
+    """
+
+    energy_per_jj_j: float = DEFAULT_ENERGY_PER_JJ_J
+    clock_hz: float = DEFAULT_CLOCK_HZ
+    phases_per_cycle: int = DEFAULT_PHASES_PER_CYCLE
+    cooling_overhead: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.energy_per_jj_j <= 0:
+            raise ConfigurationError("energy_per_jj_j must be positive")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock_hz must be positive")
+        if self.phases_per_cycle < 1:
+            raise ConfigurationError("phases_per_cycle must be >= 1")
+        if self.cooling_overhead < 1.0:
+            raise ConfigurationError("cooling_overhead must be >= 1.0")
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one excitation cycle in seconds."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def phase_time_s(self) -> float:
+        """Duration of one clock phase (one logic level) in seconds."""
+        return self.cycle_time_s / self.phases_per_cycle
+
+    def latency_s(self, n_phases: int) -> float:
+        """Latency of a pipeline of ``n_phases`` logic levels."""
+        if n_phases < 0:
+            raise ConfigurationError("n_phases must be non-negative")
+        return n_phases * self.phase_time_s
+
+    def energy_j(self, jj_count: int, n_cycles: int) -> float:
+        """Energy of ``jj_count`` junctions switching for ``n_cycles`` cycles."""
+        if jj_count < 0 or n_cycles < 0:
+            raise ConfigurationError("jj_count and n_cycles must be non-negative")
+        return jj_count * n_cycles * self.energy_per_jj_j * self.cooling_overhead

@@ -1,0 +1,46 @@
+"""The paper's proposed SC/AQFP building blocks.
+
+Four blocks make up the proposed architecture (paper Fig. 6):
+
+* :class:`~repro.blocks.sng_block.SngBlock` -- stochastic number generation
+  from the shared true-RNG matrix plus comparators.
+* :class:`~repro.blocks.feature_extraction.SorterFeatureExtractionBlock` --
+  the bitonic-sorter + feedback block that fuses inner product and a clipped
+  activation for CONV layers (Algorithm 1).
+* :class:`~repro.blocks.pooling.SorterAveragePoolingBlock` -- the
+  bitonic-sorter + feedback average-pooling block (Algorithm 2).
+* :class:`~repro.blocks.categorization.MajorityChainCategorizationBlock` --
+  the majority-gate chain that ranks FC-layer outputs.
+
+:mod:`~repro.blocks.apc_baseline` implements the prior-work APC + Btanh
+block for comparison, and :mod:`~repro.blocks.hardware` contains the shared
+stage-level hardware estimator used to cost all of them in AQFP.
+"""
+
+from repro.blocks.apc_baseline import ApcFeatureExtractionBlock
+from repro.blocks.categorization import (
+    MajorityChainCategorizationBlock,
+    chain_output_probability,
+)
+from repro.blocks.feature_extraction import (
+    SorterFeatureExtractionBlock,
+    SorterTransferCurve,
+    estimate_transfer_curve,
+    sorter_activation,
+)
+from repro.blocks.hardware import BlockHardware
+from repro.blocks.pooling import SorterAveragePoolingBlock
+from repro.blocks.sng_block import SngBlock
+
+__all__ = [
+    "SngBlock",
+    "SorterFeatureExtractionBlock",
+    "SorterTransferCurve",
+    "estimate_transfer_curve",
+    "sorter_activation",
+    "SorterAveragePoolingBlock",
+    "MajorityChainCategorizationBlock",
+    "chain_output_probability",
+    "ApcFeatureExtractionBlock",
+    "BlockHardware",
+]

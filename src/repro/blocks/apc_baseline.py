@@ -1,0 +1,93 @@
+"""Prior-work (SC-DCNN) feature-extraction block: XNOR + APC + Btanh.
+
+This is the CMOS-oriented design of paper Fig. 5 that the proposed sorter
+block replaces.  It is kept as a functional baseline for two reasons: the
+accuracy ablation (sorter block vs APC block under equal stream lengths)
+and the CMOS columns of the hardware tables (costed by
+:mod:`repro.cmos.sc_blocks`).
+
+The functional model sums the product streams with the approximate parallel
+counter, accumulates the counts, and applies the Btanh FSM activation to a
+re-generated stream -- mirroring the binary-counter + FSM activation path of
+the original design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.sc.apc import approximate_parallel_counter
+from repro.sc.bitstream import Bitstream
+from repro.sc.fsm import BtanhFsm, btanh_state_count
+
+__all__ = ["ApcFeatureExtractionBlock"]
+
+
+class ApcFeatureExtractionBlock:
+    """APC-based feature-extraction block (prior work baseline).
+
+    Args:
+        n_inputs: number of input-weight product streams ``M``.
+        activation_scale: scale of the Btanh activation; 1.0 approximates
+            ``tanh(x)`` over the summed value.
+    """
+
+    def __init__(self, n_inputs: int, activation_scale: float = 2.0) -> None:
+        if n_inputs < 1:
+            raise ConfigurationError(f"n_inputs must be >= 1, got {n_inputs}")
+        self._n_inputs = int(n_inputs)
+        self._fsm = BtanhFsm(btanh_state_count(n_inputs, activation_scale))
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of product streams."""
+        return self._n_inputs
+
+    def forward_products(self, products: np.ndarray) -> np.ndarray:
+        """Run the APC + Btanh pipeline over product streams.
+
+        Args:
+            products: 0/1 array of shape ``(..., M, N)``.
+
+        Returns:
+            0/1 array of shape ``(..., N)``: the activated stream.
+        """
+        products = np.asarray(products, dtype=np.uint8)
+        if products.ndim < 2 or products.shape[-2] != self._n_inputs:
+            raise ShapeError(
+                f"expected products of shape (..., {self._n_inputs}, N), "
+                f"got {products.shape}"
+            )
+        moved = np.moveaxis(products, -2, 0)  # (M, ..., N)
+        counts = approximate_parallel_counter(moved)  # (..., N)
+        # The binary counter activation integrates the signed per-cycle
+        # contribution 2c - M of the APC count c in a saturating register;
+        # the output bit is 1 while the register sits in its upper half.
+        n_states = self._fsm.n_states
+        half = n_states // 2
+        state = np.full(counts.shape[:-1], half - 1, dtype=np.int64)
+        output = np.empty(counts.shape, dtype=np.uint8)
+        for t in range(counts.shape[-1]):
+            step = 2 * counts[..., t] - self._n_inputs
+            state = np.clip(state + step, 0, n_states - 1)
+            output[..., t] = (state >= half).astype(np.uint8)
+        return output
+
+    def forward(
+        self, inputs: Bitstream | np.ndarray, weights: Bitstream | np.ndarray
+    ) -> Bitstream:
+        """XNOR-multiply inputs and weights, then run the APC + Btanh path."""
+        input_bits = inputs.bits if isinstance(inputs, Bitstream) else np.asarray(inputs)
+        weight_bits = weights.bits if isinstance(weights, Bitstream) else np.asarray(weights)
+        if input_bits.shape != weight_bits.shape:
+            raise ShapeError(
+                f"input shape {input_bits.shape} != weight shape {weight_bits.shape}"
+            )
+        products = np.logical_not(np.logical_xor(input_bits, weight_bits)).astype(np.uint8)
+        return Bitstream(self.forward_products(products), "bipolar")
+
+    def reference_output(self, product_values: np.ndarray) -> np.ndarray:
+        """Reference activation of the baseline block: ``tanh(sum of products)``."""
+        product_values = np.asarray(product_values, dtype=np.float64)
+        return np.tanh(product_values.sum(axis=-1))

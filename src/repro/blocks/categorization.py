@@ -1,0 +1,199 @@
+"""Majority-chain categorization block for FC layers.
+
+FC (categorization) layers have many more inputs than CONV layers, but their
+job is only to *rank* the class scores, not to compute them precisely.  The
+paper therefore replaces the expensive sorter block with a chain of 3-input
+majority gates: per clock cycle the output bit is (approximately) the
+majority of the ``K`` product bits, so the decoded output is a monotone
+(sigmoid-like) function of the inner product that preserves the ranking of
+the classes.
+
+The chain factorisation ``Maj(x0..x4) = Maj(Maj(x0, x1, x2), x3, x4)`` is an
+approximation of the true wide majority -- exactly the approximation the
+hardware makes -- and the functional model reproduces it bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aqfp.gates import build_majority_chain_netlist
+from repro.aqfp.netlist import Netlist
+from repro.blocks.hardware import (
+    JJ_PER_MAJ3,
+    JJ_PER_SPLITTER,
+    JJ_PER_XNOR,
+    XNOR_PHASES,
+    BlockHardware,
+)
+from repro.errors import ConfigurationError, ShapeError
+from repro.sc.bitstream import Bitstream
+
+__all__ = ["MajorityChainCategorizationBlock", "chain_output_probability"]
+
+
+def chain_output_probability(p: np.ndarray | float, n_inputs: int) -> np.ndarray:
+    """Exact output probability of the majority chain for i.i.d. inputs.
+
+    With every product bit an independent Bernoulli(``p``), the chain
+    ``a_0 = Maj(b_1, b_2, b_3)``, ``a_i = Maj(a_{i-1}, b_{2i+2}, b_{2i+3})``
+    has output probability given by the recursion
+
+    ``q_0 = 3 p^2 - 2 p^3``,
+    ``q_i = q_{i-1} (1 - (1 - p)^2) + (1 - q_{i-1}) p^2``.
+
+    This is the transfer function of the categorization block used by the
+    fast statistical inference model: it is steeply monotone around
+    ``p = 0.5`` for long chains, which is what lets the block preserve class
+    rankings despite its approximate nature (Table 3).
+
+    Args:
+        p: probability (or array of probabilities) that a product bit is 1.
+        n_inputs: number of product streams ``K`` reduced by the chain.
+
+    Returns:
+        Probability (same shape as ``p``) that the chain output bit is 1.
+    """
+    if n_inputs < 1:
+        raise ConfigurationError(f"n_inputs must be >= 1, got {n_inputs}")
+    p = np.clip(np.asarray(p, dtype=np.float64), 0.0, 1.0)
+    if n_inputs == 1:
+        return p
+    if n_inputs == 2:
+        return p * p  # Maj(a, b, 0) == AND(a, b)
+    q = 3.0 * p ** 2 - 2.0 * p ** 3
+    remaining = n_inputs - 3
+    win = 1.0 - (1.0 - p) ** 2   # chain stays 1: at least one of the two new bits is 1
+    flip = p ** 2                # chain turns 1: both new bits are 1
+    while remaining > 0:
+        if remaining >= 2:
+            q = q * win + (1.0 - q) * flip
+            remaining -= 2
+        else:
+            # A single trailing input is paired with a constant 0.
+            q = q * p
+            remaining -= 1
+    return q
+
+
+class MajorityChainCategorizationBlock:
+    """Categorization (FC inner-product surrogate) block.
+
+    Args:
+        n_inputs: number of product streams ``K`` reduced by the chain.
+    """
+
+    def __init__(self, n_inputs: int) -> None:
+        if n_inputs < 1:
+            raise ConfigurationError(f"n_inputs must be >= 1, got {n_inputs}")
+        self._n_inputs = int(n_inputs)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of product streams the chain reduces."""
+        return self._n_inputs
+
+    @property
+    def chain_length(self) -> int:
+        """Number of 3-input majority gates in the chain."""
+        if self._n_inputs <= 1:
+            return 0
+        return max(1, (self._n_inputs - 1 + 1) // 2)
+
+    # -- stream-level models -------------------------------------------------
+
+    def forward_products(self, products: np.ndarray) -> np.ndarray:
+        """Reduce product streams with the majority chain.
+
+        Args:
+            products: 0/1 array of shape ``(..., K, N)``.
+
+        Returns:
+            0/1 array of shape ``(..., N)``: the chained-majority stream.
+        """
+        products = np.asarray(products, dtype=np.uint8)
+        if products.ndim < 2:
+            raise ShapeError("products must have shape (..., K, N)")
+        if products.shape[-2] != self._n_inputs:
+            raise ShapeError(
+                f"expected {self._n_inputs} product streams, got {products.shape[-2]}"
+            )
+        k = self._n_inputs
+        if k == 1:
+            return products[..., 0, :]
+        if k == 2:
+            # Maj(a, b, 0) == AND(a, b), matching the hardware's constant pad.
+            return (products[..., 0, :] & products[..., 1, :]).astype(np.uint8)
+
+        def maj3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+            return (
+                (a.astype(np.int64) + b.astype(np.int64) + c.astype(np.int64)) >= 2
+            ).astype(np.uint8)
+
+        acc = maj3(products[..., 0, :], products[..., 1, :], products[..., 2, :])
+        index = 3
+        while index < k:
+            if index + 1 < k:
+                acc = maj3(acc, products[..., index, :], products[..., index + 1, :])
+                index += 2
+            else:
+                zero = np.zeros_like(acc)
+                acc = maj3(acc, products[..., index, :], zero)
+                index += 1
+        return acc
+
+    def forward(
+        self, inputs: Bitstream | np.ndarray, weights: Bitstream | np.ndarray
+    ) -> Bitstream:
+        """XNOR-multiply inputs and weights, then reduce with the chain."""
+        input_bits = inputs.bits if isinstance(inputs, Bitstream) else np.asarray(inputs)
+        weight_bits = weights.bits if isinstance(weights, Bitstream) else np.asarray(weights)
+        if input_bits.shape != weight_bits.shape:
+            raise ShapeError(
+                f"input shape {input_bits.shape} != weight shape {weight_bits.shape}"
+            )
+        products = np.logical_not(np.logical_xor(input_bits, weight_bits)).astype(np.uint8)
+        return Bitstream(self.forward_products(products), "bipolar")
+
+    def reference_output(self, product_values: np.ndarray) -> np.ndarray:
+        """Reference score used for ranking comparisons: the mean product.
+
+        The chain's decoded output is a monotone function of the mean of the
+        product values; for ranking purposes the mean itself is the natural
+        software reference (it orders classes identically to the full inner
+        product).
+        """
+        return np.asarray(product_values, dtype=np.float64).mean(axis=-1)
+
+    # -- hardware --------------------------------------------------------------
+
+    def hardware(self, include_multipliers: bool = True) -> BlockHardware:
+        """Stage-level AQFP hardware estimate of the chain (plus multipliers).
+
+        The chain grows linearly in gates *and* depth: one majority gate and
+        one phase per pair of additional inputs, plus the buffers that keep
+        the not-yet-consumed product streams phase aligned while they wait
+        for their gate (the dominant JJ term for long chains, exactly as the
+        paper notes the categorization cost grows linearly).
+        """
+        k = self._n_inputs
+        chain_gates = self.chain_length
+        # Input i is consumed by gate ~i/2; while waiting it needs one buffer
+        # per elapsed phase.  Summing the waits gives ~k^2/4 buffer-phases;
+        # the hardware instead staggers the SNG conversions, so only a single
+        # alignment buffer per input is charged here plus the splitters the
+        # chain taps need.
+        buffers = 2 * k
+        jj = chain_gates * JJ_PER_MAJ3 + buffers + k // 2 * JJ_PER_SPLITTER
+        depth = max(chain_gates, 1)
+        total = BlockHardware(f"categorization-{k}", jj_count=jj, depth_phases=depth)
+        if include_multipliers:
+            multipliers = BlockHardware(
+                "xnor-array", jj_count=JJ_PER_XNOR * k, depth_phases=XNOR_PHASES
+            )
+            total = multipliers.combine(total, name=f"categorization-{k}")
+        return total
+
+    def build_netlist(self, name: str = "categorization") -> Netlist:
+        """Explicit majority-chain netlist (without the XNOR multipliers)."""
+        return build_majority_chain_netlist(self._n_inputs, name)

@@ -1,0 +1,468 @@
+"""Sorter-based feature-extraction block for CONV layers (Algorithm 1).
+
+The block computes, entirely in the stochastic domain and without any
+accumulator, the clipped inner product
+
+``y = clip(w . x + b, -1, 1)``
+
+of bipolar streams.  Per clock cycle it takes one bit from each of the ``M``
+input-weight product streams (produced by XNOR multipliers), sorts them
+together with the ``M``-bit feedback vector of the previous cycle using a
+bitonic sorter + merger, emits the bit at sorted position ``(M - 1) / 2``
+(0-indexed) as the output, and feeds the following ``M`` bits back.
+
+The ``M``-bit feedback vector stores the running accumulator of equation (3)
+of the paper, offset by ``(M - 1) / 2`` so that it is always non-negative:
+``ones(feedback) = accumulator + (M - 1) / 2``.  The bit at sorted position
+``M - 1`` (i.e. "are there at least ``M`` ones among the ``2M`` sorted
+bits?") is the output, and -- exactly as in the pooling block -- the output
+bit selects which ``M``-bit window of the sorted vector is fed back, so that
+the accumulator is decremented by one extra count whenever an output ``1``
+is emitted.  The accumulator saturates at ``[-(M-1)/2, (M+1)/2]``, which is
+what realises the ``clip(w.x + b, -1, 1)`` transfer function of equation (1).
+
+Because the lanes are binary, the whole data path reduces to an equivalent
+*counter recurrence* over the signed accumulator ``a`` (with
+``h = (M - 1) / 2``), which this module uses as the fast vectorised model:
+
+``k_t = ones(column_t) + a_{t-1}``,
+``o_t = 1  iff  k_t >= h + 1``,
+``a_t = clip(k_t - h - o_t, -h, h + 1)``.
+
+The explicit sorted-vector model (and the gate-level netlist built from
+:mod:`repro.aqfp.gates`) is retained for verification; the unit tests prove
+all three produce identical output streams.  ``feedback_mode="unsigned"``
+selects the simpler literal-prose variant of Algorithm 1 (no feedback-window
+multiplexer, accumulator clipped at zero); the ablation benchmark shows why
+the signed accumulator is required for large input counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aqfp.gates import add_sorter, add_xnor
+from repro.aqfp.netlist import Netlist
+from repro.blocks.hardware import (
+    JJ_PER_XNOR,
+    XNOR_PHASES,
+    BlockHardware,
+    sorter_stage_costs,
+)
+from repro.errors import ConfigurationError, ShapeError
+from repro.sc.bitstream import Bitstream
+from repro.sorting.bitonic import bitonic_merger, bitonic_sorter, sort_bits
+
+__all__ = [
+    "SorterFeatureExtractionBlock",
+    "SorterTransferCurve",
+    "sorter_activation",
+    "estimate_transfer_curve",
+    "neutral_column",
+]
+
+
+def sorter_activation(value: np.ndarray | float) -> np.ndarray:
+    """Ideal target transfer function of the block: ``clip(x, -1, 1)``.
+
+    Equation (1) of the paper specifies this saturating function as the
+    intent of the fused summation + activation.  The *hardware* block
+    approximates it with a feedback register that cannot go negative, so its
+    measured transfer curve (Fig. 13) is a shifted, ReLU-like saturating
+    curve; :class:`SorterTransferCurve` models that measured behaviour and
+    is what the network training uses.
+    """
+    return np.clip(np.asarray(value, dtype=np.float64), -1.0, 1.0)
+
+
+def estimate_transfer_curve(
+    n_inputs: int,
+    z_grid: np.ndarray,
+    stream_length: int = 8192,
+    rng: np.random.Generator | None = None,
+    feedback_mode: str = "signed",
+) -> np.ndarray:
+    """Empirical expected output value of the block for each target sum ``z``.
+
+    For every grid point the ``M`` product streams are modelled as equal
+    bipolar values summing to ``z`` (so the per-cycle column weight is a
+    Binomial draw), and the block's counter recurrence is run for
+    ``stream_length`` cycles.  The decoded output is the Fig. 13 transfer
+    curve.
+
+    Args:
+        n_inputs: number of product streams ``M`` (before neutral padding).
+        z_grid: target inner-product values (may exceed [-1, 1]).
+        stream_length: cycles simulated per grid point.
+        rng: random generator (a fixed default seed is used when omitted so
+            the cached curves are reproducible).
+        feedback_mode: accumulator variant, as in
+            :class:`SorterFeatureExtractionBlock`.
+
+    Returns:
+        Array of decoded output values, one per entry of ``z_grid``.
+    """
+    if n_inputs < 1:
+        raise ConfigurationError(f"n_inputs must be >= 1, got {n_inputs}")
+    if stream_length <= 0:
+        raise ConfigurationError(f"stream_length must be positive, got {stream_length}")
+    rng = rng or np.random.default_rng(20190622)
+    z_grid = np.asarray(z_grid, dtype=np.float64)
+    m = n_inputs if n_inputs % 2 == 1 else n_inputs + 1
+    half = (m - 1) // 2
+    # Probability of a one in each product stream when the z is split evenly.
+    p = np.clip((z_grid / m + 1.0) / 2.0, 0.0, 1.0)
+    column_ones = rng.binomial(m, p[:, None], size=(z_grid.size, stream_length))
+    accumulator = np.zeros(z_grid.size, dtype=np.int64)
+    ones_total = np.zeros(z_grid.size, dtype=np.int64)
+    low, high = (-half, half + 1) if feedback_mode == "signed" else (0, m)
+    for t in range(stream_length):
+        k = column_ones[:, t] + accumulator
+        bit = (k >= half + 1).astype(np.int64)
+        ones_total += bit
+        accumulator = np.clip(k - half - bit, low, high)
+    return 2.0 * ones_total / stream_length - 1.0
+
+
+class SorterTransferCurve:
+    """Cached, interpolated transfer curve of the feature-extraction block.
+
+    The curve is estimated once per input size with
+    :func:`estimate_transfer_curve` and then evaluated by linear
+    interpolation, which is fast enough to serve as the activation function
+    during float training of the SC-aware network.
+
+    Args:
+        n_inputs: number of product streams ``M``.
+        z_min, z_max: range of inner-product values covered by the grid.
+        n_points: grid resolution.
+        stream_length: cycles used to estimate each grid point.
+    """
+
+    _cache: dict[tuple[int, float, float, int, int], "SorterTransferCurve"] = {}
+
+    def __init__(
+        self,
+        n_inputs: int,
+        z_min: float = -4.0,
+        z_max: float = 4.0,
+        n_points: int = 129,
+        stream_length: int = 8192,
+        feedback_mode: str = "signed",
+    ) -> None:
+        if z_max <= z_min:
+            raise ConfigurationError("z_max must exceed z_min")
+        if n_points < 3:
+            raise ConfigurationError("n_points must be >= 3")
+        self._n_inputs = int(n_inputs)
+        self._feedback_mode = feedback_mode
+        self._grid = np.linspace(z_min, z_max, n_points)
+        raw = estimate_transfer_curve(
+            n_inputs, self._grid, stream_length, feedback_mode=feedback_mode
+        )
+        # The raw estimate carries ~1/sqrt(stream_length) sampling noise per
+        # grid point; smooth it and enforce monotonicity so the curve (and
+        # its derivative, used by backpropagation) is well behaved.
+        self._values = self._smooth(raw)
+        self._slopes = np.gradient(self._values, self._grid)
+
+    @staticmethod
+    def _smooth(values: np.ndarray, window: int = 5) -> np.ndarray:
+        kernel = np.ones(window) / window
+        padded = np.concatenate(
+            [np.full(window // 2, values[0]), values, np.full(window // 2, values[-1])]
+        )
+        smoothed = np.convolve(padded, kernel, mode="valid")
+        return np.maximum.accumulate(smoothed)
+
+    @classmethod
+    def cached(cls, n_inputs: int, **kwargs: object) -> "SorterTransferCurve":
+        """Return a memoised curve for this input size (and grid settings)."""
+        key = (
+            int(n_inputs),
+            float(kwargs.get("z_min", -4.0)),
+            float(kwargs.get("z_max", 4.0)),
+            int(kwargs.get("n_points", 129)),
+            int(kwargs.get("stream_length", 8192)),
+            str(kwargs.get("feedback_mode", "signed")),
+        )
+        if key not in cls._cache:
+            cls._cache[key] = cls(
+                n_inputs,
+                z_min=key[1],
+                z_max=key[2],
+                n_points=key[3],
+                stream_length=key[4],
+                feedback_mode=key[5],
+            )
+        return cls._cache[key]
+
+    @property
+    def n_inputs(self) -> int:
+        """Input size the curve was estimated for."""
+        return self._n_inputs
+
+    @property
+    def grid(self) -> np.ndarray:
+        """Inner-product grid values."""
+        return self._grid.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        """Decoded block outputs at the grid points."""
+        return self._values.copy()
+
+    def __call__(self, z: np.ndarray | float) -> np.ndarray:
+        """Interpolate the expected block output for inner-product value(s)."""
+        return np.interp(np.asarray(z, dtype=np.float64), self._grid, self._values)
+
+    def derivative(self, z: np.ndarray | float) -> np.ndarray:
+        """Smoothed curve slope used by backpropagation during training."""
+        z = np.asarray(z, dtype=np.float64)
+        return np.interp(z, self._grid, self._slopes)
+
+
+def neutral_column(length: int) -> np.ndarray:
+    """Alternating 0/1 stream of bipolar value 0 used to pad even input sizes."""
+    return (np.arange(length) % 2).astype(np.uint8)
+
+
+class SorterFeatureExtractionBlock:
+    """Feature-extraction block: fused SC inner product + clipped activation.
+
+    Args:
+        n_inputs: number of input-weight product streams ``M`` (before the
+            neutral padding applied when ``M`` is even).
+        feedback_mode: ``"signed"`` (default) keeps the offset signed
+            accumulator of equations (1)-(3), realising ``clip(z, -1, 1)``;
+            ``"unsigned"`` is the literal-prose variant whose accumulator
+            saturates at zero (kept for the ablation study).
+    """
+
+    _FEEDBACK_MODES = ("signed", "unsigned")
+
+    def __init__(self, n_inputs: int, feedback_mode: str = "signed") -> None:
+        if n_inputs < 1:
+            raise ConfigurationError(f"n_inputs must be >= 1, got {n_inputs}")
+        if feedback_mode not in self._FEEDBACK_MODES:
+            raise ConfigurationError(
+                f"feedback_mode must be one of {self._FEEDBACK_MODES}, "
+                f"got {feedback_mode!r}"
+            )
+        self._n_inputs = int(n_inputs)
+        self._feedback_mode = feedback_mode
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of product streams the block accepts."""
+        return self._n_inputs
+
+    @property
+    def feedback_mode(self) -> str:
+        """Accumulator variant: ``"signed"`` (paper spec) or ``"unsigned"``."""
+        return self._feedback_mode
+
+    @property
+    def effective_inputs(self) -> int:
+        """Input count after neutral padding (always odd)."""
+        return self._n_inputs if self._n_inputs % 2 == 1 else self._n_inputs + 1
+
+    @property
+    def threshold(self) -> int:
+        """The ``(M - 1) / 2`` subtraction applied every cycle."""
+        return (self.effective_inputs - 1) // 2
+
+    # -- stream-level models -------------------------------------------------
+
+    def _pad_products(self, products: np.ndarray) -> np.ndarray:
+        """Append the neutral column when the input count is even."""
+        products = np.asarray(products, dtype=np.uint8)
+        if products.ndim < 2:
+            raise ShapeError("products must have shape (..., M, N)")
+        if products.shape[-2] != self._n_inputs:
+            raise ShapeError(
+                f"expected {self._n_inputs} product streams, got {products.shape[-2]}"
+            )
+        if self._n_inputs % 2 == 1:
+            return products
+        length = products.shape[-1]
+        pad = np.broadcast_to(
+            neutral_column(length), products.shape[:-2] + (1, length)
+        )
+        return np.concatenate([products, pad], axis=-2)
+
+    def forward_products(self, products: np.ndarray) -> np.ndarray:
+        """Run the block on pre-multiplied product streams.
+
+        Args:
+            products: 0/1 array of shape ``(..., M, N)`` -- the XNOR outputs
+                (input-weight product streams), one row per input.
+
+        Returns:
+            0/1 array of shape ``(..., N)``: the activated inner-product
+            stream ``SO``.
+        """
+        padded = self._pad_products(products)
+        m = padded.shape[-2]
+        length = padded.shape[-1]
+        half = (m - 1) // 2
+
+        column_ones = padded.sum(axis=-2, dtype=np.int64)  # (..., N)
+        batch_shape = column_ones.shape[:-1]
+        accumulator = np.zeros(batch_shape, dtype=np.int64)
+        output = np.empty(column_ones.shape, dtype=np.uint8)
+        if self._feedback_mode == "signed":
+            low, high = -half, half + 1
+        else:
+            low, high = 0, m
+        for t in range(length):
+            k = column_ones[..., t] + accumulator
+            bit = (k >= half + 1).astype(np.uint8)
+            output[..., t] = bit
+            accumulator = np.clip(k - half - bit, low, high)
+        return output
+
+    def forward_products_sorted_vector(self, products: np.ndarray) -> np.ndarray:
+        """Bit-exact sorted-vector model mirroring the hardware data path.
+
+        Maintains the explicit ``M``-bit feedback vector and sorts it with
+        each incoming column exactly as the sorter + merger would; used to
+        validate the counter recurrence of :meth:`forward_products`.
+        Only supports a single block instance (``products`` of shape
+        ``(M, N)``).
+        """
+        padded = self._pad_products(products)
+        if padded.ndim != 2:
+            raise ShapeError("the sorted-vector model expects shape (M, N)")
+        m, length = padded.shape
+        half = (m - 1) // 2
+        feedback = np.zeros(m, dtype=np.uint8)
+        if self._feedback_mode == "signed":
+            # ones(feedback) = accumulator + h, so a zero accumulator means
+            # the register starts with h ones.
+            feedback[:half] = 1
+        output_position = m - 1 if self._feedback_mode == "signed" else half
+        output = np.empty(length, dtype=np.uint8)
+        for t in range(length):
+            column_sorted = sort_bits(padded[:, t], descending=True)
+            merged = sort_bits(
+                np.concatenate([column_sorted, feedback]), descending=True
+            )
+            bit = merged[output_position]
+            output[t] = bit
+            # The output bit selects which M-bit window is fed back: emitting
+            # a one consumes one extra count from the accumulator.
+            start = half + int(bit)
+            feedback = merged[start : start + m]
+        return output
+
+    def forward(
+        self,
+        inputs: Bitstream | np.ndarray,
+        weights: Bitstream | np.ndarray,
+        bias: Bitstream | np.ndarray | None = None,
+    ) -> Bitstream:
+        """Multiply inputs by weights (XNOR) and run the block.
+
+        Args:
+            inputs: bipolar streams of shape ``(..., M, N)``.
+            weights: bipolar streams of the same shape.
+            bias: optional extra product stream of shape ``(..., 1, N)``
+                appended to the products (the bias term of the neuron).
+
+        Returns:
+            The activated inner-product stream.
+        """
+        input_bits = inputs.bits if isinstance(inputs, Bitstream) else np.asarray(inputs)
+        weight_bits = weights.bits if isinstance(weights, Bitstream) else np.asarray(weights)
+        if input_bits.shape != weight_bits.shape:
+            raise ShapeError(
+                f"input shape {input_bits.shape} != weight shape {weight_bits.shape}"
+            )
+        products = np.logical_not(np.logical_xor(input_bits, weight_bits)).astype(np.uint8)
+        if bias is not None:
+            bias_bits = bias.bits if isinstance(bias, Bitstream) else np.asarray(bias)
+            products = np.concatenate([products, bias_bits.astype(np.uint8)], axis=-2)
+            block = SorterFeatureExtractionBlock(products.shape[-2])
+            return Bitstream(block.forward_products(products), "bipolar")
+        return Bitstream(self.forward_products(products), "bipolar")
+
+    # -- reference / hardware -------------------------------------------------
+
+    def reference_output(self, product_values: np.ndarray) -> np.ndarray:
+        """Exact real-valued output: ``clip(sum of product values, -1, 1)``."""
+        product_values = np.asarray(product_values, dtype=np.float64)
+        return sorter_activation(product_values.sum(axis=-1))
+
+    def hardware(self, include_multipliers: bool = True) -> BlockHardware:
+        """Stage-level AQFP hardware estimate of this block.
+
+        The data path is an ``M``-input bitonic sorter for the fresh column
+        followed by a ``2M``-input bitonic merger that folds in the (already
+        sorted) feedback vector, preceded by ``M`` XNOR multipliers when
+        ``include_multipliers`` is true.
+        """
+        m = self.effective_inputs
+        sorter = sorter_stage_costs(bitonic_sorter(m), "column-sorter")
+        merger = sorter_stage_costs(bitonic_merger(2 * m), "feedback-merger")
+        # The output bit selects which M-bit window of the sorted vector is
+        # fed back: one AND/OR pair per feedback lane plus the splitter tree
+        # that fans the select bit out.
+        feedback_mux = BlockHardware(
+            name="feedback-mux", jj_count=12 * m + 4 * (m // 2 + 1), depth_phases=2
+        )
+        total = sorter.combine(merger).combine(
+            feedback_mux, name=f"feature-extraction-{self._n_inputs}"
+        )
+        if include_multipliers:
+            multipliers = BlockHardware(
+                name="xnor-array",
+                jj_count=JJ_PER_XNOR * self._n_inputs,
+                depth_phases=XNOR_PHASES,
+            )
+            total = multipliers.combine(total, name=f"feature-extraction-{self._n_inputs}")
+        return total
+
+    def build_netlist(self, name: str = "feature_extraction") -> Netlist:
+        """Explicit gate-level netlist of one cycle of the data path.
+
+        The netlist covers the combinational part (XNOR array, column
+        sorter, feedback merger); the feedback registers are the AQFP
+        pipeline itself.  Outputs are: the output bit (sorted position
+        ``M - 1`` for the signed accumulator, ``(M - 1) / 2`` for the
+        unsigned variant) followed by the two candidate feedback windows
+        (select-low window starting at ``(M - 1) / 2``, then select-high
+        window starting at ``(M + 1) / 2``).  Intended for functional
+        verification at small sizes, not for costing large blocks.
+        """
+        m = self.effective_inputs
+        netlist = Netlist(name)
+        x_nodes = [netlist.add_input(f"x{i}") for i in range(self._n_inputs)]
+        w_nodes = [netlist.add_input(f"w{i}") for i in range(self._n_inputs)]
+        feedback_nodes = [netlist.add_input(f"fb{i}") for i in range(m)]
+        products = [
+            add_xnor(netlist, x, w, f"{name}.xnor{i}")
+            for i, (x, w) in enumerate(zip(x_nodes, w_nodes))
+        ]
+        if self._n_inputs % 2 == 0:
+            products.append(netlist.add_input("neutral"))
+        # The fresh column is sorted ascending so that, concatenated with the
+        # descending feedback vector, the merger sees a bitonic sequence.
+        sorted_column = add_sorter(
+            netlist, products, bitonic_sorter(m, descending=False), f"{name}.sort"
+        )
+        merged = add_sorter(
+            netlist,
+            sorted_column + feedback_nodes,
+            bitonic_merger(2 * m),
+            f"{name}.merge",
+        )
+        half = (m - 1) // 2
+        output_position = m - 1 if self._feedback_mode == "signed" else half
+        outputs = (
+            [merged[output_position]]
+            + merged[half : half + m]
+            + merged[half + 1 : half + 1 + m]
+        )
+        netlist.set_outputs(outputs)
+        return netlist

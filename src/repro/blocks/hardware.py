@@ -1,0 +1,112 @@
+"""Stage-level AQFP hardware estimation shared by the proposed blocks.
+
+Large blocks (e.g. an 800-input categorization layer) would need explicit
+netlists with hundreds of thousands of cells; building those is useful for
+functional verification at small sizes but wasteful for cost estimation.
+The estimator here works at the granularity the paper itself reasons at:
+
+* a binary compare-and-swap is one AND + one OR plus the two splitters that
+  fan each operand out to both gates -- 20 JJ and two clock phases
+  (splitter phase + gate phase);
+* lanes that do not participate in a sorting stage still need buffers to
+  stay phase-aligned -- 2 JJ per lane per phase;
+* an XNOR multiplier macro is 30 JJ and four phases (splitter, inverters,
+  ANDs, OR) including its internal padding;
+* a 3-input majority gate is 6 JJ and one phase, with a splitter (4 JJ)
+  wherever a signal feeds more than one sink.
+
+These per-structure numbers are derived from the explicit netlists of
+:mod:`repro.aqfp.gates` after balancing (the unit tests assert the
+correspondence), so the analytic totals track what full construction would
+give while remaining O(number of comparators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aqfp.energy import HardwareCost, cost_from_counts
+from repro.aqfp.technology import AqfpTechnology
+from repro.errors import ConfigurationError
+from repro.sorting.network import ComparatorNetwork
+
+__all__ = ["BlockHardware", "sorter_stage_costs"]
+
+#: JJ cost of a compare-and-swap with its operand splitters.
+JJ_PER_COMPARATOR = 20
+#: JJ cost of an idle-lane buffer for one phase.
+JJ_PER_BUFFER = 2
+#: JJ cost of an XNOR multiplier macro (with internal splitters/padding).
+JJ_PER_XNOR = 30
+#: Pipeline phases occupied by an XNOR macro.
+XNOR_PHASES = 4
+#: JJ cost of a 3-input majority gate.
+JJ_PER_MAJ3 = 6
+#: JJ cost of a splitter cell.
+JJ_PER_SPLITTER = 4
+#: JJ cost of a 1-bit AQFP true RNG (one buffer).
+JJ_PER_TRNG = 2
+#: Phases per sorting stage (splitter phase + compare phase).
+PHASES_PER_STAGE = 2
+
+
+@dataclass(frozen=True)
+class BlockHardware:
+    """Raw hardware counts of one block instance.
+
+    Attributes:
+        name: block label used in reports.
+        jj_count: total Josephson junctions.
+        depth_phases: pipeline depth in clock phases.
+    """
+
+    name: str
+    jj_count: int
+    depth_phases: int
+
+    def cost(
+        self, technology: AqfpTechnology, stream_length: int = 1024
+    ) -> HardwareCost:
+        """Energy/latency/throughput for one stream through this block."""
+        return cost_from_counts(
+            jj_count=self.jj_count,
+            depth_phases=self.depth_phases,
+            technology=technology,
+            stream_length=stream_length,
+        )
+
+    def combine(self, other: "BlockHardware", name: str | None = None) -> "BlockHardware":
+        """Series composition: JJ counts add, depths add."""
+        return BlockHardware(
+            name=name or f"{self.name}+{other.name}",
+            jj_count=self.jj_count + other.jj_count,
+            depth_phases=self.depth_phases + other.depth_phases,
+        )
+
+    def replicate(self, copies: int, name: str | None = None) -> "BlockHardware":
+        """Parallel composition: JJ counts multiply, depth unchanged."""
+        if copies <= 0:
+            raise ConfigurationError(f"copies must be positive, got {copies}")
+        return BlockHardware(
+            name=name or f"{copies}x{self.name}",
+            jj_count=self.jj_count * copies,
+            depth_phases=self.depth_phases,
+        )
+
+
+def sorter_stage_costs(network: ComparatorNetwork, name: str = "sorter") -> BlockHardware:
+    """Estimate the balanced AQFP cost of a comparator network.
+
+    Every stage costs one splitter phase plus one gate phase for the active
+    lanes and two buffer phases for idle lanes (to keep alignment).
+    """
+    stages = network.stages()
+    width = network.width
+    jj_total = 0
+    for stage in stages:
+        active_lanes = 2 * len(stage)
+        idle_lanes = max(width - active_lanes, 0)
+        jj_total += len(stage) * JJ_PER_COMPARATOR
+        jj_total += idle_lanes * JJ_PER_BUFFER * PHASES_PER_STAGE
+    depth = PHASES_PER_STAGE * len(stages)
+    return BlockHardware(name=name, jj_count=jj_total, depth_phases=depth)

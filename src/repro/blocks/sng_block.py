@@ -1,0 +1,149 @@
+"""Stochastic number generation block (RNG matrix + comparators).
+
+The SNG block converts a vector of binary-stored values (weights or primary
+inputs) into bipolar stochastic streams.  Randomness comes from the shared
+``n_bits x n_bits`` true-RNG matrix of Fig. 8 -- each matrix provides
+``4 * n_bits`` random words per cycle, so ``ceil(n_outputs / (4 * n_bits))``
+matrices serve an ``n_outputs``-wide conversion -- and each output has its
+own ``n_bits`` magnitude comparator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.aqfp.gates import add_magnitude_comparator
+from repro.aqfp.netlist import Netlist
+from repro.blocks.hardware import JJ_PER_SPLITTER, JJ_PER_TRNG, BlockHardware
+from repro.errors import ConfigurationError, ShapeError
+from repro.rng.matrix import RngMatrix
+from repro.sc.bitstream import Bitstream
+from repro.sc.encoding import BIPOLAR, validate_encoding
+from repro.sc.sng import quantize_to_levels
+
+__all__ = ["SngBlock"]
+
+#: JJ cost of one bit of the magnitude comparator (from the balanced netlist
+#: of :func:`repro.aqfp.gates.add_magnitude_comparator`: roughly one XNOR
+#: macro plus an AND/OR pair and padding per bit).
+JJ_PER_COMPARATOR_BIT = 46
+#: Pipeline phases of an ``n``-bit comparator (ripple evaluated MSB first).
+COMPARATOR_PHASES_PER_BIT = 2
+
+
+class SngBlock:
+    """Vector stochastic number generator backed by shared RNG matrices.
+
+    Args:
+        n_outputs: number of values converted in parallel.
+        n_bits: binary precision of the stored values / random words.
+        seed: seed of the software entropy model.
+        encoding: stream encoding (the paper uses bipolar everywhere).
+    """
+
+    def __init__(
+        self,
+        n_outputs: int,
+        n_bits: int = 10,
+        seed: int | None = None,
+        encoding: str = BIPOLAR,
+    ) -> None:
+        if n_outputs <= 0:
+            raise ConfigurationError(f"n_outputs must be positive, got {n_outputs}")
+        if n_bits < 2 or n_bits > 20:
+            raise ConfigurationError(f"n_bits must be in [2, 20], got {n_bits}")
+        self._n_outputs = int(n_outputs)
+        self._n_bits = int(n_bits)
+        self._encoding = validate_encoding(encoding)
+        self._n_matrices = math.ceil(n_outputs / (4 * n_bits))
+        self._matrices = [
+            RngMatrix(n_bits, seed=None if seed is None else seed + index)
+            for index in range(self._n_matrices)
+        ]
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of parallel conversions."""
+        return self._n_outputs
+
+    @property
+    def n_bits(self) -> int:
+        """Binary precision of the conversion."""
+        return self._n_bits
+
+    @property
+    def n_matrices(self) -> int:
+        """Number of shared RNG matrices instantiated."""
+        return self._n_matrices
+
+    def random_words(self, length: int) -> np.ndarray:
+        """Draw ``(n_outputs, length)`` random words from the shared matrices."""
+        if length <= 0:
+            raise ShapeError(f"length must be positive, got {length}")
+        per_matrix = 4 * self._n_bits
+        words = []
+        for matrix in self._matrices:
+            words.append(matrix.words(length).T)  # (4 * n_bits, length)
+        stacked = np.concatenate(words, axis=0)
+        return stacked[: self._n_outputs]
+
+    def generate(self, values: np.ndarray, length: int) -> Bitstream:
+        """Convert ``n_outputs`` values into stochastic streams of ``length``.
+
+        Args:
+            values: array of shape ``(n_outputs,)`` with values in the
+                encoding's range.
+            length: stream length ``N``.
+
+        Returns:
+            A :class:`Bitstream` of shape ``(n_outputs, length)``.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self._n_outputs,):
+            raise ShapeError(
+                f"expected values of shape ({self._n_outputs},), got {values.shape}"
+            )
+        thresholds = quantize_to_levels(values, self._n_bits, self._encoding)
+        words = self.random_words(length)
+        bits = (words < thresholds[:, None]).astype(np.uint8)
+        return Bitstream(bits, self._encoding)
+
+    # -- hardware --------------------------------------------------------------
+
+    def hardware(self) -> BlockHardware:
+        """Stage-level AQFP hardware estimate of the whole SNG block."""
+        matrix_jj = sum(m.jj_count for m in self._matrices)
+        comparator_jj = self._n_outputs * self._n_bits * JJ_PER_COMPARATOR_BIT
+        splitter_jj = self._n_outputs * JJ_PER_SPLITTER
+        depth = 1 + COMPARATOR_PHASES_PER_BIT * self._n_bits
+        return BlockHardware(
+            name=f"sng-{self._n_outputs}x{self._n_bits}b",
+            jj_count=matrix_jj + comparator_jj + splitter_jj,
+            depth_phases=depth,
+        )
+
+    def hardware_unshared(self) -> BlockHardware:
+        """Hardware estimate with one private TRNG column per output.
+
+        Used by the ablation study that quantifies the benefit of the shared
+        RNG matrix.
+        """
+        trng_jj = self._n_outputs * self._n_bits * JJ_PER_TRNG
+        comparator_jj = self._n_outputs * self._n_bits * JJ_PER_COMPARATOR_BIT
+        depth = 1 + COMPARATOR_PHASES_PER_BIT * self._n_bits
+        return BlockHardware(
+            name=f"sng-unshared-{self._n_outputs}x{self._n_bits}b",
+            jj_count=trng_jj + comparator_jj,
+            depth_phases=depth,
+        )
+
+    def build_comparator_netlist(self, name: str = "sng_comparator") -> Netlist:
+        """Explicit netlist of one magnitude comparator (for verification)."""
+        netlist = Netlist(name)
+        value_bits = [netlist.add_input(f"v{i}") for i in range(self._n_bits)]
+        random_bits = [netlist.add_input(f"r{i}") for i in range(self._n_bits)]
+        out = add_magnitude_comparator(netlist, value_bits, random_bits, name)
+        netlist.set_outputs([out])
+        return netlist

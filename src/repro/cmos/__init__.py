@@ -1,0 +1,29 @@
+"""CMOS baseline cost models.
+
+The paper compares every AQFP block against a 40 nm CMOS implementation of
+the prior-work SC-DNN blocks (SC-DCNN style).  We cannot run the proprietary
+synthesis flow, so this subpackage provides calibrated gate-level cost
+models: a per-gate energy/delay table for a generic 40 nm process and block
+models that count the gates of the published baseline architectures (LFSR
+SNGs, XNOR arrays, approximate parallel counters, accumulators, Btanh
+counters, MUX pooling).  The AQFP-vs-CMOS ratios of Tables 4-7 and Table 9
+are reproduced from these models.
+"""
+
+from repro.cmos.library import CmosGate, CmosTechnology, GATE_LIBRARY
+from repro.cmos.sc_blocks import (
+    cmos_apc_feature_extraction_cost,
+    cmos_categorization_cost,
+    cmos_mux_pooling_cost,
+    cmos_sng_cost,
+)
+
+__all__ = [
+    "CmosTechnology",
+    "CmosGate",
+    "GATE_LIBRARY",
+    "cmos_sng_cost",
+    "cmos_apc_feature_extraction_cost",
+    "cmos_mux_pooling_cost",
+    "cmos_categorization_cost",
+]

@@ -1,0 +1,92 @@
+"""Generic 40 nm CMOS gate cost table.
+
+Energies are dynamic switching energies per gate per clock cycle (including
+local wiring and an activity factor folded in), calibrated so that the block
+models in :mod:`repro.cmos.sc_blocks` land at the same order of magnitude as
+the synthesis results the paper reports for its 40 nm SMIC flow.  The CMOS
+baseline is assumed to run at 1 GHz, which matches the per-stream delays in
+the paper's tables (a 1024-bit stream takes ~1024 ns through a block plus a
+small pipeline fill).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CmosGate", "CmosTechnology", "GATE_LIBRARY"]
+
+#: Joules-to-picojoules conversion.
+J_TO_PJ = 1.0e12
+#: Seconds-to-nanoseconds conversion.
+S_TO_NS = 1.0e9
+
+
+@dataclass(frozen=True)
+class CmosGate:
+    """Per-cycle energy cost of one CMOS standard cell (gate equivalent)."""
+
+    name: str
+    energy_j: float
+    gate_equivalents: float
+
+
+#: Energy per gate per active cycle for a generic 40 nm node.
+#: Roughly 1 fJ per NAND2-equivalent switching event at nominal voltage.
+GATE_LIBRARY: dict[str, CmosGate] = {
+    "inv": CmosGate("inv", 0.5e-15, 0.5),
+    "nand2": CmosGate("nand2", 1.0e-15, 1.0),
+    "xnor2": CmosGate("xnor2", 2.2e-15, 2.0),
+    "mux2": CmosGate("mux2", 2.0e-15, 2.0),
+    "dff": CmosGate("dff", 4.5e-15, 4.0),
+    "full_adder": CmosGate("full_adder", 6.5e-15, 6.0),
+    "comparator_bit": CmosGate("comparator_bit", 5.0e-15, 4.5),
+    "counter_bit": CmosGate("counter_bit", 7.0e-15, 6.0),
+}
+
+
+@dataclass(frozen=True)
+class CmosTechnology:
+    """CMOS technology corner for the baseline models.
+
+    Attributes:
+        clock_hz: clock frequency of the SC pipeline.
+        leakage_fraction: extra energy added as a fraction of dynamic energy
+            to account for leakage over the operation.
+    """
+
+    clock_hz: float = 1.0e9
+    leakage_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock_hz must be positive")
+        if self.leakage_fraction < 0:
+            raise ConfigurationError("leakage_fraction must be non-negative")
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.clock_hz
+
+    def gate_energy_j(self, gate: str, count: float = 1.0) -> float:
+        """Energy of ``count`` instances of ``gate`` switching for one cycle."""
+        try:
+            spec = GATE_LIBRARY[gate]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown CMOS gate {gate!r}") from exc
+        return spec.energy_j * count * (1.0 + self.leakage_fraction)
+
+    def block_energy_j(self, gate_counts: dict[str, float], n_cycles: int) -> float:
+        """Energy of a block described by per-gate counts over ``n_cycles``."""
+        if n_cycles < 0:
+            raise ConfigurationError("n_cycles must be non-negative")
+        per_cycle = sum(self.gate_energy_j(g, c) for g, c in gate_counts.items())
+        return per_cycle * n_cycles
+
+    def latency_s(self, n_cycles: int) -> float:
+        """Latency of ``n_cycles`` clock cycles."""
+        if n_cycles < 0:
+            raise ConfigurationError("n_cycles must be non-negative")
+        return n_cycles * self.cycle_time_s

@@ -1,0 +1,156 @@
+"""Gate-level cost models of the CMOS (prior-work) SC-DNN blocks.
+
+These reproduce the "CMOS" columns of the paper's Tables 4-7: the baseline
+blocks are the SC-DCNN designs (Ren et al., ASPLOS 2017) that the paper
+argues cannot be ported to AQFP -- LFSR-based SNGs, XNOR arrays feeding an
+approximate parallel counter with an accumulator and a Btanh counter for the
+activation, a MUX tree for average pooling, and an adder-tree categorizer.
+
+Each model counts standard cells, multiplies by the per-cycle energy of the
+40 nm library and by the stream length, and reports the result in the same
+:class:`~repro.aqfp.energy.HardwareCost` container used for AQFP blocks so
+that ratio calculations are symmetrical.  Following the paper's reporting
+convention, the CMOS "delay" is the time to push an entire stream through
+the block (stream length x achievable clock period), whereas AQFP delay is
+the pipeline fill latency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.aqfp.energy import J_TO_PJ, S_TO_NS, HardwareCost
+from repro.cmos.library import CmosTechnology
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "cmos_sng_cost",
+    "cmos_apc_feature_extraction_cost",
+    "cmos_mux_pooling_cost",
+    "cmos_categorization_cost",
+]
+
+
+def _validate_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def _cost(
+    gate_counts: dict[str, float],
+    technology: CmosTechnology,
+    stream_length: int,
+    cycle_time_s: float,
+    pipeline_cycles: int,
+) -> HardwareCost:
+    energy_j = sum(
+        technology.gate_energy_j(gate, count) for gate, count in gate_counts.items()
+    ) * stream_length
+    stream_delay_s = (stream_length + pipeline_cycles) * cycle_time_s
+    gate_equivalents = int(round(sum(gate_counts.values())))
+    return HardwareCost(
+        jj_count=gate_equivalents,
+        energy_pj=energy_j * J_TO_PJ,
+        latency_ns=stream_delay_s * S_TO_NS,
+        throughput_ops_per_s=1.0 / stream_delay_s,
+        depth_phases=pipeline_cycles,
+    )
+
+
+def cmos_sng_cost(
+    n_outputs: int,
+    technology: CmosTechnology | None = None,
+    stream_length: int = 1024,
+    n_bits: int = 10,
+) -> HardwareCost:
+    """Cost of ``n_outputs`` LFSR-based SNGs (Table 4 baseline).
+
+    Each SNG is an ``n_bits`` LFSR (flip-flops plus feedback XORs) and an
+    ``n_bits`` magnitude comparator, running every cycle of the stream.
+    """
+    _validate_positive("n_outputs", n_outputs)
+    _validate_positive("stream_length", stream_length)
+    _validate_positive("n_bits", n_bits)
+    technology = technology or CmosTechnology()
+    gate_counts = {
+        "dff": float(n_outputs * n_bits),
+        "xnor2": float(n_outputs * 3),
+        "comparator_bit": float(n_outputs * n_bits),
+    }
+    return _cost(gate_counts, technology, stream_length, technology.cycle_time_s, 1)
+
+
+def cmos_apc_feature_extraction_cost(
+    n_inputs: int,
+    technology: CmosTechnology | None = None,
+    stream_length: int = 1024,
+) -> HardwareCost:
+    """Cost of the prior-work XNOR + APC + accumulator + Btanh block (Table 5).
+
+    Gate inventory per input: one XNOR multiplier and roughly one full adder
+    of APC tree; plus an accumulator register sized for ``M x N`` counts and
+    a Btanh up/down counter for the activation.  The achievable clock period
+    grows with the APC tree depth, which is why the paper's per-stream delay
+    grows with the input count.
+    """
+    _validate_positive("n_inputs", n_inputs)
+    _validate_positive("stream_length", stream_length)
+    technology = technology or CmosTechnology()
+    accumulator_bits = math.ceil(math.log2(n_inputs * stream_length + 1))
+    btanh_bits = math.ceil(math.log2(2 * n_inputs + 1))
+    gate_counts = {
+        "xnor2": float(n_inputs),
+        "full_adder": float(max(n_inputs - 1, 1)),
+        "counter_bit": float(accumulator_bits + btanh_bits),
+        "dff": float(math.ceil(math.log2(n_inputs + 1))),
+    }
+    apc_depth = math.ceil(math.log2(n_inputs + 1))
+    cycle_time_s = max(
+        technology.cycle_time_s, (0.45 + 0.18 * apc_depth) * 1e-9
+    )
+    return _cost(gate_counts, technology, stream_length, cycle_time_s, apc_depth + 2)
+
+
+def cmos_mux_pooling_cost(
+    n_inputs: int,
+    technology: CmosTechnology | None = None,
+    stream_length: int = 1024,
+) -> HardwareCost:
+    """Cost of the prior-work MUX-tree average pooling block (Table 6)."""
+    _validate_positive("n_inputs", n_inputs)
+    _validate_positive("stream_length", stream_length)
+    technology = technology or CmosTechnology()
+    select_bits = math.ceil(math.log2(n_inputs)) if n_inputs > 1 else 1
+    gate_counts = {
+        "mux2": float(max(n_inputs - 1, 1)),
+        "counter_bit": float(select_bits),
+    }
+    depth = select_bits
+    cycle_time_s = max(technology.cycle_time_s, (0.55 + 0.05 * depth) * 1e-9)
+    return _cost(gate_counts, technology, stream_length, cycle_time_s, depth + 1)
+
+
+def cmos_categorization_cost(
+    n_inputs: int,
+    technology: CmosTechnology | None = None,
+    stream_length: int = 1024,
+) -> HardwareCost:
+    """Cost of the prior-work FC categorization block (Table 7 baseline).
+
+    The CMOS categorizer needs the full-precision inner product: an XNOR
+    array, a complete binary adder tree (about two full-adder equivalents
+    per input once widths grow along the tree), and a wide accumulator.
+    """
+    _validate_positive("n_inputs", n_inputs)
+    _validate_positive("stream_length", stream_length)
+    technology = technology or CmosTechnology()
+    accumulator_bits = math.ceil(math.log2(n_inputs * stream_length + 1))
+    gate_counts = {
+        "xnor2": float(n_inputs),
+        "full_adder": float(3 * n_inputs),
+        "counter_bit": float(accumulator_bits + 8),
+        "dff": float(n_inputs // 2),
+    }
+    tree_depth = math.ceil(math.log2(n_inputs + 1))
+    cycle_time_s = max(technology.cycle_time_s, (0.5 + 0.2 * tree_depth) * 1e-9)
+    return _cost(gate_counts, technology, stream_length, cycle_time_s, tree_depth + 2)

@@ -1,0 +1,68 @@
+"""Global experiment configuration.
+
+The configuration object gathers the handful of knobs that recur across the
+reproduction: default bit-stream length, random seed, and the technology
+constants used by the AQFP and CMOS cost models.  Individual modules accept
+explicit arguments everywhere; the config only provides well-documented
+defaults so scripts and benchmarks stay short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentConfig", "default_config"]
+
+#: Bit-stream lengths used throughout the paper's accuracy tables.
+PAPER_STREAM_LENGTHS = (128, 256, 512, 1024, 2048)
+
+#: The stream length used for the paper's hardware and network evaluations.
+DEFAULT_STREAM_LENGTH = 1024
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Bundle of defaults shared by examples, tests and benchmarks.
+
+    Attributes:
+        stream_length: default stochastic bit-stream length ``N``.
+        weight_bits: binary precision of stored weights before SNG conversion.
+        seed: base seed for deterministic experiments.
+        aqfp_clock_hz: AQFP AC excitation clock frequency.
+        cmos_clock_hz: clock frequency assumed for the CMOS baseline.
+    """
+
+    stream_length: int = DEFAULT_STREAM_LENGTH
+    weight_bits: int = 10
+    seed: int = 2019
+    aqfp_clock_hz: float = 5.0e9
+    cmos_clock_hz: float = 1.0e9
+
+    def __post_init__(self) -> None:
+        if self.stream_length <= 0:
+            raise ConfigurationError(
+                f"stream_length must be positive, got {self.stream_length}"
+            )
+        if self.weight_bits <= 0 or self.weight_bits > 32:
+            raise ConfigurationError(
+                f"weight_bits must be in [1, 32], got {self.weight_bits}"
+            )
+        if self.aqfp_clock_hz <= 0 or self.cmos_clock_hz <= 0:
+            raise ConfigurationError("clock frequencies must be positive")
+
+    def with_stream_length(self, stream_length: int) -> "ExperimentConfig":
+        """Return a copy of this config with a different stream length."""
+        return ExperimentConfig(
+            stream_length=stream_length,
+            weight_bits=self.weight_bits,
+            seed=self.seed,
+            aqfp_clock_hz=self.aqfp_clock_hz,
+            cmos_clock_hz=self.cmos_clock_hz,
+        )
+
+
+def default_config() -> ExperimentConfig:
+    """Return the configuration used by the paper's main evaluation."""
+    return ExperimentConfig()

@@ -1,0 +1,13 @@
+"""Datasets for the application-level evaluation.
+
+The paper evaluates on MNIST.  This environment has no network access, so
+:mod:`repro.datasets.synthetic_mnist` procedurally generates an MNIST-like
+28x28 grey-scale digit dataset (stroke-template digits with random affine
+jitter, stroke thickness, blur and noise).  The substitution is documented
+in DESIGN.md: the dataset exercises the identical inference code path and
+the same accuracy-gap measurement as MNIST itself.
+"""
+
+from repro.datasets.synthetic_mnist import DigitDataset, generate_digit_dataset, render_digit
+
+__all__ = ["DigitDataset", "generate_digit_dataset", "render_digit"]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError` so that callers can catch every library error with a
+single ``except`` clause while still being able to distinguish categories.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "EncodingError",
+    "ShapeError",
+    "NetlistError",
+    "SimulationError",
+    "TrainingError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class EncodingError(ReproError):
+    """A value could not be encoded into / decoded from a stochastic stream."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class NetlistError(ReproError):
+    """A gate-level netlist is malformed (cycles, dangling nets, bad fan-in)."""
+
+
+class SimulationError(ReproError):
+    """A hardware simulation could not be carried out."""
+
+
+class TrainingError(ReproError):
+    """Neural-network training failed or was configured inconsistently."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""

@@ -1,0 +1,56 @@
+"""Reproduction harness for the paper's evaluation section.
+
+One module per group of results:
+
+* :mod:`~repro.eval.block_accuracy` -- Tables 1-3 (block inaccuracy sweeps).
+* :mod:`~repro.eval.hardware_report` -- Tables 4-7 (AQFP vs CMOS hardware
+  utilisation per block).
+* :mod:`~repro.eval.network_report` -- Table 9 (network accuracy / energy /
+  throughput) plus the Table 8 configuration check.
+* :mod:`~repro.eval.figures` -- Fig. 7(b) (TRNG output distribution) and
+  Fig. 13 (feature-extraction transfer curve) as data series.
+* :mod:`~repro.eval.ablations` -- design-choice ablations called out in
+  DESIGN.md (sorter vs APC block, shared vs private RNGs, signed vs unsigned
+  feedback, majority synthesis, balancing overhead).
+* :mod:`~repro.eval.tables` -- plain-text table rendering shared by the
+  benchmarks and examples.
+"""
+
+from repro.eval.block_accuracy import (
+    categorization_inaccuracy,
+    feature_extraction_inaccuracy,
+    pooling_inaccuracy,
+    table1_feature_extraction,
+    table2_pooling,
+    table3_categorization,
+)
+from repro.eval.figures import fig7_rng_distribution, fig13_activation_curve
+from repro.eval.hardware_report import (
+    BlockComparison,
+    table4_sng,
+    table5_feature_extraction,
+    table6_pooling,
+    table7_categorization,
+)
+from repro.eval.network_report import NetworkReport, table8_configuration, table9_networks
+from repro.eval.tables import format_table
+
+__all__ = [
+    "feature_extraction_inaccuracy",
+    "pooling_inaccuracy",
+    "categorization_inaccuracy",
+    "table1_feature_extraction",
+    "table2_pooling",
+    "table3_categorization",
+    "BlockComparison",
+    "table4_sng",
+    "table5_feature_extraction",
+    "table6_pooling",
+    "table7_categorization",
+    "NetworkReport",
+    "table8_configuration",
+    "table9_networks",
+    "fig7_rng_distribution",
+    "fig13_activation_curve",
+    "format_table",
+]

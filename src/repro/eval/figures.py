@@ -1,0 +1,52 @@
+"""Figure-level reproductions (Fig. 7(b) and Fig. 13) as data series.
+
+The repository has no plotting dependency, so each figure is reproduced as
+the data series a plotting script (or the benchmark output) would consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocks.feature_extraction import estimate_transfer_curve
+from repro.rng.aqfp_trng import AqfpTrueRng
+
+__all__ = ["fig7_rng_distribution", "fig13_activation_curve"]
+
+
+def fig7_rng_distribution(
+    n_samples: int = 100_000, bias: float = 0.0, seed: int = 7
+) -> dict[str, float]:
+    """Fig. 7(b): output distribution of the AQFP buffer true RNG.
+
+    Returns the fraction of zeros and ones over ``n_samples`` draws, which
+    for an ideal device converges to 0.5 / 0.5 (the figure's two peaks).
+    """
+    trng = AqfpTrueRng(n_bits=2, seed=seed, bias=bias)
+    bits = trng.bits(n_samples)
+    ones = float(bits.mean())
+    return {"zeros": 1.0 - ones, "ones": ones, "samples": float(n_samples)}
+
+
+def fig13_activation_curve(
+    n_inputs: int = 25,
+    stream_length: int = 1024,
+    z_min: float = -3.0,
+    z_max: float = 3.0,
+    n_points: int = 61,
+    seed: int = 13,
+) -> dict[str, np.ndarray]:
+    """Fig. 13: activated output of the feature-extraction block.
+
+    Returns the inner-product grid, the measured block output, and the ideal
+    ``clip`` target of equation (1) for comparison.
+    """
+    grid = np.linspace(z_min, z_max, n_points)
+    measured = estimate_transfer_curve(
+        n_inputs, grid, stream_length, rng=np.random.default_rng(seed)
+    )
+    return {
+        "inner_product": grid,
+        "block_output": measured,
+        "ideal_clip": np.clip(grid, -1.0, 1.0),
+    }

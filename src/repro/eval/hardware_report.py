@@ -1,0 +1,176 @@
+"""Per-block hardware utilisation comparisons (Tables 4-7).
+
+Each ``tableN_*`` function sweeps the paper's input sizes and returns one
+:class:`BlockComparison` per size, containing the AQFP cost (from the
+stage-level block estimators and the AQFP technology model) and the CMOS
+cost (from the 40 nm baseline models).  The paper's headline numbers are the
+energy-efficiency ratios; absolute values depend on the calibration of the
+two technology models and are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aqfp.energy import HardwareCost
+from repro.aqfp.technology import AqfpTechnology
+from repro.blocks.categorization import MajorityChainCategorizationBlock
+from repro.blocks.feature_extraction import SorterFeatureExtractionBlock
+from repro.blocks.pooling import SorterAveragePoolingBlock
+from repro.blocks.sng_block import SngBlock
+from repro.cmos.library import CmosTechnology
+from repro.cmos.sc_blocks import (
+    cmos_apc_feature_extraction_cost,
+    cmos_categorization_cost,
+    cmos_mux_pooling_cost,
+    cmos_sng_cost,
+)
+
+__all__ = [
+    "BlockComparison",
+    "PAPER_TABLE4_SIZES",
+    "PAPER_TABLE5_SIZES",
+    "PAPER_TABLE6_SIZES",
+    "PAPER_TABLE7_SIZES",
+    "table4_sng",
+    "table5_feature_extraction",
+    "table6_pooling",
+    "table7_categorization",
+]
+
+PAPER_TABLE4_SIZES = (100, 500, 800)
+PAPER_TABLE5_SIZES = (9, 25, 49, 81, 121, 500, 800)
+PAPER_TABLE6_SIZES = (4, 9, 16, 25, 36)
+PAPER_TABLE7_SIZES = (100, 200, 500, 800)
+
+
+@dataclass(frozen=True)
+class BlockComparison:
+    """AQFP-vs-CMOS cost comparison for one block instance.
+
+    Attributes:
+        block: block family name.
+        size: input (or output) size of the instance.
+        aqfp: AQFP cost (energy per stream, fill latency).
+        cmos: CMOS cost (energy per stream, stream delay).
+    """
+
+    block: str
+    size: int
+    aqfp: HardwareCost
+    cmos: HardwareCost
+
+    @property
+    def energy_ratio(self) -> float:
+        """CMOS energy divided by AQFP energy (the paper's headline metric)."""
+        return self.cmos.energy_pj / self.aqfp.energy_pj
+
+    @property
+    def speedup(self) -> float:
+        """CMOS delay divided by AQFP latency (the paper's speedup metric)."""
+        return self.cmos.latency_ns / self.aqfp.latency_ns
+
+    def as_row(self) -> list[object]:
+        """Row for the text table: size, energies, delays, ratios."""
+        return [
+            self.size,
+            self.aqfp.energy_pj,
+            self.cmos.energy_pj,
+            self.energy_ratio,
+            self.aqfp.latency_ns,
+            self.cmos.latency_ns,
+            self.speedup,
+        ]
+
+
+def table4_sng(
+    sizes: tuple[int, ...] = PAPER_TABLE4_SIZES,
+    stream_length: int = 1024,
+    n_bits: int = 10,
+    aqfp: AqfpTechnology | None = None,
+    cmos: CmosTechnology | None = None,
+) -> list[BlockComparison]:
+    """Table 4: stochastic number generator hardware utilisation."""
+    aqfp = aqfp or AqfpTechnology()
+    cmos = cmos or CmosTechnology()
+    rows = []
+    for size in sizes:
+        block = SngBlock(size, n_bits)
+        rows.append(
+            BlockComparison(
+                block="sng",
+                size=size,
+                aqfp=block.hardware().cost(aqfp, stream_length),
+                cmos=cmos_sng_cost(size, cmos, stream_length, n_bits),
+            )
+        )
+    return rows
+
+
+def table5_feature_extraction(
+    sizes: tuple[int, ...] = PAPER_TABLE5_SIZES,
+    stream_length: int = 1024,
+    aqfp: AqfpTechnology | None = None,
+    cmos: CmosTechnology | None = None,
+) -> list[BlockComparison]:
+    """Table 5: feature-extraction block hardware utilisation."""
+    aqfp = aqfp or AqfpTechnology()
+    cmos = cmos or CmosTechnology()
+    rows = []
+    for size in sizes:
+        block = SorterFeatureExtractionBlock(size)
+        rows.append(
+            BlockComparison(
+                block="feature_extraction",
+                size=size,
+                aqfp=block.hardware().cost(aqfp, stream_length),
+                cmos=cmos_apc_feature_extraction_cost(size, cmos, stream_length),
+            )
+        )
+    return rows
+
+
+def table6_pooling(
+    sizes: tuple[int, ...] = PAPER_TABLE6_SIZES,
+    stream_length: int = 1024,
+    aqfp: AqfpTechnology | None = None,
+    cmos: CmosTechnology | None = None,
+) -> list[BlockComparison]:
+    """Table 6: sub-sampling (average pooling) block hardware utilisation."""
+    aqfp = aqfp or AqfpTechnology()
+    cmos = cmos or CmosTechnology()
+    rows = []
+    for size in sizes:
+        block = SorterAveragePoolingBlock(size)
+        rows.append(
+            BlockComparison(
+                block="pooling",
+                size=size,
+                aqfp=block.hardware().cost(aqfp, stream_length),
+                cmos=cmos_mux_pooling_cost(size, cmos, stream_length),
+            )
+        )
+    return rows
+
+
+def table7_categorization(
+    sizes: tuple[int, ...] = PAPER_TABLE7_SIZES,
+    stream_length: int = 1024,
+    aqfp: AqfpTechnology | None = None,
+    cmos: CmosTechnology | None = None,
+) -> list[BlockComparison]:
+    """Table 7: categorization block hardware utilisation."""
+    aqfp = aqfp or AqfpTechnology()
+    cmos = cmos or CmosTechnology()
+    rows = []
+    for size in sizes:
+        block = MajorityChainCategorizationBlock(size)
+        rows.append(
+            BlockComparison(
+                block="categorization",
+                size=size,
+                aqfp=block.hardware().cost(aqfp, stream_length),
+                cmos=cmos_categorization_cost(size, cmos, stream_length),
+            )
+        )
+    return rows

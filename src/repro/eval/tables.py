@@ -1,0 +1,53 @@
+"""Plain-text table rendering.
+
+The benchmarks and examples print their reproduced tables in the same
+row/column layout as the paper; this helper keeps the formatting in one
+place (and keeps the benchmark files focused on the experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of rows as an aligned plain-text table.
+
+    Args:
+        headers: column names.
+        rows: row cell values (numbers or strings).
+        title: optional title printed above the table.
+        precision: decimal places used for floats.
+
+    Returns:
+        The formatted multi-line string.
+    """
+    rendered = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""High-level SC inference engine.
+
+:class:`ScInferenceEngine` is the user-facing entry point: give it a trained
+float network and it evaluates accuracy under the fast statistical SC model,
+validates individual images bit-exactly through the blocks, and exposes the
+block inventory used for the network-level hardware roll-up (Table 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Network
+from repro.nn.sc_layers import LayerInventory, ScNetworkMapper
+
+__all__ = ["InferenceResult", "ScInferenceEngine"]
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Accuracy summary of one evaluation.
+
+    Attributes:
+        accuracy: fraction of correctly classified images.
+        n_images: number of images evaluated.
+        stream_length: stochastic stream length used.
+        mode: ``"float"``, ``"sc-fast"`` or ``"sc-bit-exact"``.
+    """
+
+    accuracy: float
+    n_images: int
+    stream_length: int
+    mode: str
+
+
+class ScInferenceEngine:
+    """Evaluate a trained network in float and in the SC domain.
+
+    Args:
+        network: trained float network.
+        weight_bits: stored weight precision for SC conversion.
+        stream_length: stochastic stream length ``N``.
+        seed: randomness seed for stream generation and noise.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weight_bits: int = 10,
+        stream_length: int = 1024,
+        seed: int = 2019,
+    ) -> None:
+        if stream_length <= 0:
+            raise ConfigurationError("stream_length must be positive")
+        self.network = network
+        self.mapper = ScNetworkMapper(network, weight_bits, stream_length, seed)
+        self.stream_length = int(stream_length)
+
+    def evaluate_float(self, images: np.ndarray, labels: np.ndarray) -> InferenceResult:
+        """Software (floating-point) accuracy of the trained network."""
+        images = np.asarray(images, dtype=np.float64) * 2.0 - 1.0
+        accuracy = self.network.accuracy(images, labels)
+        return InferenceResult(accuracy, len(labels), self.stream_length, "float")
+
+    def evaluate_sc_fast(
+        self, images: np.ndarray, labels: np.ndarray, inject_noise: bool = True
+    ) -> InferenceResult:
+        """Accuracy under the fast statistical SC model."""
+        accuracy = self.mapper.fast_accuracy(
+            np.asarray(images, dtype=np.float64), labels, inject_noise
+        )
+        return InferenceResult(accuracy, len(labels), self.stream_length, "sc-fast")
+
+    def evaluate_sc_bit_exact(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        max_images: int = 4,
+        position_chunk: int = 32,
+    ) -> InferenceResult:
+        """Accuracy of the bit-exact block simulation on a few images.
+
+        Bit-exact simulation runs every stream bit through the block models
+        and is therefore restricted to ``max_images`` images.
+        """
+        if max_images < 1:
+            raise ConfigurationError("max_images must be >= 1")
+        images = np.asarray(images, dtype=np.float64)[:max_images]
+        labels = np.asarray(labels)[:max_images]
+        correct = 0
+        for image, label in zip(images, labels):
+            scores = self.mapper.bit_exact_forward(image, position_chunk=position_chunk)
+            correct += int(np.argmax(scores) == label)
+        return InferenceResult(
+            correct / len(labels), len(labels), self.stream_length, "sc-bit-exact"
+        )
+
+    def classify_bit_exact(self, image: np.ndarray) -> tuple[int, np.ndarray]:
+        """Bit-exact class prediction and scores for a single image."""
+        scores = self.mapper.bit_exact_forward(np.asarray(image, dtype=np.float64))
+        return int(np.argmax(scores)), scores
+
+    def layer_inventories(
+        self, input_shape: tuple[int, int, int] = (1, 28, 28)
+    ) -> list[LayerInventory]:
+        """Per-layer block inventory (for the hardware roll-up)."""
+        return self.mapper.layer_inventories(input_shape)

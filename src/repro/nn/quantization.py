@@ -1,0 +1,61 @@
+"""SC-aware weight quantization.
+
+In the proposed hardware, weights are stored on chip as ``n``-bit binary
+magnitudes and converted to bipolar streams by the SNG block, so the values
+the inference actually uses are quantised to the ``2**n`` comparator levels
+of the bipolar range ``[-1, 1]``.  These helpers perform that quantisation
+(and its inverse) on arrays and on whole networks, so the fast SC inference
+model and the bit-exact simulation both see the stored precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Conv2D, Dense, Network
+
+__all__ = ["quantize_weights", "dequantize_weights", "quantize_network"]
+
+
+def quantize_weights(weights: np.ndarray, n_bits: int = 10) -> np.ndarray:
+    """Quantise bipolar weights to the SNG's ``2**n_bits`` comparator levels.
+
+    Values are clipped to ``[-1, 1]`` first (the SC representable range) and
+    then rounded to the nearest level.
+
+    Args:
+        weights: arbitrary-shape float array.
+        n_bits: stored binary precision.
+
+    Returns:
+        Float array of the same shape containing the quantised values.
+    """
+    if n_bits < 1 or n_bits > 31:
+        raise ConfigurationError(f"n_bits must be in [1, 31], got {n_bits}")
+    levels = 1 << n_bits
+    clipped = np.clip(np.asarray(weights, dtype=np.float64), -1.0, 1.0)
+    codes = np.rint((clipped + 1.0) / 2.0 * levels)
+    codes = np.clip(codes, 0, levels)
+    return codes / levels * 2.0 - 1.0
+
+
+def dequantize_weights(codes: np.ndarray, n_bits: int = 10) -> np.ndarray:
+    """Map integer comparator codes back to bipolar values."""
+    if n_bits < 1 or n_bits > 31:
+        raise ConfigurationError(f"n_bits must be in [1, 31], got {n_bits}")
+    levels = 1 << n_bits
+    codes = np.asarray(codes, dtype=np.float64)
+    return codes / levels * 2.0 - 1.0
+
+
+def quantize_network(network: Network, n_bits: int = 10) -> Network:
+    """Quantise every Conv2D/Dense weight (and bias) of a network in place.
+
+    Returns the same network object for chaining.
+    """
+    for layer in network.layers:
+        if isinstance(layer, (Conv2D, Dense)):
+            layer.weights[...] = quantize_weights(layer.weights, n_bits)
+            layer.bias[...] = quantize_weights(layer.bias, n_bits)
+    return network

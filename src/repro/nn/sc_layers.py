@@ -1,0 +1,415 @@
+"""Mapping of trained float networks onto the SC/AQFP blocks.
+
+:class:`ScNetworkMapper` takes a trained :class:`~repro.nn.layers.Network`
+and executes it in the stochastic-computing domain in two ways:
+
+* **fast statistical model** -- the forward pass stays in float but uses the
+  quantised weights, the hardware transfer curve of the feature-extraction
+  block as activation, exact averaging for pooling, and (optionally) the
+  stochastic decoding noise of finite streams.  This is the model used to
+  evaluate accuracy on the full test set.
+* **bit-exact simulation** -- every layer is executed on actual bit streams
+  through the block implementations in :mod:`repro.blocks`.  This is orders
+  of magnitude slower and is used on a handful of images to validate the
+  fast model.
+
+The mapper also produces the per-layer block inventory (how many feature
+extraction / pooling / categorization / SNG blocks of which size), which the
+network-level hardware report (Table 9) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blocks.categorization import (
+    MajorityChainCategorizationBlock,
+    chain_output_probability,
+)
+from repro.blocks.feature_extraction import SorterFeatureExtractionBlock, SorterTransferCurve
+from repro.blocks.pooling import SorterAveragePoolingBlock
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.layers import (
+    AvgPool2D,
+    ClipActivation,
+    Conv2D,
+    Dense,
+    Flatten,
+    HardwareActivation,
+    LogitScale,
+    Network,
+    im2col,
+)
+from repro.nn.quantization import quantize_weights
+
+__all__ = ["LayerInventory", "ScNetworkMapper"]
+
+
+@dataclass(frozen=True)
+class LayerInventory:
+    """Block inventory of one mapped layer.
+
+    Attributes:
+        name: layer description.
+        block_kind: ``"feature_extraction"``, ``"pooling"`` or
+            ``"categorization"``.
+        block_inputs: input size ``M`` of each block instance.
+        block_count: number of parallel block instances (output neurons /
+            pooled pixels).
+        sng_inputs: number of SNG conversions feeding the layer (weights plus
+            bias per block).
+    """
+
+    name: str
+    block_kind: str
+    block_inputs: int
+    block_count: int
+    sng_inputs: int
+
+
+class ScNetworkMapper:
+    """Execute a trained float network in the SC domain.
+
+    Args:
+        network: trained float network (weights inside ``[-1, 1]``).
+        weight_bits: stored binary precision used for quantisation.
+        stream_length: stochastic stream length ``N``.
+        seed: seed for stream generation / noise injection.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weight_bits: int = 10,
+        stream_length: int = 1024,
+        seed: int = 2019,
+    ) -> None:
+        if stream_length <= 0:
+            raise ConfigurationError("stream_length must be positive")
+        self.network = network
+        self.weight_bits = int(weight_bits)
+        self.stream_length = int(stream_length)
+        self.seed = int(seed)
+
+    # -- inventory -------------------------------------------------------------
+
+    def layer_inventories(
+        self, input_shape: tuple[int, int, int] = (1, 28, 28)
+    ) -> list[LayerInventory]:
+        """Per-layer block inventory for the hardware roll-up (Table 9)."""
+        inventories: list[LayerInventory] = []
+        channels, height, width = input_shape
+        dense_seen = 0
+        dense_layers = [l for l in self.network.layers if isinstance(l, Dense)]
+        for layer in self.network.layers:
+            if isinstance(layer, Conv2D):
+                out_h = height if layer.padding == "same" else height - layer.kernel_size + 1
+                out_w = width if layer.padding == "same" else width - layer.kernel_size + 1
+                count = layer.out_channels * out_h * out_w
+                inventories.append(
+                    LayerInventory(
+                        name=f"conv{layer.kernel_size}x{layer.kernel_size}x{layer.out_channels}",
+                        block_kind="feature_extraction",
+                        block_inputs=layer.fan_in + 1,
+                        block_count=count,
+                        sng_inputs=(layer.fan_in + 1) * layer.out_channels,
+                    )
+                )
+                channels, height, width = layer.out_channels, out_h, out_w
+            elif isinstance(layer, AvgPool2D):
+                out_h, out_w = height // layer.pool_size, width // layer.pool_size
+                count = channels * out_h * out_w
+                inventories.append(
+                    LayerInventory(
+                        name=f"avgpool{layer.pool_size}x{layer.pool_size}",
+                        block_kind="pooling",
+                        block_inputs=layer.pool_size * layer.pool_size,
+                        block_count=count,
+                        sng_inputs=0,
+                    )
+                )
+                height, width = out_h, out_w
+            elif isinstance(layer, Dense):
+                dense_seen += 1
+                is_output = dense_seen == len(dense_layers)
+                kind = "categorization" if is_output else "feature_extraction"
+                inventories.append(
+                    LayerInventory(
+                        name=f"fc{layer.out_features}",
+                        block_kind=kind,
+                        block_inputs=layer.in_features + (0 if is_output else 1),
+                        block_count=layer.out_features,
+                        sng_inputs=layer.in_features * layer.out_features,
+                    )
+                )
+        return inventories
+
+    # -- fast statistical model -------------------------------------------------
+
+    def fast_forward(
+        self,
+        images: np.ndarray,
+        inject_noise: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Fast SC inference over a batch of images.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in ``[0, 1]``.
+            inject_noise: add the stochastic decoding noise of finite streams
+                (variance ``(1 - y^2) / N``) after every block.
+            rng: noise generator; defaults to a seeded generator.
+
+        Returns:
+            ``(batch, n_classes)`` class scores (decoded categorization-block
+            outputs).
+        """
+        rng = rng or np.random.default_rng(self.seed)
+        value = np.asarray(images, dtype=np.float64) * 2.0 - 1.0  # bipolar inputs
+        value = self._quantize_activations(value)
+        dense_layers = [l for l in self.network.layers if isinstance(l, Dense)]
+        dense_seen = 0
+        for layer in self.network.layers:
+            if isinstance(layer, Conv2D):
+                w = quantize_weights(layer.weights, self.weight_bits)
+                b = quantize_weights(layer.bias, self.weight_bits)
+                patches, out_h, out_w = im2col(
+                    value, layer.kernel_size, layer.stride,
+                    (layer.kernel_size - 1) // 2 if layer.padding == "same" else 0,
+                )
+                z = patches @ w.T + b
+                z = z.transpose(0, 2, 1).reshape(
+                    value.shape[0], layer.out_channels, out_h, out_w
+                )
+                z = self._maybe_inner_product_noise(z, layer.fan_in + 1, inject_noise, rng)
+                curve = SorterTransferCurve.cached(layer.fan_in + 1, stream_length=4096)
+                value = self._maybe_noise(curve(z), inject_noise, rng)
+            elif isinstance(layer, AvgPool2D):
+                p = layer.pool_size
+                batch, channels, height, width = value.shape
+                out_h, out_w = height // p, width // p
+                pooled = value[:, :, : out_h * p, : out_w * p].reshape(
+                    batch, channels, out_h, p, out_w, p
+                ).mean(axis=(3, 5))
+                value = self._maybe_noise(pooled, inject_noise, rng)
+            elif isinstance(layer, Flatten):
+                value = value.reshape(value.shape[0], -1)
+            elif isinstance(layer, Dense):
+                dense_seen += 1
+                w = quantize_weights(layer.weights, self.weight_bits)
+                b = quantize_weights(layer.bias, self.weight_bits)
+                is_output = dense_seen == len(dense_layers)
+                if is_output:
+                    # Categorization block: the chain's output value is a
+                    # steep monotone function of the mean product value
+                    # (bias included as one extra product stream), which is
+                    # what preserves the ranking of the inner products.
+                    mean_product = (value @ w.T + b) / (layer.in_features + 1)
+                    probability = chain_output_probability(
+                        (mean_product + 1.0) / 2.0, layer.in_features + 1
+                    )
+                    scores = 2.0 * probability - 1.0
+                    value = self._maybe_noise(scores, inject_noise, rng)
+                else:
+                    z = value @ w.T + b
+                    z = self._maybe_inner_product_noise(
+                        z, layer.in_features + 1, inject_noise, rng
+                    )
+                    curve = SorterTransferCurve.cached(
+                        layer.in_features + 1, stream_length=4096
+                    )
+                    value = self._maybe_noise(curve(z), inject_noise, rng)
+            elif isinstance(layer, (HardwareActivation, ClipActivation, LogitScale)):
+                continue  # activation/margin scaling is folded into the blocks
+            else:  # pragma: no cover - defensive
+                raise ConfigurationError(
+                    f"cannot map layer {type(layer).__name__} to SC hardware"
+                )
+        return value
+
+    def _quantize_activations(self, value: np.ndarray) -> np.ndarray:
+        """Quantise bipolar values to the SNG comparator levels."""
+        return quantize_weights(value, self.weight_bits)
+
+    def _maybe_noise(
+        self, value: np.ndarray, inject_noise: bool, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Stream-decoding noise of a single output stream of length N."""
+        if not inject_noise:
+            return value
+        variance = np.clip(1.0 - value ** 2, 0.0, 1.0) / self.stream_length
+        noisy = value + rng.normal(0.0, 1.0, size=value.shape) * np.sqrt(variance)
+        return np.clip(noisy, -1.0, 1.0)
+
+    def _maybe_inner_product_noise(
+        self,
+        z: np.ndarray,
+        fan_in: int,
+        inject_noise: bool,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Stochastic inner-product noise of a feature-extraction block.
+
+        Summing ``M`` independent bipolar product streams of length ``N``
+        carries a variance of at most ``M / N`` on the pre-activation value;
+        this is the dominant SC error source for wide layers and the reason
+        the SC-aware training pushes pre-activations into saturation.
+        """
+        if not inject_noise:
+            return z
+        return z + rng.normal(0.0, np.sqrt(fan_in / self.stream_length), size=z.shape)
+
+    def fast_predict(self, images: np.ndarray, inject_noise: bool = True) -> np.ndarray:
+        """Predicted classes under the fast SC model."""
+        scores = self.fast_forward(images, inject_noise)
+        return np.argmax(scores, axis=1)
+
+    def fast_accuracy(
+        self, images: np.ndarray, labels: np.ndarray, inject_noise: bool = True,
+        batch_size: int = 256,
+    ) -> float:
+        """Accuracy of the fast SC model over a labelled set."""
+        correct = 0
+        labels = np.asarray(labels)
+        for start in range(0, images.shape[0], batch_size):
+            preds = self.fast_predict(images[start : start + batch_size], inject_noise)
+            correct += int((preds == labels[start : start + batch_size]).sum())
+        return correct / images.shape[0]
+
+    # -- bit-exact simulation ---------------------------------------------------
+
+    def bit_exact_forward(
+        self, image: np.ndarray, rng: np.random.Generator | None = None,
+        position_chunk: int = 32,
+    ) -> np.ndarray:
+        """Run a single image through actual bit streams and the blocks.
+
+        Args:
+            image: ``(channels, height, width)`` image in ``[0, 1]``.
+            rng: stream-generation random generator.
+            position_chunk: how many output positions to process at a time
+                (memory / speed trade-off).
+
+        Returns:
+            ``(n_classes,)`` decoded class scores.
+        """
+        rng = rng or np.random.default_rng(self.seed)
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 3:
+            raise ShapeError(f"expected (channels, height, width), got {image.shape}")
+        n = self.stream_length
+        value = self._quantize_activations(image * 2.0 - 1.0)
+        # Feature map as bit streams: (channels, height, width, N).
+        bits = (rng.random(value.shape + (n,)) < ((value + 1.0) / 2.0)[..., None]).astype(
+            np.uint8
+        )
+        dense_layers = [l for l in self.network.layers if isinstance(l, Dense)]
+        dense_seen = 0
+        for layer in self.network.layers:
+            if isinstance(layer, Conv2D):
+                bits = self._bit_exact_conv(bits, layer, rng, position_chunk)
+            elif isinstance(layer, AvgPool2D):
+                bits = self._bit_exact_pool(bits, layer)
+            elif isinstance(layer, Flatten):
+                bits = bits.reshape(-1, n)
+            elif isinstance(layer, Dense):
+                dense_seen += 1
+                is_output = dense_seen == len(dense_layers)
+                bits = self._bit_exact_dense(bits, layer, rng, is_output, position_chunk)
+            elif isinstance(layer, (HardwareActivation, ClipActivation, LogitScale)):
+                continue
+            else:  # pragma: no cover - defensive
+                raise ConfigurationError(
+                    f"cannot map layer {type(layer).__name__} to SC hardware"
+                )
+        return 2.0 * bits.mean(axis=-1) - 1.0
+
+    def _weight_streams(
+        self, weights: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Generate bipolar streams for quantised weights (shape + (N,))."""
+        q = quantize_weights(weights, self.weight_bits)
+        p = (q + 1.0) / 2.0
+        return (rng.random(q.shape + (self.stream_length,)) < p[..., None]).astype(np.uint8)
+
+    def _bit_exact_conv(
+        self,
+        bits: np.ndarray,
+        layer: Conv2D,
+        rng: np.random.Generator,
+        position_chunk: int,
+    ) -> np.ndarray:
+        n = self.stream_length
+        channels, height, width, _ = bits.shape
+        pad = (layer.kernel_size - 1) // 2 if layer.padding == "same" else 0
+        # im2col over the stream axis: treat N as extra trailing axes by
+        # moving it into the batch dimension of im2col's channel layout.
+        stacked = bits.transpose(3, 0, 1, 2)  # (N, C, H, W)
+        patches, out_h, out_w = im2col(stacked, layer.kernel_size, layer.stride, pad)
+        # patches: (N, positions, fan_in) -> (positions, fan_in, N)
+        patches = patches.transpose(1, 2, 0).astype(np.uint8)
+        weight_bits = self._weight_streams(layer.weights, rng)  # (out_ch, fan_in, N)
+        bias_bits = self._weight_streams(layer.bias, rng)  # (out_ch, N)
+        block = SorterFeatureExtractionBlock(layer.fan_in + 1)
+        n_positions = patches.shape[0]
+        output = np.empty((layer.out_channels, n_positions, n), dtype=np.uint8)
+        for start in range(0, n_positions, position_chunk):
+            chunk = patches[start : start + position_chunk]  # (chunk, fan_in, N)
+            products = np.logical_not(
+                np.logical_xor(chunk[:, None, :, :], weight_bits[None, :, :, :])
+            ).astype(np.uint8)  # (chunk, out_ch, fan_in, N)
+            bias = np.broadcast_to(
+                bias_bits[None, :, None, :], products.shape[:2] + (1, n)
+            )
+            products = np.concatenate([products, bias], axis=2)
+            activated = block.forward_products(products)  # (chunk, out_ch, N)
+            output[:, start : start + chunk.shape[0]] = activated.transpose(1, 0, 2)
+        return output.reshape(layer.out_channels, out_h, out_w, n)
+
+    def _bit_exact_pool(self, bits: np.ndarray, layer: AvgPool2D) -> np.ndarray:
+        channels, height, width, n = bits.shape
+        p = layer.pool_size
+        out_h, out_w = height // p, width // p
+        trimmed = bits[:, : out_h * p, : out_w * p]
+        grouped = trimmed.reshape(channels, out_h, p, out_w, p, n)
+        grouped = grouped.transpose(0, 1, 3, 2, 4, 5).reshape(
+            channels * out_h * out_w, p * p, n
+        )
+        block = SorterAveragePoolingBlock(p * p)
+        pooled = block.forward_bits(grouped)
+        return pooled.reshape(channels, out_h, out_w, n)
+
+    def _bit_exact_dense(
+        self,
+        bits: np.ndarray,
+        layer: Dense,
+        rng: np.random.Generator,
+        is_output: bool,
+        neuron_chunk: int,
+    ) -> np.ndarray:
+        n = self.stream_length
+        if bits.shape != (layer.in_features, n):
+            raise ShapeError(
+                f"dense layer expects ({layer.in_features}, {n}) streams, got {bits.shape}"
+            )
+        weight_bits = self._weight_streams(layer.weights, rng)  # (out, in, N)
+        bias_bits = self._weight_streams(layer.bias, rng)  # (out, N)
+        outputs = np.empty((layer.out_features, n), dtype=np.uint8)
+        if is_output:
+            block = MajorityChainCategorizationBlock(layer.in_features)
+        else:
+            block = SorterFeatureExtractionBlock(layer.in_features + 1)
+        for start in range(0, layer.out_features, neuron_chunk):
+            w_chunk = weight_bits[start : start + neuron_chunk]
+            products = np.logical_not(
+                np.logical_xor(bits[None, :, :], w_chunk)
+            ).astype(np.uint8)  # (chunk, in, N)
+            if is_output:
+                outputs[start : start + w_chunk.shape[0]] = block.forward_products(products)
+            else:
+                bias = bias_bits[start : start + w_chunk.shape[0], None, :]
+                products = np.concatenate([products, bias], axis=1)
+                outputs[start : start + w_chunk.shape[0]] = block.forward_products(products)
+        return outputs

@@ -1,0 +1,40 @@
+"""Random-bit and random-number sources.
+
+The paper's key enabling observation is that a single AQFP buffer biased at
+``I_in = 0`` is a true random number generator (two Josephson junctions per
+random bit), which removes the dominant RNG overhead of CMOS stochastic
+computing.  This subpackage models:
+
+* :class:`~repro.rng.aqfp_trng.AqfpTrueRng` -- the thermal-noise buffer TRNG,
+  including optional bias and correlation imperfections.
+* :class:`~repro.rng.lfsr.Lfsr` -- the linear-feedback shift register used by
+  the CMOS baseline SNGs.
+* :class:`~repro.rng.matrix.RngMatrix` -- the paper's ``N x N`` RNG matrix in
+  which every unit TRNG is shared by four N-bit random words (Fig. 8).
+* :mod:`~repro.rng.quality` -- randomness-quality statistics used to compare
+  sources (bias, serial correlation, chi-square uniformity).
+"""
+
+from repro.rng.aqfp_trng import AqfpTrueRng
+from repro.rng.base import RandomBitSource, RandomWordSource
+from repro.rng.lfsr import DEFAULT_TAPS, Lfsr
+from repro.rng.matrix import RngMatrix
+from repro.rng.quality import (
+    bit_bias,
+    chi_square_uniformity,
+    pairwise_word_correlation,
+    serial_correlation,
+)
+
+__all__ = [
+    "RandomBitSource",
+    "RandomWordSource",
+    "AqfpTrueRng",
+    "Lfsr",
+    "DEFAULT_TAPS",
+    "RngMatrix",
+    "bit_bias",
+    "serial_correlation",
+    "chi_square_uniformity",
+    "pairwise_word_correlation",
+]

@@ -1,0 +1,109 @@
+"""Model of the AQFP buffer true random number generator.
+
+An AQFP buffer whose input current is held at zero resolves to logic 0 or 1
+purely by thermal noise when the excitation current ramps the potential from
+a single well to a double well (paper Fig. 7).  The paper exploits this to
+build a two-junction true RNG that emits one independent random bit per
+clock cycle.
+
+The software model is a Bernoulli source.  Two imperfection knobs are
+provided so that sensitivity studies (and the randomness-quality tests) can
+exercise non-ideal devices:
+
+* ``bias`` -- deviation of ``P(bit = 1)`` from 0.5 caused by residual input
+  current or asymmetric junction critical currents.
+* ``flip_persistence`` -- probability that a bit simply repeats the previous
+  output instead of being re-drawn, modelling insufficient reset between
+  excitation cycles (introduces serial correlation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng.base import RandomWordSource, normalize_shape
+
+__all__ = ["AqfpTrueRng"]
+
+#: Josephson junctions per 1-bit AQFP TRNG (a single buffer).
+JJ_PER_TRNG_BIT = 2
+
+
+class AqfpTrueRng(RandomWordSource):
+    """Thermal-noise true RNG built from AQFP buffers.
+
+    Args:
+        n_bits: width of the random words assembled from ``n_bits`` unit TRNGs.
+        seed: seed for the underlying software entropy source.
+        bias: ``P(bit = 1) - 0.5`` of each unit TRNG.  Must lie in (-0.5, 0.5).
+        flip_persistence: probability that a unit TRNG repeats its previous
+            output instead of drawing a fresh bit.  Zero for an ideal device.
+    """
+
+    def __init__(
+        self,
+        n_bits: int = 10,
+        seed: int | None = None,
+        *,
+        bias: float = 0.0,
+        flip_persistence: float = 0.0,
+    ) -> None:
+        super().__init__(n_bits)
+        if not -0.5 < bias < 0.5:
+            raise ConfigurationError(f"bias must be in (-0.5, 0.5), got {bias}")
+        if not 0.0 <= flip_persistence < 1.0:
+            raise ConfigurationError(
+                f"flip_persistence must be in [0, 1), got {flip_persistence}"
+            )
+        self._seed = seed
+        self._bias = float(bias)
+        self._persistence = float(flip_persistence)
+        self._rng = np.random.default_rng(seed)
+        self._last_bits: np.ndarray | None = None
+
+    @property
+    def p_one(self) -> float:
+        """Probability that a unit TRNG outputs logic 1."""
+        return 0.5 + self._bias
+
+    @property
+    def jj_count(self) -> int:
+        """Josephson junctions used by the ``n_bits`` unit TRNGs."""
+        return JJ_PER_TRNG_BIT * self.n_bits
+
+    def reset(self) -> None:
+        """Restart the entropy source from the original seed."""
+        self._rng = np.random.default_rng(self._seed)
+        self._last_bits = None
+
+    def bits(self, shape: tuple[int, ...] | int) -> np.ndarray:
+        """Draw raw TRNG bits of the requested shape."""
+        shape = normalize_shape(shape)
+        fresh = (self._rng.random(shape) < self.p_one).astype(np.uint8)
+        if self._persistence == 0.0:
+            return fresh
+        return self._apply_persistence(fresh)
+
+    def _apply_persistence(self, fresh: np.ndarray) -> np.ndarray:
+        """Blend fresh bits with the previous draw along the last axis."""
+        flat = fresh.reshape(-1, fresh.shape[-1]) if fresh.ndim > 1 else fresh[None, :]
+        out = flat.copy()
+        hold = self._rng.random(flat.shape) < self._persistence
+        for col in range(1, flat.shape[-1]):
+            out[:, col] = np.where(hold[:, col], out[:, col - 1], flat[:, col])
+        result = out.reshape(fresh.shape)
+        self._last_bits = result
+        return result
+
+    def words(self, shape: tuple[int, ...] | int) -> np.ndarray:
+        """Assemble ``n_bits``-wide words from independent unit TRNGs.
+
+        The hardware assembles one word per clock cycle from ``n_bits``
+        parallel unit TRNGs; the software equivalent draws a bit plane per
+        word bit and packs them.
+        """
+        shape = normalize_shape(shape)
+        planes = self.bits(shape + (self.n_bits,))
+        weights = (1 << np.arange(self.n_bits, dtype=np.int64))
+        return (planes.astype(np.int64) * weights).sum(axis=-1)

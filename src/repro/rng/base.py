@@ -1,0 +1,66 @@
+"""Abstract interfaces for random-bit and random-word sources.
+
+Stochastic number generators (SNGs) only need two capabilities from the
+underlying hardware RNG: draw a matrix of raw bits, or draw a matrix of
+``n_bits``-wide unsigned integer words.  Every concrete source in this
+package (AQFP TRNG, LFSR, RNG matrix) implements both so that SNGs and
+benchmarks can swap sources freely.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RandomBitSource", "RandomWordSource"]
+
+
+class RandomBitSource(abc.ABC):
+    """A source of (ideally i.i.d. uniform) random bits."""
+
+    @abc.abstractmethod
+    def bits(self, shape: tuple[int, ...] | int) -> np.ndarray:
+        """Return an array of 0/1 ``uint8`` bits with the requested shape."""
+
+    def reset(self) -> None:  # pragma: no cover - trivial default
+        """Reset internal state, if any.  Default: no-op."""
+
+
+class RandomWordSource(RandomBitSource):
+    """A source of unsigned random words of a fixed bit width."""
+
+    def __init__(self, n_bits: int) -> None:
+        if n_bits <= 0 or n_bits > 31:
+            raise ConfigurationError(f"n_bits must be in [1, 31], got {n_bits}")
+        self._n_bits = int(n_bits)
+
+    @property
+    def n_bits(self) -> int:
+        """Bit width of the words produced by :meth:`words`."""
+        return self._n_bits
+
+    @property
+    def modulus(self) -> int:
+        """Number of distinct word values (``2 ** n_bits``)."""
+        return 1 << self._n_bits
+
+    @abc.abstractmethod
+    def words(self, shape: tuple[int, ...] | int) -> np.ndarray:
+        """Return an array of words in ``[0, 2**n_bits)`` with given shape."""
+
+    def bits(self, shape: tuple[int, ...] | int) -> np.ndarray:
+        """Return raw bits by taking the least-significant bit of words."""
+        return (self.words(shape) & 1).astype(np.uint8)
+
+
+def normalize_shape(shape: tuple[int, ...] | int) -> tuple[int, ...]:
+    """Normalise a shape argument to a tuple of non-negative ints."""
+    if isinstance(shape, (int, np.integer)):
+        shape = (int(shape),)
+    shape = tuple(int(s) for s in shape)
+    if any(s < 0 for s in shape):
+        raise ConfigurationError(f"shape entries must be >= 0, got {shape}")
+    return shape

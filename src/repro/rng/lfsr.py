@@ -1,0 +1,115 @@
+"""Linear-feedback shift register pseudo-RNG (CMOS baseline).
+
+CMOS stochastic-computing designs almost universally generate their random
+comparison words with maximal-length Fibonacci LFSRs, and the paper's CMOS
+baseline (SC-DCNN) does the same.  The LFSR here is bit-accurate: it can be
+stepped one word per clock cycle and reproduces the full ``2**n - 1`` period
+of a maximal-length polynomial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng.base import RandomWordSource, normalize_shape
+
+__all__ = ["Lfsr", "DEFAULT_TAPS"]
+
+#: Maximal-length tap sets (1-indexed from the output bit) for common widths.
+#: Taken from standard LFSR tap tables (Xilinx XAPP052).
+DEFAULT_TAPS: dict[int, tuple[int, ...]] = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    24: (24, 23, 22, 17),
+    31: (31, 28),
+}
+
+
+class Lfsr(RandomWordSource):
+    """Fibonacci LFSR producing ``n_bits``-wide pseudo-random words.
+
+    Args:
+        n_bits: register width.  Must have a known maximal-length tap set.
+        seed: initial register contents; must be non-zero modulo ``2**n_bits``.
+        taps: optional explicit tap positions (1-indexed, MSB = ``n_bits``).
+    """
+
+    def __init__(
+        self,
+        n_bits: int = 10,
+        seed: int = 1,
+        taps: tuple[int, ...] | None = None,
+    ) -> None:
+        super().__init__(n_bits)
+        if taps is None:
+            if n_bits not in DEFAULT_TAPS:
+                raise ConfigurationError(
+                    f"no default maximal-length taps for width {n_bits}; "
+                    "pass taps= explicitly"
+                )
+            taps = DEFAULT_TAPS[n_bits]
+        if any(t < 1 or t > n_bits for t in taps):
+            raise ConfigurationError(f"tap positions must be in [1, {n_bits}]")
+        state = int(seed) % self.modulus
+        if state == 0:
+            raise ConfigurationError("LFSR seed must be non-zero")
+        self._initial_state = state
+        self._state = state
+        self._taps = tuple(sorted(set(taps), reverse=True))
+
+    @property
+    def taps(self) -> tuple[int, ...]:
+        """Feedback tap positions (1-indexed)."""
+        return self._taps
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    @property
+    def period(self) -> int:
+        """Sequence period for a maximal-length configuration."""
+        return self.modulus - 1
+
+    def reset(self) -> None:
+        """Restore the initial seed state."""
+        self._state = self._initial_state
+
+    def step(self) -> int:
+        """Advance one clock cycle and return the new register value."""
+        feedback = 0
+        for tap in self._taps:
+            feedback ^= (self._state >> (tap - 1)) & 1
+        self._state = ((self._state << 1) | feedback) & (self.modulus - 1)
+        return self._state
+
+    def words(self, shape: tuple[int, ...] | int) -> np.ndarray:
+        """Return consecutive register values reshaped to ``shape``."""
+        shape = normalize_shape(shape)
+        count = int(np.prod(shape)) if shape else 1
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            out[i] = self.step()
+        return out.reshape(shape)
+
+    def sequence(self, length: int) -> np.ndarray:
+        """Return ``length`` consecutive words without reshaping."""
+        return self.words((length,))

@@ -1,0 +1,86 @@
+"""Randomness-quality statistics for RNG sources.
+
+These metrics support Fig. 7(b) (output distribution of the AQFP TRNG) and
+the design claim that the shared RNG matrix keeps inter-word correlation
+negligible.  They are intentionally simple, dependency-light estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "bit_bias",
+    "serial_correlation",
+    "chi_square_uniformity",
+    "pairwise_word_correlation",
+]
+
+
+def bit_bias(bits: np.ndarray) -> float:
+    """Return ``mean(bits) - 0.5`` -- zero for an unbiased source."""
+    bits = np.asarray(bits)
+    if bits.size == 0:
+        raise ShapeError("bit_bias requires a non-empty array")
+    return float(bits.mean() - 0.5)
+
+
+def serial_correlation(bits: np.ndarray, lag: int = 1) -> float:
+    """Pearson correlation between a bit sequence and its ``lag``-shifted self."""
+    bits = np.asarray(bits, dtype=np.float64).ravel()
+    if lag <= 0:
+        raise ShapeError(f"lag must be positive, got {lag}")
+    if bits.size <= lag + 1:
+        raise ShapeError("sequence too short for requested lag")
+    a = bits[:-lag]
+    b = bits[lag:]
+    sa = a.std()
+    sb = b.std()
+    if sa == 0.0 or sb == 0.0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def chi_square_uniformity(words: np.ndarray, modulus: int, n_bins: int = 16) -> float:
+    """Chi-square statistic of word values against a uniform distribution.
+
+    The statistic is normalised by its degrees of freedom so that values
+    around 1 indicate consistency with uniformity.
+    """
+    words = np.asarray(words).ravel()
+    if words.size == 0:
+        raise ShapeError("chi_square_uniformity requires a non-empty array")
+    if modulus < n_bins:
+        n_bins = int(modulus)
+    edges = np.linspace(0, modulus, n_bins + 1)
+    counts, _ = np.histogram(words, bins=edges)
+    expected = words.size / n_bins
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    dof = n_bins - 1
+    return chi2 / dof
+
+
+def pairwise_word_correlation(words: np.ndarray) -> np.ndarray:
+    """Absolute Pearson correlation between every pair of word sequences.
+
+    Args:
+        words: array of shape ``(cycles, n_words)``.
+
+    Returns:
+        ``(n_words, n_words)`` matrix of absolute correlations with ones on
+        the diagonal.
+    """
+    words = np.asarray(words, dtype=np.float64)
+    if words.ndim != 2:
+        raise ShapeError(f"expected 2-D (cycles, n_words) array, got {words.shape}")
+    if words.shape[0] < 3:
+        raise ShapeError("need at least 3 cycles to estimate correlations")
+    centered = words - words.mean(axis=0, keepdims=True)
+    std = centered.std(axis=0, keepdims=True)
+    std[std == 0.0] = 1.0
+    normed = centered / std
+    corr = normed.T @ normed / words.shape[0]
+    np.fill_diagonal(corr, 1.0)
+    return np.abs(corr)

@@ -1,0 +1,90 @@
+"""Parallel counters for the prior-work (CMOS) SC-DNN baseline.
+
+The SC-DCNN feature-extraction block (paper Fig. 5) sums the XNOR product
+streams with an *approximate parallel counter* (APC): an adder tree that
+outputs, per clock cycle, (approximately) the number of ones across its
+inputs as a binary value.  An accumulator and a binary-counter/FSM
+activation then complete the inner product.  The deep-pipelining nature of
+AQFP makes that accumulator impractical, which is precisely what motivates
+the paper's sorter-based redesign -- but we still need the APC to reproduce
+the CMOS baseline columns of Tables 5 and 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["exact_parallel_count", "approximate_parallel_counter", "apc_inner_product"]
+
+
+def exact_parallel_count(bits: np.ndarray) -> np.ndarray:
+    """Exact per-cycle population count over the input axis.
+
+    Args:
+        bits: array of shape ``(M, ..., N)``; the first axis is the inputs.
+
+    Returns:
+        int array of shape ``(..., N)`` with values in ``[0, M]``.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim < 2:
+        raise ShapeError("exact_parallel_count expects shape (M, ..., N)")
+    return bits.astype(np.int64).sum(axis=0)
+
+
+def approximate_parallel_counter(bits: np.ndarray) -> np.ndarray:
+    """Approximate parallel counter in the style of Kim et al. / SC-DCNN.
+
+    The hardware APC replaces one of its half adders with an OR gate, which
+    miscounts that pair only when both of its inputs are 1 (the OR yields 1
+    instead of 2).  The model reproduces exactly that truncation: the last
+    input pair is reduced with an OR instead of a full 2-bit sum, giving the
+    documented sub-LSB negative bias relative to the exact count.
+
+    Args:
+        bits: array of shape ``(M, ..., N)``.
+
+    Returns:
+        int array of shape ``(..., N)`` approximating the population count.
+    """
+    bits = np.asarray(bits).astype(np.int64)
+    if bits.ndim < 2:
+        raise ShapeError("approximate_parallel_counter expects shape (M, ..., N)")
+    m = bits.shape[0]
+    if m == 1:
+        return bits[0]
+    # Pair inputs: every pair contributes its exact 2-bit sum except the last
+    # pair, whose carry is approximated by an OR (the APC trick that saves a
+    # half adder at the cost of <1 LSB error).
+    counts = np.zeros(bits.shape[1:], dtype=np.int64)
+    n_pairs = m // 2
+    for pair_index in range(n_pairs):
+        a = bits[2 * pair_index]
+        b = bits[2 * pair_index + 1]
+        if pair_index == n_pairs - 1 and m > 2:
+            counts += np.maximum(a, b)  # approximated pair: OR drops a carry
+        else:
+            counts += a + b
+    if m % 2 == 1:
+        counts += bits[-1]
+    return counts
+
+
+def apc_inner_product(product_bits: np.ndarray) -> np.ndarray:
+    """Binary inner-product estimate from APC outputs (per stream).
+
+    Sums the per-cycle APC counts over the stream axis and converts back to
+    the bipolar inner-product value ``sum_j a_j * w_j`` (no clipping): with
+    ``M`` inputs and stream length ``N``, the decoded value is
+    ``(2 * total_ones - M * N) / N``.
+    """
+    product_bits = np.asarray(product_bits)
+    if product_bits.ndim < 2:
+        raise ShapeError("apc_inner_product expects shape (M, ..., N)")
+    m = product_bits.shape[0]
+    n = product_bits.shape[-1]
+    counts = approximate_parallel_counter(product_bits)
+    total_ones = counts.sum(axis=-1)
+    return (2.0 * total_ones - m * n) / n

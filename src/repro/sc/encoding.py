@@ -1,0 +1,70 @@
+"""Value <-> probability conversions for unipolar and bipolar SC formats.
+
+Stochastic computing represents a value by the probability of observing a
+``1`` in the bit stream:
+
+* **unipolar**: ``x in [0, 1]`` with ``P(bit = 1) = x``;
+* **bipolar**:  ``x in [-1, 1]`` with ``P(bit = 1) = (x + 1) / 2``.
+
+The paper uses bipolar encoding throughout because DNN weights and
+activations are signed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+__all__ = [
+    "UNIPOLAR",
+    "BIPOLAR",
+    "unipolar_encode_probability",
+    "unipolar_decode",
+    "bipolar_encode_probability",
+    "bipolar_decode",
+    "validate_encoding",
+]
+
+#: Identifier for the unipolar encoding format.
+UNIPOLAR = "unipolar"
+#: Identifier for the bipolar encoding format.
+BIPOLAR = "bipolar"
+
+_VALID_ENCODINGS = (UNIPOLAR, BIPOLAR)
+
+
+def validate_encoding(encoding: str) -> str:
+    """Return ``encoding`` if valid, otherwise raise :class:`EncodingError`."""
+    if encoding not in _VALID_ENCODINGS:
+        raise EncodingError(
+            f"unknown encoding {encoding!r}; expected one of {_VALID_ENCODINGS}"
+        )
+    return encoding
+
+
+def unipolar_encode_probability(values: np.ndarray | float) -> np.ndarray:
+    """Map unipolar values in ``[0, 1]`` to ``P(bit = 1)``."""
+    values = np.asarray(values, dtype=np.float64)
+    if np.any(values < -1e-9) or np.any(values > 1.0 + 1e-9):
+        raise EncodingError("unipolar values must lie in [0, 1]")
+    return np.clip(values, 0.0, 1.0)
+
+
+def unipolar_decode(ones_fraction: np.ndarray | float) -> np.ndarray:
+    """Map an observed fraction of ones back to a unipolar value."""
+    return np.asarray(ones_fraction, dtype=np.float64)
+
+
+def bipolar_encode_probability(values: np.ndarray | float) -> np.ndarray:
+    """Map bipolar values in ``[-1, 1]`` to ``P(bit = 1) = (x + 1) / 2``."""
+    values = np.asarray(values, dtype=np.float64)
+    if np.any(values < -1.0 - 1e-9) or np.any(values > 1.0 + 1e-9):
+        raise EncodingError("bipolar values must lie in [-1, 1]")
+    return np.clip((values + 1.0) / 2.0, 0.0, 1.0)
+
+
+def bipolar_decode(ones_fraction: np.ndarray | float) -> np.ndarray:
+    """Map an observed fraction of ones back to a bipolar value."""
+    ones_fraction = np.asarray(ones_fraction, dtype=np.float64)
+    return 2.0 * ones_fraction - 1.0

@@ -1,0 +1,95 @@
+"""Finite-state-machine activation (Btanh) used by the CMOS baseline.
+
+SC-DCNN implements the activation function with a saturating up/down
+counter (an FSM): the counter moves up for each input 1 and down for each
+input 0, and the output bit is 1 while the counter sits in the upper half of
+its range.  For a suitably chosen state count the decoded transfer function
+approximates ``tanh``.  The paper argues this FSM cannot be built
+efficiently in AQFP (state updates create RAW hazards across the deep
+pipeline), which is why the proposed design integrates the activation into
+the sorter feedback instead.  We keep a faithful model for the baseline
+comparisons and the equivalence tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["BtanhFsm", "btanh_state_count"]
+
+
+def btanh_state_count(fan_in: int, scale: float = 1.0) -> int:
+    """Heuristic state count for a Btanh FSM following an adder of ``fan_in``.
+
+    SC-DCNN sizes the counter proportionally to the number of summed inputs
+    so the transfer function approximates ``tanh(scale * x)``.  The result is
+    always an even number of at least 4 states.
+    """
+    if fan_in <= 0:
+        raise ConfigurationError(f"fan_in must be positive, got {fan_in}")
+    states = int(round(2 * max(1.0, scale) * fan_in))
+    states = max(4, states)
+    return states + (states % 2)
+
+
+class BtanhFsm:
+    """Saturating up/down counter implementing the stochastic tanh.
+
+    Args:
+        n_states: even number of counter states.
+        initial_state: starting state; defaults to the middle of the range.
+    """
+
+    def __init__(self, n_states: int, initial_state: int | None = None) -> None:
+        if n_states < 2 or n_states % 2 != 0:
+            raise ConfigurationError(
+                f"n_states must be an even integer >= 2, got {n_states}"
+            )
+        self._n_states = int(n_states)
+        if initial_state is None:
+            initial_state = n_states // 2 - 1
+        if not 0 <= initial_state < n_states:
+            raise ConfigurationError(
+                f"initial_state must be in [0, {n_states}), got {initial_state}"
+            )
+        self._initial_state = int(initial_state)
+
+    @property
+    def n_states(self) -> int:
+        """Number of counter states."""
+        return self._n_states
+
+    def transform(self, bits: np.ndarray) -> np.ndarray:
+        """Run the FSM over the stream axis of ``bits``.
+
+        Args:
+            bits: 0/1 array of shape ``(..., N)``; each leading index gets an
+                independent FSM instance.
+
+        Returns:
+            0/1 array of the same shape: the activated stream.
+        """
+        bits = np.asarray(bits)
+        if bits.ndim == 0:
+            raise ShapeError("transform expects at least a stream axis")
+        flat = bits.reshape(-1, bits.shape[-1]).astype(np.int64)
+        state = np.full(flat.shape[0], self._initial_state, dtype=np.int64)
+        half = self._n_states // 2
+        out = np.empty_like(flat)
+        for t in range(flat.shape[-1]):
+            step = 2 * flat[:, t] - 1
+            state = np.clip(state + step, 0, self._n_states - 1)
+            out[:, t] = (state >= half).astype(np.int64)
+        return out.reshape(bits.shape).astype(np.uint8)
+
+    def transfer_curve(
+        self, values: np.ndarray, length: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Decoded output value for each bipolar input value (for plotting)."""
+        values = np.asarray(values, dtype=np.float64)
+        p = (values + 1.0) / 2.0
+        bits = (rng.random(values.shape + (length,)) < p[..., None]).astype(np.uint8)
+        activated = self.transform(bits)
+        return 2.0 * activated.mean(axis=-1) - 1.0

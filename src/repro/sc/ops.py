@@ -1,0 +1,115 @@
+"""Elementary stochastic-computing arithmetic.
+
+These are the textbook SC gates summarised in the paper's Fig. 4:
+
+* unipolar multiplication  -> AND gate,
+* bipolar multiplication   -> XNOR gate,
+* scaled addition          -> multiplexer tree (output is the mean of the
+  inputs, i.e. the sum scaled by ``1 / n``),
+* OR gate                  -> used inside sorters (max of two bits).
+
+All functions operate on plain bit arrays whose last axis is the stream
+axis, or on :class:`~repro.sc.bitstream.Bitstream` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sc.bitstream import Bitstream
+from repro.sc.encoding import BIPOLAR, UNIPOLAR
+
+__all__ = [
+    "xnor_multiply",
+    "and_multiply",
+    "or_gate",
+    "mux_add",
+    "mux_scaled_add",
+]
+
+
+def _as_bits(stream: Bitstream | np.ndarray) -> np.ndarray:
+    if isinstance(stream, Bitstream):
+        return stream.bits
+    return np.asarray(stream, dtype=np.uint8)
+
+
+def _check_same_shape(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ShapeError(f"operand shapes differ: {a.shape} vs {b.shape}")
+
+
+def xnor_multiply(a: Bitstream | np.ndarray, b: Bitstream | np.ndarray) -> Bitstream:
+    """Bipolar SC multiplication: one XNOR gate per stream bit."""
+    bits_a = _as_bits(a)
+    bits_b = _as_bits(b)
+    _check_same_shape(bits_a, bits_b)
+    return Bitstream(np.logical_not(np.logical_xor(bits_a, bits_b)).astype(np.uint8), BIPOLAR)
+
+
+def and_multiply(a: Bitstream | np.ndarray, b: Bitstream | np.ndarray) -> Bitstream:
+    """Unipolar SC multiplication: one AND gate per stream bit."""
+    bits_a = _as_bits(a)
+    bits_b = _as_bits(b)
+    _check_same_shape(bits_a, bits_b)
+    return Bitstream(np.logical_and(bits_a, bits_b).astype(np.uint8), UNIPOLAR)
+
+
+def or_gate(a: Bitstream | np.ndarray, b: Bitstream | np.ndarray) -> np.ndarray:
+    """Bitwise OR (the MAX half of a binary compare-and-swap)."""
+    bits_a = _as_bits(a)
+    bits_b = _as_bits(b)
+    _check_same_shape(bits_a, bits_b)
+    return np.logical_or(bits_a, bits_b).astype(np.uint8)
+
+
+def mux_add(
+    streams: Bitstream | np.ndarray, select: np.ndarray, encoding: str = BIPOLAR
+) -> Bitstream:
+    """Multiplexer addition with an explicit select sequence.
+
+    Args:
+        streams: bits of shape ``(n_inputs, ..., N)``.
+        select: integer select values of shape ``(..., N)`` or ``(N,)`` in
+            ``[0, n_inputs)`` choosing which input drives each output bit.
+        encoding: encoding tag for the returned stream.
+
+    Returns:
+        The selected stream; its value is the mean of the input values when
+        ``select`` is uniform.
+    """
+    bits = _as_bits(streams)
+    if bits.ndim < 2:
+        raise ShapeError("mux_add expects shape (n_inputs, ..., N)")
+    select = np.asarray(select)
+    n_inputs = bits.shape[0]
+    if select.shape != bits.shape[1:] and select.shape != (bits.shape[-1],):
+        raise ShapeError(
+            f"select shape {select.shape} incompatible with streams {bits.shape}"
+        )
+    if np.any(select < 0) or np.any(select >= n_inputs):
+        raise ShapeError(f"select values must lie in [0, {n_inputs})")
+    selected = np.take_along_axis(
+        bits, np.broadcast_to(select, bits.shape[1:])[None, ...], axis=0
+    )[0]
+    return Bitstream(selected, encoding)
+
+
+def mux_scaled_add(
+    streams: Bitstream | np.ndarray,
+    rng: np.random.Generator,
+    encoding: str = BIPOLAR,
+) -> Bitstream:
+    """Multiplexer addition with a uniformly random select sequence.
+
+    This is the scaled adder used by the prior-work CMOS pooling block: the
+    output value is the mean of the inputs, with variance that grows as the
+    number of inputs grows (the inaccuracy the paper's sorter-based pooling
+    block removes).
+    """
+    bits = _as_bits(streams)
+    if bits.ndim < 2:
+        raise ShapeError("mux_scaled_add expects shape (n_inputs, ..., N)")
+    select = rng.integers(0, bits.shape[0], size=bits.shape[1:])
+    return mux_add(bits, select, encoding)

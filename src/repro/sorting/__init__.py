@@ -1,0 +1,32 @@
+"""Binary sorting networks.
+
+The paper's central hardware trick is that *binary* sorting of a bit vector
+is cheap in AQFP: a compare-and-swap of two bits is just an OR gate (max)
+and an AND gate (min), so a bitonic sorting network of width ``M`` costs
+``O(M log^2 M)`` two-input gates and ``O(log^2 M)`` pipeline depth -- with no
+feedback state and therefore no RAW hazards.  This subpackage provides:
+
+* :class:`~repro.sorting.network.ComparatorNetwork` -- an explicit list of
+  compare-and-swap operations with size/depth accounting and batch
+  evaluation over stochastic bit matrices.
+* :mod:`~repro.sorting.bitonic` -- constructors for descending/ascending
+  bitonic sorters of any width (the paper's odd-width extension included)
+  and for the bitonic merger used by the feedback blocks.
+"""
+
+from repro.sorting.bitonic import (
+    bitonic_merger,
+    bitonic_sorter,
+    merge_sorted_halves,
+    sort_bits,
+)
+from repro.sorting.network import Comparator, ComparatorNetwork
+
+__all__ = [
+    "Comparator",
+    "ComparatorNetwork",
+    "bitonic_sorter",
+    "bitonic_merger",
+    "sort_bits",
+    "merge_sorted_halves",
+]

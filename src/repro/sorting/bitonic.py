@@ -1,0 +1,123 @@
+"""Bitonic sorting-network constructors (paper Figs. 10-11).
+
+Two constructors are provided:
+
+* :func:`bitonic_sorter` -- a full sorter of arbitrary width.  Power-of-two
+  widths give the textbook network of Fig. 10; other widths use the
+  arbitrary-length bitonic construction, which is the modular generalisation
+  of the paper's odd-width sorter (a smaller first merge stage instead of a
+  dedicated 3-input sorter, with identical asymptotic cost and the same
+  sorting guarantee).
+* :func:`bitonic_merger` -- the merge-only network that sorts an input that
+  is already *bitonic* (e.g. an ascending half concatenated with a
+  descending half).  The proposed feature-extraction and pooling blocks use
+  an ``M``-input sorter plus a ``2M``-input merger, because their feedback
+  vector is sorted by construction.
+
+Both return :class:`~repro.sorting.network.ComparatorNetwork` objects, so
+gate counts and pipeline depth fall out directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.sorting.network import Comparator, ComparatorNetwork
+
+__all__ = ["bitonic_sorter", "bitonic_merger", "sort_bits", "merge_sorted_halves"]
+
+
+def _greatest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than ``n`` (requires ``n >= 2``)."""
+    power = 1
+    while power * 2 < n:
+        power *= 2
+    return power
+
+
+def _emit_merge(
+    comparators: list[Comparator], lo: int, length: int, descending: bool
+) -> None:
+    """Emit comparators that sort a bitonic range ``[lo, lo + length)``."""
+    if length <= 1:
+        return
+    m = _greatest_power_of_two_below(length)
+    for i in range(lo, lo + length - m):
+        if descending:
+            comparators.append(Comparator(high=i, low=i + m))
+        else:
+            comparators.append(Comparator(high=i + m, low=i))
+    _emit_merge(comparators, lo, m, descending)
+    _emit_merge(comparators, lo + m, length - m, descending)
+
+
+def _emit_sort(
+    comparators: list[Comparator], lo: int, length: int, descending: bool
+) -> None:
+    """Emit comparators that sort an arbitrary range ``[lo, lo + length)``."""
+    if length <= 1:
+        return
+    m = length // 2
+    _emit_sort(comparators, lo, m, not descending)
+    _emit_sort(comparators, lo + m, length - m, descending)
+    _emit_merge(comparators, lo, length, descending)
+
+
+def bitonic_sorter(width: int, descending: bool = True) -> ComparatorNetwork:
+    """Build a bitonic sorting network for ``width`` lanes.
+
+    Args:
+        width: number of lanes (any positive integer).
+        descending: sort order along increasing lane index.
+
+    Returns:
+        A comparator network that sorts arbitrary inputs.
+    """
+    if width <= 0:
+        raise NetlistError(f"sorter width must be positive, got {width}")
+    comparators: list[Comparator] = []
+    _emit_sort(comparators, 0, width, descending)
+    return ComparatorNetwork(width, comparators)
+
+
+def bitonic_merger(width: int, descending: bool = True) -> ComparatorNetwork:
+    """Build a bitonic merger for ``width`` lanes.
+
+    The merger sorts any *bitonic* input sequence (ascending then descending
+    or a cyclic rotation thereof).  It is the cheap second half of the
+    feedback blocks, where one operand is freshly sorted and the other is
+    the already sorted feedback vector.
+    """
+    if width <= 0:
+        raise NetlistError(f"merger width must be positive, got {width}")
+    comparators: list[Comparator] = []
+    _emit_merge(comparators, 0, width, descending)
+    return ComparatorNetwork(width, comparators)
+
+
+def sort_bits(bits: np.ndarray, descending: bool = True, axis: int = 0) -> np.ndarray:
+    """Plain (software) sort of binary lane data, as a fast functional model.
+
+    Equivalent to running :func:`bitonic_sorter` over the same lanes; used by
+    the vectorised block models where constructing the network object would
+    only slow the simulation down.
+    """
+    bits = np.asarray(bits)
+    ordered = np.sort(bits, axis=axis)
+    if descending:
+        ordered = np.flip(ordered, axis=axis)
+    return ordered
+
+
+def merge_sorted_halves(
+    top: np.ndarray, bottom: np.ndarray, descending: bool = True
+) -> np.ndarray:
+    """Functionally merge two sorted binary lane groups into one sorted group.
+
+    ``top`` and ``bottom`` must each already be sorted along axis 0 (in any
+    consistent order); for binary data the merged result is simply the sort
+    of the concatenation, which is what the hardware merger computes.
+    """
+    stacked = np.concatenate([np.asarray(top), np.asarray(bottom)], axis=0)
+    return sort_bits(stacked, descending=descending, axis=0)

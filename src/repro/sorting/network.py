@@ -1,0 +1,175 @@
+"""Comparator-network representation.
+
+A comparator network is an ordered list of compare-and-swap operations on a
+fixed number of lanes.  For binary inputs each comparator maps the pair
+``(a, b)`` to ``(max(a, b), min(a, b))`` -- an OR gate and an AND gate in
+hardware.  The network records which comparators can run in the same
+pipeline stage so that AQFP latency (clock phases) can be derived directly
+from its depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import NetlistError, ShapeError
+
+__all__ = ["Comparator", "ComparatorNetwork"]
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """A single compare-and-swap between two lanes.
+
+    After the operation, lane ``high`` holds the maximum of the two inputs
+    and lane ``low`` holds the minimum.
+    """
+
+    high: int
+    low: int
+
+    def __post_init__(self) -> None:
+        if self.high == self.low:
+            raise NetlistError("comparator lanes must be distinct")
+        if self.high < 0 or self.low < 0:
+            raise NetlistError("comparator lanes must be non-negative")
+
+
+class ComparatorNetwork:
+    """An ordered comparator network over ``width`` lanes.
+
+    Args:
+        width: number of input/output lanes.
+        comparators: iterable of :class:`Comparator` in execution order.
+    """
+
+    def __init__(self, width: int, comparators: Iterable[Comparator] = ()) -> None:
+        if width <= 0:
+            raise NetlistError(f"width must be positive, got {width}")
+        self._width = int(width)
+        self._comparators: list[Comparator] = []
+        for comp in comparators:
+            self.append(comp)
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, comparator: Comparator) -> None:
+        """Append a comparator, validating its lane indices."""
+        if comparator.high >= self._width or comparator.low >= self._width:
+            raise NetlistError(
+                f"comparator {comparator} out of range for width {self._width}"
+            )
+        self._comparators.append(comparator)
+
+    def extend(self, comparators: Iterable[Comparator]) -> None:
+        """Append several comparators in order."""
+        for comp in comparators:
+            self.append(comp)
+
+    def compose(self, other: "ComparatorNetwork") -> "ComparatorNetwork":
+        """Return a new network running ``self`` then ``other``."""
+        if other.width != self._width:
+            raise NetlistError(
+                f"cannot compose networks of widths {self._width} and {other.width}"
+            )
+        combined = ComparatorNetwork(self._width, self._comparators)
+        combined.extend(other.comparators)
+        return combined
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of lanes."""
+        return self._width
+
+    @property
+    def comparators(self) -> Sequence[Comparator]:
+        """The comparators in execution order."""
+        return tuple(self._comparators)
+
+    @property
+    def size(self) -> int:
+        """Total number of comparators (hardware cost driver)."""
+        return len(self._comparators)
+
+    def depth(self) -> int:
+        """Number of pipeline stages when comparators are packed greedily.
+
+        Two comparators can share a stage when they touch disjoint lanes and
+        no earlier comparator on either lane is still pending.  The greedy
+        levelisation below gives the standard network depth, which for the
+        bitonic constructions equals the textbook ``O(log^2 n)`` bound.
+        """
+        ready_at = np.zeros(self._width, dtype=np.int64)
+        depth = 0
+        for comp in self._comparators:
+            stage = int(max(ready_at[comp.high], ready_at[comp.low])) + 1
+            ready_at[comp.high] = stage
+            ready_at[comp.low] = stage
+            depth = max(depth, stage)
+        return depth
+
+    def stages(self) -> list[list[Comparator]]:
+        """Group comparators into their pipeline stages (same rule as depth)."""
+        ready_at = np.zeros(self._width, dtype=np.int64)
+        grouped: list[list[Comparator]] = []
+        for comp in self._comparators:
+            stage = int(max(ready_at[comp.high], ready_at[comp.low])) + 1
+            ready_at[comp.high] = stage
+            ready_at[comp.low] = stage
+            while len(grouped) < stage:
+                grouped.append([])
+            grouped[stage - 1].append(comp)
+        return grouped
+
+    # -- evaluation --------------------------------------------------------
+
+    def apply(self, lanes: np.ndarray) -> np.ndarray:
+        """Run the network over binary lane data.
+
+        Args:
+            lanes: array of shape ``(width, ...)``; trailing axes are carried
+                through unchanged (e.g. a stream axis or a batch axis).
+
+        Returns:
+            Array of the same shape with every comparator applied in order.
+        """
+        lanes = np.asarray(lanes)
+        if lanes.shape[0] != self._width:
+            raise ShapeError(
+                f"lane axis has {lanes.shape[0]} entries, expected {self._width}"
+            )
+        out = lanes.copy()
+        for comp in self._comparators:
+            hi = np.maximum(out[comp.high], out[comp.low])
+            lo = np.minimum(out[comp.high], out[comp.low])
+            out[comp.high] = hi
+            out[comp.low] = lo
+        return out
+
+    def sorts_all_binary_inputs(self) -> bool:
+        """Exhaustively verify the network sorts every 0/1 input (<= 2^width).
+
+        By the zero-one principle this proves the network is a sorter for
+        arbitrary inputs.  Only practical for widths up to ~20.
+        """
+        if self._width > 20:
+            raise NetlistError(
+                "exhaustive zero-one check limited to width <= 20; "
+                "use random checks for larger networks"
+            )
+        n_cases = 1 << self._width
+        patterns = ((np.arange(n_cases)[None, :] >> np.arange(self._width)[:, None]) & 1).astype(
+            np.uint8
+        )
+        sorted_out = self.apply(patterns)
+        descending = np.sort(patterns, axis=0)[::-1]
+        return bool(np.array_equal(sorted_out, descending))
+
+    def gate_count(self) -> dict[str, int]:
+        """Two-input gate cost of the binary network (one AND + one OR each)."""
+        return {"and": self.size, "or": self.size}

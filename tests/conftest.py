@@ -1,0 +1,18 @@
+"""Shared pytest fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic random generator for stream sampling in tests."""
+    return np.random.default_rng(20190622)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small synthetic digit dataset shared by the slower tests."""
+    from repro.datasets import generate_digit_dataset
+
+    return generate_digit_dataset(n_train=300, n_test=100, seed=11)

@@ -1,0 +1,285 @@
+"""Tests for repro.aqfp: cells, netlists, balancing, synthesis, clocking,
+energy, and the gate-level simulator (cross-checked against the sorting
+networks and majority chains they implement)."""
+
+import numpy as np
+import pytest
+
+from repro.aqfp import (
+    AqfpTechnology,
+    CellType,
+    Netlist,
+    analyze_clocking,
+    balance_netlist,
+    estimate_cost,
+    majority_synthesis,
+    simulate,
+)
+from repro.aqfp.cells import CELL_LIBRARY, cell_spec
+from repro.aqfp.energy import cost_from_counts
+from repro.aqfp.gates import (
+    add_magnitude_comparator,
+    add_majority_chain,
+    add_xnor,
+    build_majority_chain_netlist,
+    build_sorter_netlist,
+)
+from repro.errors import ConfigurationError, NetlistError, SimulationError
+from repro.sorting import bitonic_sorter
+
+
+class TestCells:
+    def test_library_is_complete(self):
+        assert set(CELL_LIBRARY) == set(CellType)
+
+    def test_majority_costs_like_and(self):
+        assert cell_spec(CellType.MAJ3).jj_count == cell_spec(CellType.AND2).jj_count
+
+    def test_buffer_has_two_junctions(self):
+        assert cell_spec(CellType.BUFFER).jj_count == 2
+
+
+class TestTechnology:
+    def test_defaults_valid(self):
+        tech = AqfpTechnology()
+        assert tech.phase_time_s == pytest.approx(tech.cycle_time_s / 4)
+
+    def test_energy_scales_linearly(self):
+        tech = AqfpTechnology()
+        assert tech.energy_j(100, 10) == pytest.approx(10 * tech.energy_j(100, 1))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AqfpTechnology(energy_per_jj_j=0)
+        with pytest.raises(ConfigurationError):
+            AqfpTechnology(cooling_overhead=0.5)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AqfpTechnology().energy_j(-1, 5)
+
+
+class TestNetlist:
+    def test_gate_arity_checked(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_gate(CellType.AND2, (a,))
+
+    def test_unknown_input_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_gate(CellType.BUFFER, (42,))
+
+    def test_add_input_vs_add_gate(self):
+        netlist = Netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_gate(CellType.INPUT, ())
+
+    def test_jj_count_and_summary(self):
+        netlist = Netlist("demo")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        out = netlist.add_gate(CellType.AND2, (a, b))
+        netlist.set_outputs([out])
+        assert netlist.jj_count() == 6
+        summary = netlist.summary()
+        assert summary["gates"] == 1
+        assert summary["depth"] == 1
+
+    def test_constants_do_not_add_depth(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        const = netlist.add_gate(CellType.CONST_1, ())
+        out = netlist.add_gate(CellType.OR2, (a, const))
+        netlist.set_outputs([out])
+        assert netlist.logic_depth() == 1
+        assert netlist.is_phase_aligned()
+
+    def test_unbalanced_detected(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        buffered = netlist.add_gate(CellType.BUFFER, (a,))
+        out = netlist.add_gate(CellType.AND2, (buffered, b))
+        netlist.set_outputs([out])
+        assert not netlist.is_phase_aligned()
+
+    def test_fanout_violations(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.add_gate(CellType.BUFFER, (a,))
+        netlist.add_gate(CellType.INVERTER, (a,))
+        assert netlist.fanout_violations() == [a]
+
+
+class TestBalancing:
+    def test_balance_fixes_alignment_and_fanout(self):
+        netlist = build_sorter_netlist(bitonic_sorter(5), "sorter5")
+        balanced, report = balance_netlist(netlist)
+        assert balanced.is_phase_aligned()
+        assert balanced.fanout_violations() == []
+        assert report.jj_after >= report.jj_before
+        assert report.buffers_added > 0
+        assert report.splitters_added > 0
+
+    def test_balanced_netlist_preserves_function(self, rng):
+        netlist = build_sorter_netlist(bitonic_sorter(7), "sorter7")
+        balanced, _ = balance_netlist(netlist)
+        stimulus = {i: rng.integers(0, 2, 32).astype(np.uint8) for i in balanced.inputs}
+        outputs = simulate(balanced, stimulus)
+        stacked = np.stack([stimulus[i] for i in balanced.inputs])
+        expected = np.sort(stacked, axis=0)[::-1]
+        got = np.stack([outputs[o] for o in balanced.outputs])
+        assert np.array_equal(got, expected)
+
+    def test_fanout_limit_validation(self):
+        netlist = build_sorter_netlist(bitonic_sorter(3))
+        from repro.aqfp.balance import insert_splitters
+
+        with pytest.raises(NetlistError):
+            insert_splitters(netlist, fanout_limit=1)
+
+
+class TestSynthesis:
+    def test_rewrite_preserves_function(self, rng):
+        netlist = build_sorter_netlist(bitonic_sorter(6), "sorter6")
+        synthesized, report = majority_synthesis(netlist)
+        assert report.and_or_rewritten > 0
+        stimulus = {i: rng.integers(0, 2, 16).astype(np.uint8) for i in synthesized.inputs}
+        outputs = simulate(synthesized, stimulus)
+        stacked = np.stack([stimulus[i] for i in synthesized.inputs])
+        expected = np.sort(stacked, axis=0)[::-1]
+        got = np.stack([outputs[o] for o in synthesized.outputs])
+        assert np.array_equal(got, expected)
+
+    def test_rewrite_replaces_all_and_or(self):
+        netlist = build_sorter_netlist(bitonic_sorter(4))
+        synthesized, _ = majority_synthesis(netlist)
+        counts = synthesized.cell_counts()
+        assert counts.get(CellType.AND2, 0) == 0
+        assert counts.get(CellType.OR2, 0) == 0
+        assert counts.get(CellType.MAJ3, 0) > 0
+
+
+class TestGateMacros:
+    def test_xnor_truth_table(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        out = add_xnor(netlist, a, b)
+        netlist.set_outputs([out])
+        stimulus = {a: np.array([0, 0, 1, 1], dtype=np.uint8),
+                    b: np.array([0, 1, 0, 1], dtype=np.uint8)}
+        result = simulate(netlist, stimulus)[out]
+        assert np.array_equal(result, np.array([1, 0, 0, 1]))
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 7, 10])
+    def test_majority_chain_matches_functional_model(self, k, rng):
+        from repro.blocks.categorization import MajorityChainCategorizationBlock
+
+        netlist = build_majority_chain_netlist(k)
+        stimulus = {
+            node: rng.integers(0, 2, 64).astype(np.uint8) for node in netlist.inputs
+        }
+        hardware_out = list(simulate(netlist, stimulus).values())[0]
+        products = np.stack([stimulus[node] for node in netlist.inputs])
+        model_out = MajorityChainCategorizationBlock(k).forward_products(products)
+        assert np.array_equal(hardware_out, model_out)
+
+    def test_magnitude_comparator(self, rng):
+        n_bits = 4
+        netlist = Netlist()
+        value_bits = [netlist.add_input(f"v{i}") for i in range(n_bits)]
+        random_bits = [netlist.add_input(f"r{i}") for i in range(n_bits)]
+        out = add_magnitude_comparator(netlist, value_bits, random_bits)
+        netlist.set_outputs([out])
+        values = rng.integers(0, 16, 64)
+        randoms = rng.integers(0, 16, 64)
+        stimulus = {}
+        for position in range(n_bits):
+            shift = n_bits - 1 - position  # MSB first
+            stimulus[value_bits[position]] = ((values >> shift) & 1).astype(np.uint8)
+            stimulus[random_bits[position]] = ((randoms >> shift) & 1).astype(np.uint8)
+        result = simulate(netlist, stimulus)[out]
+        assert np.array_equal(result, (randoms < values).astype(np.uint8))
+
+    def test_empty_majority_chain_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(NetlistError):
+            add_majority_chain(netlist, [])
+
+
+class TestClockingAndEnergy:
+    def test_clocking_requires_balanced(self):
+        netlist = build_sorter_netlist(bitonic_sorter(5))
+        with pytest.raises(SimulationError):
+            analyze_clocking(netlist, AqfpTechnology())
+
+    def test_clocking_report_values(self):
+        netlist, _ = balance_netlist(build_sorter_netlist(bitonic_sorter(4)))
+        tech = AqfpTechnology()
+        report = analyze_clocking(netlist, tech, stream_length=1024)
+        assert report.phases == netlist.logic_depth()
+        assert report.fill_latency_s == pytest.approx(report.phases * tech.phase_time_s)
+        assert 0.9 < report.utilization < 1.0
+
+    def test_estimate_cost_scales_with_stream(self):
+        netlist, _ = balance_netlist(build_sorter_netlist(bitonic_sorter(4)))
+        tech = AqfpTechnology()
+        short = estimate_cost(netlist, tech, 128)
+        long = estimate_cost(netlist, tech, 1024)
+        assert long.energy_pj == pytest.approx(8 * short.energy_pj)
+        assert long.latency_ns == pytest.approx(short.latency_ns)
+
+    def test_cost_ratio_helpers(self):
+        tech = AqfpTechnology()
+        cheap = cost_from_counts(100, 10, tech, 1024)
+        costly = cost_from_counts(1000, 20, tech, 1024)
+        assert cheap.energy_ratio(costly) == pytest.approx(10.0)
+        assert cheap.speedup(costly) == pytest.approx(2.0)
+
+    def test_cost_validation(self):
+        with pytest.raises(SimulationError):
+            cost_from_counts(-1, 0, AqfpTechnology(), 1024)
+
+
+class TestSimulator:
+    def test_missing_stimulus_rejected(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        out = netlist.add_gate(CellType.BUFFER, (a,))
+        netlist.set_outputs([out])
+        with pytest.raises(SimulationError):
+            simulate(netlist, {})
+
+    def test_all_primitive_gates(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        c = netlist.add_input("c")
+        gates = {
+            "and": netlist.add_gate(CellType.AND2, (a, b)),
+            "or": netlist.add_gate(CellType.OR2, (a, b)),
+            "nand": netlist.add_gate(CellType.NAND2, (a, b)),
+            "nor": netlist.add_gate(CellType.NOR2, (a, b)),
+            "inv": netlist.add_gate(CellType.INVERTER, (a,)),
+            "maj": netlist.add_gate(CellType.MAJ3, (a, b, c)),
+            "const0": netlist.add_gate(CellType.CONST_0, ()),
+            "const1": netlist.add_gate(CellType.CONST_1, ()),
+        }
+        netlist.set_outputs(list(gates.values()))
+        stimulus = {
+            a: np.array([0, 0, 1, 1], dtype=np.uint8),
+            b: np.array([0, 1, 0, 1], dtype=np.uint8),
+            c: np.array([1, 0, 0, 1], dtype=np.uint8),
+        }
+        out = simulate(netlist, stimulus)
+        assert np.array_equal(out[gates["and"]], [0, 0, 0, 1])
+        assert np.array_equal(out[gates["or"]], [0, 1, 1, 1])
+        assert np.array_equal(out[gates["nand"]], [1, 1, 1, 0])
+        assert np.array_equal(out[gates["nor"]], [1, 0, 0, 0])
+        assert np.array_equal(out[gates["inv"]], [1, 1, 0, 0])
+        assert np.array_equal(out[gates["maj"]], [0, 0, 0, 1])
+        assert np.array_equal(out[gates["const0"]], [0, 0, 0, 0])
+        assert np.array_equal(out[gates["const1"]], [1, 1, 1, 1])

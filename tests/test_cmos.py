@@ -1,0 +1,87 @@
+"""Tests for the CMOS baseline cost models."""
+
+import pytest
+
+from repro.cmos import (
+    CmosTechnology,
+    GATE_LIBRARY,
+    cmos_apc_feature_extraction_cost,
+    cmos_categorization_cost,
+    cmos_mux_pooling_cost,
+    cmos_sng_cost,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCmosLibrary:
+    def test_known_gates_present(self):
+        for gate in ("inv", "nand2", "xnor2", "dff", "full_adder"):
+            assert gate in GATE_LIBRARY
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CmosTechnology().gate_energy_j("flux_capacitor")
+
+    def test_block_energy_adds_up(self):
+        tech = CmosTechnology(leakage_fraction=0.0)
+        energy = tech.block_energy_j({"nand2": 10}, 100)
+        assert energy == pytest.approx(10 * 100 * GATE_LIBRARY["nand2"].energy_j)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            CmosTechnology(clock_hz=0)
+        with pytest.raises(ConfigurationError):
+            CmosTechnology(leakage_fraction=-0.1)
+
+
+class TestCmosBlocks:
+    def test_sng_energy_scales_with_outputs(self):
+        small = cmos_sng_cost(100)
+        large = cmos_sng_cost(800)
+        assert large.energy_pj == pytest.approx(8 * small.energy_pj, rel=0.01)
+
+    def test_feature_extraction_energy_grows_with_inputs(self):
+        sizes = [9, 25, 121, 800]
+        energies = [cmos_apc_feature_extraction_cost(s).energy_pj for s in sizes]
+        assert energies == sorted(energies)
+
+    def test_feature_extraction_delay_grows_with_inputs(self):
+        # The paper's Table 5 CMOS delays grow with the APC tree depth.
+        assert (
+            cmos_apc_feature_extraction_cost(800).latency_ns
+            > cmos_apc_feature_extraction_cost(9).latency_ns
+        )
+
+    def test_feature_extraction_order_of_magnitude(self):
+        # Paper Table 5: hundreds of pJ at M=9, thousands at M=800.
+        assert 100 < cmos_apc_feature_extraction_cost(9).energy_pj < 1000
+        assert 3000 < cmos_apc_feature_extraction_cost(800).energy_pj < 30000
+
+    def test_pooling_cheaper_than_feature_extraction(self):
+        assert (
+            cmos_mux_pooling_cost(9).energy_pj
+            < cmos_apc_feature_extraction_cost(9).energy_pj
+        )
+
+    def test_categorization_more_expensive_than_feature_extraction(self):
+        # Table 7's CMOS categorizer (full-precision adder tree) costs more
+        # than the APC-based block of the same size in Table 5.
+        assert (
+            cmos_categorization_cost(500).energy_pj
+            > cmos_apc_feature_extraction_cost(500).energy_pj
+        )
+
+    def test_energy_scales_with_stream_length(self):
+        short = cmos_sng_cost(100, stream_length=128)
+        long = cmos_sng_cost(100, stream_length=1024)
+        assert long.energy_pj == pytest.approx(8 * short.energy_pj, rel=0.01)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cmos_sng_cost(0)
+        with pytest.raises(ConfigurationError):
+            cmos_apc_feature_extraction_cost(10, stream_length=0)
+        with pytest.raises(ConfigurationError):
+            cmos_mux_pooling_cost(-2)
+        with pytest.raises(ConfigurationError):
+            cmos_categorization_cost(0)

@@ -1,0 +1,56 @@
+"""Tests for package-level configuration and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import ConfigurationError, ExperimentConfig, ReproError, default_config
+from repro.errors import (
+    DatasetError,
+    EncodingError,
+    NetlistError,
+    ShapeError,
+    SimulationError,
+    TrainingError,
+)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = default_config()
+        assert config.stream_length == 1024
+        assert config.weight_bits == 10
+
+    def test_with_stream_length(self):
+        config = default_config().with_stream_length(256)
+        assert config.stream_length == 256
+        assert config.weight_bits == default_config().weight_bits
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(stream_length=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(weight_bits=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(aqfp_clock_hz=-1)
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ConfigurationError,
+            EncodingError,
+            ShapeError,
+            NetlistError,
+            SimulationError,
+            TrainingError,
+            DatasetError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")

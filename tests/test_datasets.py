@@ -1,0 +1,79 @@
+"""Tests for the synthetic digit dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DigitDataset, generate_digit_dataset, render_digit
+from repro.errors import DatasetError
+
+
+class TestRenderDigit:
+    def test_shape_and_range(self):
+        image = render_digit(3, np.random.default_rng(0))
+        assert image.shape == (28, 28)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_all_digits_renderable(self):
+        rng = np.random.default_rng(1)
+        for digit in range(10):
+            assert render_digit(digit, rng).sum() > 5.0  # strokes actually drawn
+
+    def test_invalid_digit(self):
+        with pytest.raises(DatasetError):
+            render_digit(11, np.random.default_rng(0))
+
+    def test_jitter_zero_is_deterministic_shape(self):
+        a = render_digit(7, np.random.default_rng(5), jitter=0.0)
+        b = render_digit(7, np.random.default_rng(9), jitter=0.0)
+        # Without jitter the strokes are fixed; only the pen thickness draw
+        # differs, so the images must be highly correlated.
+        correlation = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+        assert correlation > 0.95
+
+    def test_different_digits_look_different(self):
+        rng = np.random.default_rng(2)
+        one = render_digit(1, rng, jitter=0.0)
+        eight = render_digit(8, rng, jitter=0.0)
+        assert np.corrcoef(one.ravel(), eight.ravel())[0, 1] < 0.8
+
+
+class TestGenerateDataset:
+    def test_shapes_and_balance(self):
+        dataset = generate_digit_dataset(200, 100, seed=3)
+        assert dataset.train_images.shape == (200, 28, 28)
+        assert dataset.test_images.shape == (100, 28, 28)
+        counts = np.bincount(dataset.train_labels, minlength=10)
+        assert counts.min() >= 15  # roughly balanced
+
+    def test_deterministic_for_seed(self):
+        a = generate_digit_dataset(50, 20, seed=5)
+        b = generate_digit_dataset(50, 20, seed=5)
+        assert np.array_equal(a.train_images, b.train_images)
+        assert np.array_equal(a.test_labels, b.test_labels)
+
+    def test_train_test_differ(self):
+        dataset = generate_digit_dataset(50, 50, seed=6)
+        assert not np.array_equal(dataset.train_images[:10], dataset.test_images[:10])
+
+    def test_subset(self):
+        dataset = generate_digit_dataset(100, 50, seed=7)
+        small = dataset.subset(20, 10)
+        assert small.train_images.shape[0] == 20
+        assert small.n_classes == 10
+        with pytest.raises(DatasetError):
+            dataset.subset(1000, 10)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(DatasetError):
+            generate_digit_dataset(5, 100)
+
+    def test_classes_are_separable(self):
+        dataset = generate_digit_dataset(400, 200, seed=8)
+        centroids = np.stack(
+            [dataset.train_images[dataset.train_labels == c].mean(axis=0) for c in range(10)]
+        )
+        distances = (
+            (dataset.test_images[:, None, :, :] - centroids[None]) ** 2
+        ).sum(axis=(2, 3))
+        accuracy = (distances.argmin(axis=1) == dataset.test_labels).mean()
+        assert accuracy > 0.8

@@ -1,0 +1,187 @@
+"""Tests for repro.rng: TRNG model, LFSR, RNG matrix, quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.rng import (
+    AqfpTrueRng,
+    Lfsr,
+    RngMatrix,
+    bit_bias,
+    chi_square_uniformity,
+    pairwise_word_correlation,
+    serial_correlation,
+)
+
+
+class TestAqfpTrueRng:
+    def test_bits_are_binary(self):
+        trng = AqfpTrueRng(8, seed=1)
+        bits = trng.bits((100, 7))
+        assert bits.shape == (100, 7)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_unbiased_by_default(self):
+        trng = AqfpTrueRng(8, seed=2)
+        assert abs(bit_bias(trng.bits(200_000))) < 0.01
+
+    def test_bias_knob_shifts_distribution(self):
+        trng = AqfpTrueRng(8, seed=3, bias=0.2)
+        assert trng.bits(100_000).mean() == pytest.approx(0.7, abs=0.02)
+
+    def test_persistence_creates_serial_correlation(self):
+        ideal = AqfpTrueRng(4, seed=4)
+        sticky = AqfpTrueRng(4, seed=4, flip_persistence=0.8)
+        assert abs(serial_correlation(ideal.bits(50_000))) < 0.02
+        assert serial_correlation(sticky.bits(50_000)) > 0.5
+
+    def test_words_within_range(self):
+        trng = AqfpTrueRng(6, seed=5)
+        words = trng.words(1000)
+        assert words.min() >= 0
+        assert words.max() < 64
+
+    def test_words_roughly_uniform(self):
+        trng = AqfpTrueRng(6, seed=6)
+        assert chi_square_uniformity(trng.words(50_000), 64) < 2.0
+
+    def test_reset_reproduces_sequence(self):
+        trng = AqfpTrueRng(8, seed=7)
+        first = trng.bits(64)
+        trng.reset()
+        assert np.array_equal(first, trng.bits(64))
+
+    def test_jj_count(self):
+        assert AqfpTrueRng(10, seed=1).jj_count == 20
+
+    def test_invalid_bias_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AqfpTrueRng(8, bias=0.6)
+
+    def test_invalid_persistence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AqfpTrueRng(8, flip_persistence=1.0)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AqfpTrueRng(0)
+
+
+class TestLfsr:
+    def test_seed_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(8, seed=0)
+
+    def test_unknown_width_needs_taps(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(21)
+
+    def test_bad_tap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(8, taps=(9,))
+
+    def test_maximal_period_small_width(self):
+        lfsr = Lfsr(5, seed=1)
+        seen = set()
+        for _ in range(lfsr.period):
+            seen.add(lfsr.step())
+        assert len(seen) == 31  # every non-zero state visited exactly once
+
+    def test_never_reaches_zero(self):
+        lfsr = Lfsr(6, seed=3)
+        assert all(lfsr.step() != 0 for _ in range(200))
+
+    def test_reset_restores_sequence(self):
+        lfsr = Lfsr(10, seed=5)
+        first = lfsr.sequence(32).tolist()
+        lfsr.reset()
+        assert lfsr.sequence(32).tolist() == first
+
+    def test_words_shape(self):
+        assert Lfsr(8, seed=1).words((4, 5)).shape == (4, 5)
+
+    def test_roughly_uniform(self):
+        lfsr = Lfsr(10, seed=77)
+        assert chi_square_uniformity(lfsr.sequence(1023), 1024) < 2.0
+
+    @given(st.integers(min_value=1, max_value=255))
+    @settings(max_examples=20, deadline=None)
+    def test_state_stays_in_range(self, seed):
+        lfsr = Lfsr(8, seed=seed)
+        for _ in range(50):
+            assert 0 < lfsr.step() < 256
+
+
+class TestRngMatrix:
+    def test_word_count_and_width(self):
+        matrix = RngMatrix(8, seed=1)
+        assert matrix.n_words == 32
+        assert matrix.word_bits == 8
+
+    def test_words_shape_and_range(self):
+        matrix = RngMatrix(6, seed=2)
+        words = matrix.words(50)
+        assert words.shape == (50, 24)
+        assert words.min() >= 0 and words.max() < 64
+
+    def test_shared_bits_rules(self):
+        matrix = RngMatrix(8, seed=3)
+        assert matrix.shared_bits(0, 8) == 8     # same row, both directions
+        assert matrix.shared_bits(0, 1) == 0     # different rows
+        assert matrix.shared_bits(0, 16) == 1    # row vs column
+        assert matrix.shared_bits(5, 5) == 8     # identity
+
+    def test_shared_bits_range_check(self):
+        with pytest.raises(ConfigurationError):
+            RngMatrix(4).shared_bits(0, 99)
+
+    def test_sharing_gain_is_about_four(self):
+        matrix = RngMatrix(10, seed=4)
+        # 4N words from N*N units (plus splitters) instead of 4N private
+        # N-bit TRNGs: a 2x JJ saving with the chosen cell costs (4x on the
+        # TRNG cells themselves before the splitter overhead).
+        assert matrix.sharing_gain() >= 2.0
+
+    def test_distinct_row_words_uncorrelated(self):
+        matrix = RngMatrix(10, seed=5)
+        words = matrix.words(4000)
+        corr = pairwise_word_correlation(words[:, :10])
+        off_diag = corr[~np.eye(10, dtype=bool)]
+        assert off_diag.max() < 0.1
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ConfigurationError):
+            RngMatrix(4).words(0)
+
+    def test_too_small_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngMatrix(1)
+
+
+class TestQualityMetrics:
+    def test_bit_bias_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            bit_bias(np.array([]))
+
+    def test_serial_correlation_needs_length(self):
+        with pytest.raises(ShapeError):
+            serial_correlation(np.array([1, 0]), lag=5)
+
+    def test_serial_correlation_constant_sequence(self):
+        assert serial_correlation(np.ones(100)) == 0.0
+
+    def test_chi_square_detects_non_uniformity(self):
+        skewed = np.zeros(10_000, dtype=int)
+        assert chi_square_uniformity(skewed, 64) > 10.0
+
+    def test_pairwise_correlation_shape_check(self):
+        with pytest.raises(ShapeError):
+            pairwise_word_correlation(np.arange(10))
+
+    def test_pairwise_correlation_identical_columns(self):
+        col = np.random.default_rng(0).integers(0, 100, size=(50, 1))
+        corr = pairwise_word_correlation(np.hstack([col, col]))
+        assert corr[0, 1] == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,132 @@
+"""Tests for repro.sorting: comparator networks and bitonic constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError, ShapeError
+from repro.sorting import (
+    Comparator,
+    ComparatorNetwork,
+    bitonic_merger,
+    bitonic_sorter,
+    merge_sorted_halves,
+    sort_bits,
+)
+
+
+class TestComparatorNetwork:
+    def test_comparator_validation(self):
+        with pytest.raises(NetlistError):
+            Comparator(1, 1)
+        with pytest.raises(NetlistError):
+            Comparator(-1, 0)
+
+    def test_out_of_range_lane_rejected(self):
+        net = ComparatorNetwork(4)
+        with pytest.raises(NetlistError):
+            net.append(Comparator(0, 7))
+
+    def test_apply_checks_width(self):
+        net = bitonic_sorter(4)
+        with pytest.raises(ShapeError):
+            net.apply(np.zeros((3, 2), dtype=np.uint8))
+
+    def test_depth_and_stages_consistent(self):
+        net = bitonic_sorter(8)
+        assert net.depth() == len(net.stages())
+        assert sum(len(s) for s in net.stages()) == net.size
+
+    def test_compose_widths_must_match(self):
+        with pytest.raises(NetlistError):
+            bitonic_sorter(4).compose(bitonic_sorter(5))
+
+    def test_compose_runs_sequentially(self):
+        sorter = bitonic_sorter(6)
+        composed = sorter.compose(sorter)
+        data = np.random.default_rng(1).integers(0, 2, (6, 50)).astype(np.uint8)
+        assert np.array_equal(composed.apply(data), sorter.apply(data))
+
+    def test_gate_count(self):
+        net = bitonic_sorter(8)
+        counts = net.gate_count()
+        assert counts["and"] == counts["or"] == net.size
+
+    def test_zero_one_check_width_limit(self):
+        with pytest.raises(NetlistError):
+            ComparatorNetwork(32).sorts_all_binary_inputs()
+
+
+class TestBitonicSorter:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 16])
+    def test_sorts_all_binary_inputs(self, width):
+        assert bitonic_sorter(width).sorts_all_binary_inputs()
+
+    @pytest.mark.parametrize("width", [3, 5, 9])
+    def test_ascending_order(self, width):
+        net = bitonic_sorter(width, descending=False)
+        rng = np.random.default_rng(width)
+        data = rng.integers(0, 2, (width, 64)).astype(np.uint8)
+        assert np.array_equal(net.apply(data), np.sort(data, axis=0))
+
+    def test_size_grows_subquadratically(self):
+        # Bitonic sorting networks use O(n log^2 n) comparators.
+        small = bitonic_sorter(16).size
+        large = bitonic_sorter(64).size
+        assert large < small * 16
+
+    def test_depth_matches_theory_for_power_of_two(self):
+        # depth = log2(n) * (log2(n) + 1) / 2 for power-of-two widths.
+        assert bitonic_sorter(16).depth() == 10
+        assert bitonic_sorter(8).depth() == 6
+
+    def test_invalid_width(self):
+        with pytest.raises(NetlistError):
+            bitonic_sorter(0)
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_random_inputs_sorted(self, width, seed):
+        net = bitonic_sorter(width)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (width, 8)).astype(np.uint8)
+        out = net.apply(data)
+        expected = np.sort(data, axis=0)[::-1]
+        assert np.array_equal(out, expected)
+
+
+class TestBitonicMerger:
+    @pytest.mark.parametrize("half", [1, 2, 3, 4, 5, 8])
+    def test_merges_opposite_sorted_halves(self, half):
+        merger = bitonic_merger(2 * half)
+        for ones_top in range(half + 1):
+            for ones_bottom in range(half + 1):
+                top = np.array([0] * (half - ones_top) + [1] * ones_top, dtype=np.uint8)
+                bottom = np.array([1] * ones_bottom + [0] * (half - ones_bottom), dtype=np.uint8)
+                merged = merger.apply(np.concatenate([top, bottom])[:, None])[:, 0]
+                assert np.array_equal(merged, np.sort(np.concatenate([top, bottom]))[::-1])
+
+    def test_merger_cheaper_than_sorter(self):
+        assert bitonic_merger(32).size < bitonic_sorter(32).size
+
+    def test_invalid_width(self):
+        with pytest.raises(NetlistError):
+            bitonic_merger(0)
+
+
+class TestFunctionalHelpers:
+    def test_sort_bits_descending(self):
+        data = np.array([0, 1, 0, 1, 1], dtype=np.uint8)
+        assert np.array_equal(sort_bits(data), np.array([1, 1, 1, 0, 0]))
+
+    def test_sort_bits_matches_network(self, rng):
+        data = rng.integers(0, 2, (9, 32)).astype(np.uint8)
+        network_result = bitonic_sorter(9).apply(data)
+        assert np.array_equal(sort_bits(data, descending=True, axis=0), network_result)
+
+    def test_merge_sorted_halves(self, rng):
+        top = sort_bits(rng.integers(0, 2, 6).astype(np.uint8))
+        bottom = sort_bits(rng.integers(0, 2, 6).astype(np.uint8))
+        merged = merge_sorted_halves(top[:, None], bottom[:, None])
+        assert np.array_equal(merged[:, 0], sort_bits(np.concatenate([top, bottom])))
