@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""Performance benchmark harness: legacy byte-per-bit vs packed/batched paths.
+
+Times the SC hot kernels -- SNG word generation, XNOR multiplication,
+sorter average pooling, sorter feature extraction, and end-to-end bit-exact
+network inference -- at several stream lengths, for both the legacy
+``uint8``/per-instance paths and the word-packed / batched engines, and
+writes ``BENCH_perf.json`` (seconds, ops/sec, speedup, peak bytes) so
+future PRs have a performance trajectory to compare against.
+
+Every comparison **asserts bit-exactness** between the two paths before
+reporting a speedup: the packed engine is a faster representation of the
+same hardware, not an approximation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [--output PATH]
+
+``--quick`` restricts the stream-length grid (used by CI smoke runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.blocks.feature_extraction import SorterFeatureExtractionBlock
+from repro.blocks.pooling import SorterAveragePoolingBlock
+from repro.nn.architectures import LayerSpec, build_network
+from repro.nn.sc_layers import ScNetworkMapper
+from repro.rng.lfsr import Lfsr
+from repro.sc.bitstream import Bitstream
+from repro.sc.ops import xnor_multiply
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FULL_LENGTHS = (256, 1024, 8192)
+QUICK_LENGTHS = (256, 1024)
+
+#: Approximate bit-operations per timed measurement; the inner repetition
+#: count of the cheap kernels is scaled so that even a fast path runs long
+#: enough to time reliably.
+TARGET_BIT_OPS = 50_000_000
+
+
+def _legacy_lfsr_words(lfsr: Lfsr, count: int) -> np.ndarray:
+    """The pre-vectorisation ``Lfsr.words`` hot path: one step per word."""
+    out = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        out[i] = lfsr.step()
+    return out
+
+
+def _legacy_xnor_bits(bits_a: np.ndarray, bits_b: np.ndarray) -> np.ndarray:
+    """The pre-packing XNOR data path (byte per bit, logical ufuncs)."""
+    return np.logical_not(np.logical_xor(bits_a, bits_b)).astype(np.uint8)
+
+
+def _time_call(fn, repeats: int = 2):
+    """Best-of-``repeats`` wall time plus the function result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _peak_bytes(fn) -> int:
+    """Peak traced allocation of one run (NumPy buffers are traced)."""
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        fn()
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def _entry(
+    kernel: str,
+    stream_length: int,
+    n_ops: int,
+    legacy_fn,
+    new_fn,
+    check_equal,
+    legacy_repeats: int = 1,
+    new_repeats: int = 2,
+) -> dict:
+    """Time both paths, assert bit-exactness, and build one JSON record."""
+    legacy_seconds, legacy_result = _time_call(legacy_fn, legacy_repeats)
+    new_seconds, new_result = _time_call(new_fn, new_repeats)
+    assert check_equal(legacy_result, new_result), (
+        f"{kernel} @ N={stream_length}: packed/batched output differs from "
+        "the legacy path"
+    )
+    entry = {
+        "kernel": kernel,
+        "stream_length": stream_length,
+        "bit_ops": n_ops,
+        "legacy_seconds": legacy_seconds,
+        "new_seconds": new_seconds,
+        "speedup": legacy_seconds / new_seconds,
+        "legacy_ops_per_sec": n_ops / legacy_seconds,
+        "new_ops_per_sec": n_ops / new_seconds,
+        "legacy_peak_bytes": _peak_bytes(legacy_fn),
+        "new_peak_bytes": _peak_bytes(new_fn),
+        "bit_exact": True,
+    }
+    print(
+        f"  {kernel:<20s} N={stream_length:<6d} "
+        f"legacy {legacy_seconds * 1e3:8.2f} ms   "
+        f"new {new_seconds * 1e3:8.2f} ms   "
+        f"speedup {entry['speedup']:7.1f}x"
+    )
+    return entry
+
+
+def bench_sng(length: int) -> dict:
+    """LFSR random-word generation feeding SNG comparators."""
+    n_values = 64
+    count = n_values * length
+    legacy_lfsr = Lfsr(10, seed=17)
+    fast_lfsr = Lfsr(10, seed=17)
+
+    def legacy():
+        legacy_lfsr.reset()
+        return _legacy_lfsr_words(legacy_lfsr, count)
+
+    def fast():
+        fast_lfsr.reset()
+        return fast_lfsr.words(count)
+
+    return _entry(
+        "sng-lfsr-words",
+        length,
+        count,
+        legacy,
+        fast,
+        lambda a, b: np.array_equal(a, b),
+    )
+
+
+def bench_xnor(length: int) -> dict:
+    """Bipolar SC multiplication: byte-per-bit ufuncs vs packed words."""
+    n_values = 256
+    rng = np.random.default_rng(1)
+    bits_a = rng.integers(0, 2, (n_values, length), dtype=np.uint8)
+    bits_b = rng.integers(0, 2, (n_values, length), dtype=np.uint8)
+    packed_a = Bitstream(bits_a).packed()
+    packed_b = Bitstream(bits_b).packed()
+    inner = max(1, TARGET_BIT_OPS // (n_values * length))
+
+    def legacy():
+        for _ in range(inner):
+            out = _legacy_xnor_bits(bits_a, bits_b)
+        return out
+
+    def fast():
+        for _ in range(inner):
+            out = xnor_multiply(packed_a, packed_b)
+        return out
+
+    return _entry(
+        "xnor-multiply",
+        length,
+        inner * n_values * length,
+        legacy,
+        fast,
+        lambda a, b: np.array_equal(a, b.unpack()),
+        legacy_repeats=2,
+    )
+
+
+def bench_pooling(length: int) -> dict:
+    """Sorter average pooling: per-cycle loop vs closed-form cumsum."""
+    m, instances = 4, 64
+    rng = np.random.default_rng(2)
+    bits = rng.integers(0, 2, (instances, m, length), dtype=np.uint8)
+    block = SorterAveragePoolingBlock(m)
+    return _entry(
+        "pooling",
+        length,
+        instances * m * length,
+        lambda: block.forward_bits_reference(bits),
+        lambda: block.forward_bits(bits),
+        lambda a, b: np.array_equal(a, b),
+        legacy_repeats=2,
+        new_repeats=3,
+    )
+
+
+def bench_feature_extraction(length: int) -> dict:
+    """Feature extraction: one recurrence per block vs whole-layer batch."""
+    m, instances = 9, 128
+    rng = np.random.default_rng(3)
+    products = rng.integers(0, 2, (instances, m, length), dtype=np.uint8)
+    block = SorterFeatureExtractionBlock(m)
+
+    def legacy():
+        return np.stack([block.forward_products(p) for p in products])
+
+    return _entry(
+        "feature-extraction",
+        length,
+        instances * m * length,
+        legacy,
+        lambda: block.forward_products(products),
+        lambda a, b: np.array_equal(a, b),
+    )
+
+
+def bench_end_to_end(length: int, n_images: int) -> dict:
+    """Whole-network bit-exact inference: per-image legacy vs batched."""
+    specs = [
+        LayerSpec(kind="conv", name="Conv3_x", kernel=3, channels=4),
+        LayerSpec(kind="pool", name="AvgPool", kernel=4, stride=4),
+        LayerSpec(kind="fc", name="FC32", units=32),
+        LayerSpec(kind="output", name="OutLayer", units=10),
+    ]
+    network = build_network(
+        specs, activation="hardware", seed=5, training_stream_length=256
+    )
+    mapper = ScNetworkMapper(network, stream_length=length, seed=7)
+    rng = np.random.default_rng(11)
+    images = rng.random((n_images, 1, 28, 28))
+
+    def legacy():
+        return np.stack([mapper.bit_exact_forward_legacy(img) for img in images])
+
+    return _entry(
+        "bit-exact-inference",
+        length,
+        n_images * length,
+        legacy,
+        lambda: mapper.bit_exact_forward_batch(images),
+        lambda a, b: np.array_equal(a, b),
+        new_repeats=1,
+    )
+
+
+def run(quick: bool, output: Path) -> dict:
+    lengths = QUICK_LENGTHS if quick else FULL_LENGTHS
+    entries = []
+    for length in lengths:
+        print(f"stream length N = {length}:")
+        entries.append(bench_sng(length))
+        entries.append(bench_xnor(length))
+        entries.append(bench_pooling(length))
+        entries.append(bench_feature_extraction(length))
+    # End-to-end inference is dominated by the legacy per-image cost, so it
+    # runs at a single stream length (longer in the full sweep).
+    print("end-to-end:")
+    if quick:
+        entries.append(bench_end_to_end(256, n_images=2))
+    else:
+        entries.append(bench_end_to_end(1024, n_images=4))
+    report = {
+        "quick": quick,
+        "stream_lengths": list(lengths),
+        "entries": entries,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    for entry in entries:
+        print(
+            f"  {entry['kernel']:<20s} N={entry['stream_length']:<6d} "
+            f"{entry['speedup']:8.1f}x  "
+            f"({entry['new_ops_per_sec'] / 1e6:9.1f} Mops/s)"
+        )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="restrict the stream-length grid (CI smoke run)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_perf.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    # Fail on an unwritable report path before spending minutes measuring.
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.touch()
+    run(args.quick, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

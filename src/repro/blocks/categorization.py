@@ -28,6 +28,7 @@ from repro.blocks.hardware import (
 )
 from repro.errors import ConfigurationError, ShapeError
 from repro.sc.bitstream import Bitstream
+from repro.sc.packed import majority_chain_words, pack_bits, unpack_bits
 
 __all__ = ["MajorityChainCategorizationBlock", "chain_output_probability"]
 
@@ -102,8 +103,16 @@ class MajorityChainCategorizationBlock:
 
     # -- stream-level models -------------------------------------------------
 
+    #: Chains at least this long run on packed 64-bit words; shorter chains
+    #: stay byte-per-bit (the pack/unpack passes would dominate).
+    _PACKED_MIN_INPUTS = 8
+
     def forward_products(self, products: np.ndarray) -> np.ndarray:
         """Reduce product streams with the majority chain.
+
+        Long chains are evaluated word-parallel on packed 64-bit words (one
+        majority gate evaluates 64 cycles per word op); short chains use
+        the byte-per-bit path.  Both are bit-identical.
 
         Args:
             products: 0/1 array of shape ``(..., K, N)``.
@@ -120,15 +129,18 @@ class MajorityChainCategorizationBlock:
             )
         k = self._n_inputs
         if k == 1:
-            return products[..., 0, :]
+            # Copy so the output never aliases the caller's product array.
+            return products[..., 0, :].copy()
         if k == 2:
             # Maj(a, b, 0) == AND(a, b), matching the hardware's constant pad.
-            return (products[..., 0, :] & products[..., 1, :]).astype(np.uint8)
+            return products[..., 0, :] & products[..., 1, :]
+        if k >= self._PACKED_MIN_INPUTS:
+            length = products.shape[-1]
+            return unpack_bits(majority_chain_words(pack_bits(products)), length)
 
         def maj3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
-            return (
-                (a.astype(np.int64) + b.astype(np.int64) + c.astype(np.int64)) >= 2
-            ).astype(np.uint8)
+            # On 0/1 bytes the majority is pure bitwise: (a&b) | (a&c) | (b&c).
+            return (a & b) | (a & c) | (b & c)
 
         acc = maj3(products[..., 0, :], products[..., 1, :], products[..., 2, :])
         index = 3
@@ -137,8 +149,7 @@ class MajorityChainCategorizationBlock:
                 acc = maj3(acc, products[..., index, :], products[..., index + 1, :])
                 index += 2
             else:
-                zero = np.zeros_like(acc)
-                acc = maj3(acc, products[..., index, :], zero)
+                acc = acc & products[..., index, :]
                 index += 1
         return acc
 
@@ -153,7 +164,7 @@ class MajorityChainCategorizationBlock:
                 f"input shape {input_bits.shape} != weight shape {weight_bits.shape}"
             )
         products = np.logical_not(np.logical_xor(input_bits, weight_bits)).astype(np.uint8)
-        return Bitstream(self.forward_products(products), "bipolar")
+        return Bitstream._trusted(self.forward_products(products), "bipolar")
 
     def reference_output(self, product_values: np.ndarray) -> np.ndarray:
         """Reference score used for ranking comparisons: the mean product.

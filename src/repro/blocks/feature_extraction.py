@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.aqfp.gates import add_sorter, add_xnor
 from repro.aqfp.netlist import Netlist
+from repro.blocks.batched import feature_extraction_recurrence
 from repro.blocks.hardware import (
     JJ_PER_XNOR,
     XNOR_PHASES,
@@ -113,14 +114,10 @@ def estimate_transfer_curve(
     # Probability of a one in each product stream when the z is split evenly.
     p = np.clip((z_grid / m + 1.0) / 2.0, 0.0, 1.0)
     column_ones = rng.binomial(m, p[:, None], size=(z_grid.size, stream_length))
-    accumulator = np.zeros(z_grid.size, dtype=np.int64)
-    ones_total = np.zeros(z_grid.size, dtype=np.int64)
     low, high = (-half, half + 1) if feedback_mode == "signed" else (0, m)
-    for t in range(stream_length):
-        k = column_ones[:, t] + accumulator
-        bit = (k >= half + 1).astype(np.int64)
-        ones_total += bit
-        accumulator = np.clip(k - half - bit, low, high)
+    ones_total = feature_extraction_recurrence(
+        column_ones, half, low, high, return_bits=False
+    )
     return 2.0 * ones_total / stream_length - 1.0
 
 
@@ -139,7 +136,11 @@ class SorterTransferCurve:
         stream_length: cycles used to estimate each grid point.
     """
 
-    _cache: dict[tuple[int, float, float, int, int], "SorterTransferCurve"] = {}
+    #: Memo keyed by every estimation parameter:
+    #: ``(n_inputs, z_min, z_max, n_points, stream_length, feedback_mode)``.
+    _cache: dict[
+        tuple[int, float, float, int, int, str], "SorterTransferCurve"
+    ] = {}
 
     def __init__(
         self,
@@ -177,7 +178,12 @@ class SorterTransferCurve:
 
     @classmethod
     def cached(cls, n_inputs: int, **kwargs: object) -> "SorterTransferCurve":
-        """Return a memoised curve for this input size (and grid settings)."""
+        """Return a memoised curve for this input size and grid settings.
+
+        The memo key covers all six estimation parameters, including
+        ``feedback_mode`` -- curves for the signed and unsigned accumulator
+        variants are cached independently.
+        """
         key = (
             int(n_inputs),
             float(kwargs.get("z_min", -4.0)),
@@ -304,23 +310,13 @@ class SorterFeatureExtractionBlock:
         """
         padded = self._pad_products(products)
         m = padded.shape[-2]
-        length = padded.shape[-1]
         half = (m - 1) // 2
-
         column_ones = padded.sum(axis=-2, dtype=np.int64)  # (..., N)
-        batch_shape = column_ones.shape[:-1]
-        accumulator = np.zeros(batch_shape, dtype=np.int64)
-        output = np.empty(column_ones.shape, dtype=np.uint8)
         if self._feedback_mode == "signed":
             low, high = -half, half + 1
         else:
             low, high = 0, m
-        for t in range(length):
-            k = column_ones[..., t] + accumulator
-            bit = (k >= half + 1).astype(np.uint8)
-            output[..., t] = bit
-            accumulator = np.clip(k - half - bit, low, high)
-        return output
+        return feature_extraction_recurrence(column_ones, half, low, high)
 
     def forward_products_sorted_vector(self, products: np.ndarray) -> np.ndarray:
         """Bit-exact sorted-vector model mirroring the hardware data path.
@@ -384,8 +380,8 @@ class SorterFeatureExtractionBlock:
             bias_bits = bias.bits if isinstance(bias, Bitstream) else np.asarray(bias)
             products = np.concatenate([products, bias_bits.astype(np.uint8)], axis=-2)
             block = SorterFeatureExtractionBlock(products.shape[-2])
-            return Bitstream(block.forward_products(products), "bipolar")
-        return Bitstream(self.forward_products(products), "bipolar")
+            return Bitstream._trusted(block.forward_products(products), "bipolar")
+        return Bitstream._trusted(self.forward_products(products), "bipolar")
 
     # -- reference / hardware -------------------------------------------------
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.aqfp.gates import add_sorter
 from repro.aqfp.netlist import Netlist
+from repro.blocks.batched import pooling_recurrence
 from repro.blocks.hardware import BlockHardware, sorter_stage_costs
 from repro.errors import ConfigurationError, ShapeError
 from repro.sc.bitstream import Bitstream
@@ -61,12 +62,31 @@ class SorterAveragePoolingBlock:
     def forward_bits(self, bits: np.ndarray) -> np.ndarray:
         """Pool raw input streams.
 
+        Uses the closed form of the counter recurrence (see
+        :func:`repro.blocks.batched.pooling_recurrence`), so any number of
+        block instances is pooled in a handful of vectorised passes with no
+        per-cycle loop; output is bit-identical to the hardware data path.
+
         Args:
             bits: 0/1 array of shape ``(..., M, N)``.
 
         Returns:
             0/1 array of shape ``(..., N)``: the pooled stream, whose decoded
             bipolar value approximates the mean of the decoded inputs.
+        """
+        bits = self._check(bits)
+        # Column counts fit a byte for any realistic M; the narrow dtype
+        # keeps the whole closed-form pipeline memory-bandwidth friendly.
+        count_dtype = np.uint8 if self._n_inputs <= 255 else np.int64
+        column_ones = bits.sum(axis=-2, dtype=count_dtype)
+        return pooling_recurrence(column_ones, self._n_inputs)
+
+    def forward_bits_reference(self, bits: np.ndarray) -> np.ndarray:
+        """Literal per-cycle counter recurrence (legacy reference model).
+
+        Kept for equivalence testing and as the "legacy uint8 path" baseline
+        of ``benchmarks/bench_perf.py``; :meth:`forward_bits` is the fast
+        closed-form implementation.
         """
         bits = self._check(bits)
         m = self._n_inputs
@@ -110,7 +130,7 @@ class SorterAveragePoolingBlock:
     def forward(self, streams: Bitstream | np.ndarray) -> Bitstream:
         """Pool a :class:`Bitstream` (or raw bits) of shape ``(..., M, N)``."""
         bits = streams.bits if isinstance(streams, Bitstream) else np.asarray(streams)
-        return Bitstream(self.forward_bits(bits), "bipolar")
+        return Bitstream._trusted(self.forward_bits(bits), "bipolar")
 
     def reference_output(self, input_values: np.ndarray) -> np.ndarray:
         """Exact real-valued output: the mean of the input values."""

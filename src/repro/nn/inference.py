@@ -78,22 +78,24 @@ class ScInferenceEngine:
         self,
         images: np.ndarray,
         labels: np.ndarray,
-        max_images: int = 4,
-        position_chunk: int = 32,
+        max_images: int = 32,
+        position_chunk: int | None = None,
     ) -> InferenceResult:
-        """Accuracy of the bit-exact block simulation on a few images.
+        """Accuracy of the bit-exact block simulation on a batch of images.
 
-        Bit-exact simulation runs every stream bit through the block models
-        and is therefore restricted to ``max_images`` images.
+        The batched engine advances every block instance of a layer (all
+        images, all output pixels / neurons) through the counter
+        recurrences in one vectorised call per layer, so dozens of images
+        are practical; ``max_images`` only bounds memory.
         """
         if max_images < 1:
             raise ConfigurationError("max_images must be >= 1")
         images = np.asarray(images, dtype=np.float64)[:max_images]
         labels = np.asarray(labels)[:max_images]
-        correct = 0
-        for image, label in zip(images, labels):
-            scores = self.mapper.bit_exact_forward(image, position_chunk=position_chunk)
-            correct += int(np.argmax(scores) == label)
+        scores = self.mapper.bit_exact_forward_batch(
+            images, position_chunk=position_chunk
+        )
+        correct = int((np.argmax(scores, axis=1) == labels).sum())
         return InferenceResult(
             correct / len(labels), len(labels), self.stream_length, "sc-bit-exact"
         )

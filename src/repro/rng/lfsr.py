@@ -102,13 +102,67 @@ class Lfsr(RandomWordSource):
         return self._state
 
     def words(self, shape: tuple[int, ...] | int) -> np.ndarray:
-        """Return consecutive register values reshaped to ``shape``."""
+        """Return consecutive register values reshaped to ``shape``.
+
+        Bit-identical to calling :meth:`step` once per word (the register
+        ends in the same state), but generated in bulk: the feedback-bit
+        sequence satisfies the linear recurrence ``u_k = XOR(u[k - tap])``
+        over GF(2), which is evaluated block-wise with NumPy (see
+        :meth:`_feedback_bits`), and the register values are sliding
+        ``n_bits`` windows of that sequence.
+        """
         shape = normalize_shape(shape)
         count = int(np.prod(shape)) if shape else 1
-        out = np.empty(count, dtype=np.int64)
-        for i in range(count):
-            out[i] = self.step()
-        return out.reshape(shape)
+        if count == 0:
+            return np.empty(shape, dtype=np.int64)
+        n = self._n_bits
+        u = self._feedback_bits(count)
+        weights = (1 << np.arange(n - 1, -1, -1)).astype(np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(u, n)
+        states = windows[1:] @ weights
+        self._state = int(states[-1])
+        return states.reshape(shape)
+
+    def _feedback_bits(self, count: int) -> np.ndarray:
+        """The register bit sequence: seed bits then ``count`` feedback bits.
+
+        Returns a ``uint8`` array ``u`` of length ``n_bits + count`` where
+        ``u[:n_bits]`` holds the current register (MSB first) and every
+        later entry is the feedback bit shifted in on one clock.  The
+        register after ``t`` further steps is the window
+        ``u[t : t + n_bits]`` read MSB first.
+
+        Blocks of up to ``min(taps)`` bits have no intra-block dependency,
+        so they are produced with one vectorised XOR per tap.  To keep the
+        block count logarithmic for long draws, the connection polynomial
+        is repeatedly squared (over GF(2), squaring just doubles every tap
+        lag) once enough history exists: each squaring doubles the block
+        size, so generation settles into O(log count) NumPy passes.
+        """
+        n = self._n_bits
+        total = n + count
+        u = np.empty(total, dtype=np.uint8)
+        u[:n] = (self._state >> np.arange(n - 1, -1, -1)) & 1
+        lags = np.array(self._taps, dtype=np.int64)
+        # The recurrence with the original lags holds from index n onward; a
+        # squared recurrence (a polynomial multiple of the original) holds
+        # from the previous threshold plus the previous maximum lag.
+        valid_from = n
+        filled = n
+        while filled < total:
+            while int(lags.min()) < total - filled:
+                max_lag = int(lags.max())
+                if valid_from + max_lag > filled or 2 * max_lag > filled:
+                    break
+                valid_from += max_lag
+                lags = lags * 2
+            block = min(int(lags.min()), total - filled)
+            segment = u[filled - int(lags[0]) : filled - int(lags[0]) + block].copy()
+            for lag in lags[1:]:
+                segment ^= u[filled - int(lag) : filled - int(lag) + block]
+            u[filled : filled + block] = segment
+            filled += block
+        return u
 
     def sequence(self, length: int) -> np.ndarray:
         """Return ``length`` consecutive words without reshaping."""

@@ -20,6 +20,7 @@ from repro.sc.encoding import (
     unipolar_encode_probability,
 )
 from repro.sc.fsm import BtanhFsm
+from repro.sc.packed import PackedBitstream, pack_bits, unpack_bits
 from repro.sc.ops import (
     and_multiply,
     mux_add,
@@ -31,6 +32,9 @@ from repro.sc.sng import StochasticNumberGenerator
 
 __all__ = [
     "Bitstream",
+    "PackedBitstream",
+    "pack_bits",
+    "unpack_bits",
     "BIPOLAR",
     "UNIPOLAR",
     "bipolar_encode_probability",

@@ -11,7 +11,7 @@ arithmetic helpers do not need to be told twice.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -26,7 +26,29 @@ from repro.sc.encoding import (
     validate_encoding,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sc.packed import PackedBitstream
+
 __all__ = ["Bitstream"]
+
+
+def _validate_bits(arr: np.ndarray) -> None:
+    """Cheap 0/1 domain check (single min/max pass, no sort).
+
+    Integer and boolean arrays only need a range check; anything else (e.g.
+    floats) additionally needs an exact membership test so values like 0.5
+    are still rejected.
+    """
+    if not arr.size:
+        return
+    if arr.dtype == np.bool_:
+        return
+    if arr.dtype.kind in "iu":
+        if arr.max() > 1 or arr.min() < 0:
+            raise EncodingError("bit streams may only contain 0 and 1")
+        return
+    if not ((arr == 0) | (arr == 1)).all():
+        raise EncodingError("bit streams may only contain 0 and 1")
 
 
 class Bitstream:
@@ -43,12 +65,24 @@ class Bitstream:
         arr = np.asarray(bits)
         if arr.ndim == 0:
             raise ShapeError("a bit stream needs at least one (stream) axis")
-        if arr.size and not np.isin(np.unique(arr), (0, 1)).all():
-            raise EncodingError("bit streams may only contain 0 and 1")
+        _validate_bits(arr)
         self._bits = arr.astype(np.uint8)
         self._encoding = validate_encoding(encoding)
 
     # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def _trusted(cls, bits: np.ndarray, encoding: str) -> "Bitstream":
+        """Wrap already-validated internal output without copy or checks.
+
+        Fast path for :mod:`repro.sc.ops` and the block models, whose
+        outputs are fresh ``uint8`` 0/1 arrays by construction; ``encoding``
+        must already be a validated encoding tag.
+        """
+        obj = cls.__new__(cls)
+        obj._bits = bits
+        obj._encoding = encoding
+        return obj
 
     @classmethod
     def from_probabilities(
@@ -69,7 +103,8 @@ class Bitstream:
         if np.any(p < 0.0) or np.any(p > 1.0):
             raise EncodingError("probabilities must lie in [0, 1]")
         draws = rng.random(p.shape + (length,))
-        return cls((draws < p[..., None]).astype(np.uint8), encoding)
+        bits = (draws < p[..., None]).astype(np.uint8)
+        return cls._trusted(bits, validate_encoding(encoding))
 
     @classmethod
     def from_values(
@@ -100,7 +135,12 @@ class Bitstream:
         if length <= 0:
             raise ShapeError(f"stream length must be positive, got {length}")
         bits = (np.arange(length) % 2).astype(np.uint8)
-        return cls(bits, encoding)
+        return cls._trusted(bits, validate_encoding(encoding))
+
+    @classmethod
+    def from_packed(cls, packed: "PackedBitstream") -> "Bitstream":
+        """Unpack a word-packed stream back into a byte-per-bit stream."""
+        return cls._trusted(packed.unpack(), packed.encoding)
 
     # -- basic properties --------------------------------------------------
 
@@ -146,12 +186,32 @@ class Bitstream:
             return bipolar_decode(fraction)
         return unipolar_decode(fraction)
 
+    # -- packed interop ------------------------------------------------------
+
+    def packed(self) -> "PackedBitstream":
+        """This stream packed 64 bits per ``uint64`` word.
+
+        The packed twin carries the same value structure and encoding; all
+        of :mod:`repro.sc.ops` dispatches to the word-parallel kernels when
+        given packed operands.
+        """
+        from repro.sc.packed import PackedBitstream, pack_bits
+
+        return PackedBitstream._trusted(
+            pack_bits(self._bits), self.length, self._encoding
+        )
+
     # -- structural helpers --------------------------------------------------
 
     def reshape_values(self, shape: tuple[int, ...]) -> "Bitstream":
-        """Reshape the value axes, keeping the stream axis last."""
+        """Reshape the value axes, keeping the stream axis last.
+
+        Returns an independent copy (never a view of this stream's bits).
+        """
         new_shape = tuple(shape) + (self.length,)
-        return Bitstream(self._bits.reshape(new_shape), self._encoding)
+        return Bitstream._trusted(
+            self._bits.reshape(new_shape).copy(), self._encoding
+        )
 
     def stack(self, others: Iterable["Bitstream"]) -> "Bitstream":
         """Stack this stream with others along a new leading value axis."""
@@ -162,13 +222,18 @@ class Bitstream:
             raise ShapeError(f"cannot stack streams of different lengths {lengths}")
         if len(encodings) != 1:
             raise EncodingError("cannot stack streams with different encodings")
-        return Bitstream(np.stack([s.bits for s in streams], axis=0), self._encoding)
+        return Bitstream._trusted(
+            np.stack([s.bits for s in streams], axis=0), self._encoding
+        )
 
     def select(self, index: int) -> "Bitstream":
-        """Select one entry along the first value axis."""
+        """Select one entry along the first value axis.
+
+        Returns an independent copy (never a view of this stream's bits).
+        """
         if self._bits.ndim < 2:
             raise ShapeError("select() requires at least one value axis")
-        return Bitstream(self._bits[index], self._encoding)
+        return Bitstream._trusted(self._bits[index].copy(), self._encoding)
 
     def absolute_error(self, reference: np.ndarray | float) -> np.ndarray:
         """Absolute error of the decoded values against a reference tensor."""

@@ -1,0 +1,398 @@
+"""Word-packed stochastic bit streams (64 stream bits per ``uint64`` word).
+
+The byte-per-bit :class:`~repro.sc.bitstream.Bitstream` representation is
+convenient but wasteful: every SC gate evaluation touches one byte per
+stream bit.  This module packs streams 64 bits per ``uint64`` word so that
+one CPU word operation evaluates 64 SC gates at once, which is what makes
+long-stream (``N >= 8192``) sweeps and whole-network bit-exact inference
+tractable in pure NumPy.
+
+Bit layout convention
+---------------------
+Stream bit ``t`` lives in word ``t // 64`` at bit position ``t % 64``
+(LSB-first, i.e. ``np.packbits(..., bitorder="little")`` byte order viewed
+as little-endian ``uint64`` words).  The final ("tail") word of a stream
+whose length is not a multiple of 64 keeps its unused high bits at **zero**;
+every kernel that could set tail bits (e.g. the XNOR's negation) re-applies
+the tail mask so the invariant holds everywhere.  Decoding therefore is a
+plain popcount over the words.
+
+All kernels operate on raw word arrays whose **last axis** is the word
+axis; :class:`PackedBitstream` is the user-facing container mirroring
+:class:`~repro.sc.bitstream.Bitstream` (leading axes carry value structure).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sc.encoding import (
+    BIPOLAR,
+    bipolar_decode,
+    unipolar_decode,
+    validate_encoding,
+)
+
+__all__ = [
+    "WORD_BITS",
+    "PackedBitstream",
+    "pack_bits",
+    "unpack_bits",
+    "words_for_length",
+    "tail_mask",
+    "popcount_words",
+    "ones_count",
+    "packed_xnor",
+    "packed_and",
+    "packed_or",
+    "packed_mux",
+    "packed_mux_add",
+    "majority3_words",
+    "majority_chain_words",
+]
+
+#: Stream bits stored per packed word.
+WORD_BITS = 64
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def words_for_length(length: int) -> int:
+    """Number of ``uint64`` words needed to hold ``length`` stream bits."""
+    if length <= 0:
+        raise ShapeError(f"stream length must be positive, got {length}")
+    return (int(length) + WORD_BITS - 1) // WORD_BITS
+
+
+def tail_mask(length: int) -> np.uint64:
+    """Mask of the valid bits in the final word of a ``length``-bit stream."""
+    rem = int(length) % WORD_BITS
+    if rem == 0:
+        return _ALL_ONES
+    return np.uint64((1 << rem) - 1)
+
+
+def _apply_tail_mask(words: np.ndarray, length: int) -> np.ndarray:
+    """Zero the unused high bits of the tail word, in place."""
+    mask = tail_mask(length)
+    if mask != _ALL_ONES:
+        words[..., -1] &= mask
+    return words
+
+
+def _native_words(words: np.ndarray) -> np.ndarray:
+    """Contiguous uint64 array in the packed (little-endian) byte order."""
+    arr = np.ascontiguousarray(words, dtype=np.uint64)
+    if sys.byteorder == "big":  # pragma: no cover - little-endian CI hosts
+        arr = arr.byteswap()
+    return arr
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 array of shape ``(..., N)`` into ``(..., ceil(N/64))`` words.
+
+    Stream bit ``t`` of the input maps to bit ``t % 64`` of word ``t // 64``;
+    tail bits beyond ``N`` are zero.
+    """
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    if bits.ndim == 0:
+        raise ShapeError("a bit stream needs at least one (stream) axis")
+    length = bits.shape[-1]
+    n_words = words_for_length(length)
+    pad = n_words * WORD_BITS - length
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1
+        )
+    packed_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    words = np.ascontiguousarray(packed_bytes).view(np.uint64)
+    if sys.byteorder == "big":  # pragma: no cover - little-endian CI hosts
+        words = words.byteswap()
+    return words
+
+
+def unpack_bits(words: np.ndarray, length: int) -> np.ndarray:
+    """Unpack ``(..., W)`` words back into a ``(..., length)`` 0/1 array."""
+    if length <= 0:
+        raise ShapeError(f"stream length must be positive, got {length}")
+    arr = _native_words(words)
+    if arr.ndim == 0 or arr.shape[-1] != words_for_length(length):
+        raise ShapeError(
+            f"word array of shape {np.shape(words)} cannot hold a "
+            f"{length}-bit stream"
+        )
+    as_bytes = arr.view(np.uint8)
+    return np.unpackbits(as_bytes, axis=-1, bitorder="little", count=int(length))
+
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-word population count (number of set bits)."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - NumPy < 2.0 fallback
+    _POPCOUNT_LUT = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-word population count (number of set bits)."""
+        arr = np.ascontiguousarray(words, dtype=np.uint64)
+        counts = _POPCOUNT_LUT[arr.view(np.uint8)]
+        return counts.reshape(arr.shape + (8,)).sum(axis=-1, dtype=np.uint64)
+
+
+def ones_count(words: np.ndarray) -> np.ndarray:
+    """Total set bits along the word axis (the popcount-based decode core)."""
+    return popcount_words(words).sum(axis=-1, dtype=np.int64)
+
+
+# -- word-parallel SC gate kernels ------------------------------------------
+
+
+def _check_same_shape(a, b) -> None:
+    if np.shape(a) != np.shape(b):
+        raise ShapeError(
+            f"operand shapes differ: {np.shape(a)} vs {np.shape(b)}"
+        )
+
+
+def packed_xnor(a: np.ndarray, b: np.ndarray, length: int) -> np.ndarray:
+    """Word-parallel XNOR (bipolar SC multiply): 64 gates per word op."""
+    _check_same_shape(a, b)
+    out = np.bitwise_xor(a, b)
+    np.bitwise_not(out, out=out)
+    return _apply_tail_mask(out, length)
+
+
+def packed_and(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Word-parallel AND (unipolar SC multiply).  Tail bits stay zero."""
+    _check_same_shape(a, b)
+    return np.bitwise_and(a, b)
+
+
+def packed_or(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Word-parallel OR (sorter MAX).  Tail bits stay zero."""
+    _check_same_shape(a, b)
+    return np.bitwise_or(a, b)
+
+
+def packed_mux(a: np.ndarray, b: np.ndarray, select: np.ndarray) -> np.ndarray:
+    """Word-parallel 2:1 multiplexer: ``b`` where ``select`` bit set, else ``a``."""
+    _check_same_shape(a, b)
+    select = np.asarray(select).astype(np.uint64, copy=False)
+    return (a & ~select) | (b & select)
+
+
+def packed_mux_add(
+    words: np.ndarray, select: np.ndarray, length: int
+) -> np.ndarray:
+    """N-input multiplexer addition on packed operands.
+
+    Args:
+        words: packed streams of shape ``(n_inputs, ..., W)``.
+        select: integer select values of shape ``(..., N)`` or ``(N,)`` in
+            ``[0, n_inputs)`` (the *unpacked* per-cycle select sequence, as
+            produced by a hardware select counter / RNG).
+        length: stream length ``N``.
+
+    Returns:
+        Packed words of shape ``(..., W)``.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim < 2:
+        raise ShapeError("packed_mux_add expects shape (n_inputs, ..., W)")
+    n_inputs = words.shape[0]
+    select = np.asarray(select)
+    value_shape = words.shape[1:-1]
+    if select.shape != value_shape + (length,) and select.shape != (length,):
+        raise ShapeError(
+            f"select shape {select.shape} incompatible with packed streams "
+            f"{words.shape} of length {length}"
+        )
+    if np.any(select < 0) or np.any(select >= n_inputs):
+        raise ShapeError(f"select values must lie in [0, {n_inputs})")
+    select = np.broadcast_to(select, value_shape + (length,))
+    out = np.zeros(words.shape[1:], dtype=np.uint64)
+    for index in range(n_inputs):
+        mask = pack_bits((select == index).astype(np.uint8))
+        out |= words[index] & mask
+    return out
+
+
+def majority3_words(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Word-parallel 3-input majority: ``(a&b) | (a&c) | (b&c)``."""
+    return (a & b) | (a & c) | (b & c)
+
+
+def majority_chain_words(words: np.ndarray) -> np.ndarray:
+    """Word-parallel majority chain over packed product streams.
+
+    Mirrors the hardware chain factorisation of
+    :class:`~repro.blocks.categorization.MajorityChainCategorizationBlock`
+    bit-for-bit: ``a_0 = Maj(b_1, b_2, b_3)``, then one gate per further
+    input pair, with a single trailing input paired with constant 0 (so the
+    last gate degenerates to an AND).
+
+    Args:
+        words: packed streams of shape ``(..., K, W)``.
+
+    Returns:
+        Packed words of shape ``(..., W)``.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim < 2:
+        raise ShapeError("majority_chain_words expects shape (..., K, W)")
+    k = words.shape[-2]
+    if k == 1:
+        return words[..., 0, :].copy()
+    if k == 2:
+        return words[..., 0, :] & words[..., 1, :]
+    acc = majority3_words(words[..., 0, :], words[..., 1, :], words[..., 2, :])
+    index = 3
+    while index < k:
+        if index + 1 < k:
+            acc = majority3_words(
+                acc, words[..., index, :], words[..., index + 1, :]
+            )
+            index += 2
+        else:
+            acc = acc & words[..., index, :]
+            index += 1
+    return acc
+
+
+# -- container ---------------------------------------------------------------
+
+
+class PackedBitstream:
+    """A (possibly multi-dimensional) word-packed stochastic bit stream.
+
+    Mirrors :class:`~repro.sc.bitstream.Bitstream` with the stream axis
+    stored 64 bits per ``uint64`` word (see the module docstring for the
+    exact layout).  Use :meth:`from_bits` /
+    :meth:`~repro.sc.bitstream.Bitstream.packed` to pack and :meth:`unpack`
+    / :meth:`~repro.sc.bitstream.Bitstream.from_packed` to go back.
+
+    Args:
+        words: ``uint64`` array of shape ``(..., ceil(length / 64))``.
+        length: stream length ``N`` in bits.
+        encoding: ``"bipolar"`` (default) or ``"unipolar"``.
+    """
+
+    __slots__ = ("_words", "_length", "_encoding")
+
+    def __init__(
+        self, words: np.ndarray, length: int, encoding: str = BIPOLAR
+    ) -> None:
+        arr = np.array(words, dtype=np.uint64, copy=True)
+        if arr.ndim == 0:
+            raise ShapeError("a packed stream needs at least one (word) axis")
+        if length <= 0:
+            raise ShapeError(f"stream length must be positive, got {length}")
+        if arr.shape[-1] != words_for_length(length):
+            raise ShapeError(
+                f"word array of shape {arr.shape} cannot hold a "
+                f"{length}-bit stream"
+            )
+        self._words = _apply_tail_mask(arr, length)
+        self._length = int(length)
+        self._encoding = validate_encoding(encoding)
+
+    @classmethod
+    def _trusted(
+        cls, words: np.ndarray, length: int, encoding: str
+    ) -> "PackedBitstream":
+        """Wrap kernel output without copying or re-masking.
+
+        The caller guarantees ``words`` is a fresh ``uint64`` array with the
+        correct word count and a clean (zeroed) tail, and that ``encoding``
+        is already validated.
+        """
+        obj = cls.__new__(cls)
+        obj._words = words
+        obj._length = length
+        obj._encoding = encoding
+        return obj
+
+    @classmethod
+    def from_bits(
+        cls, bits: np.ndarray, encoding: str = BIPOLAR
+    ) -> "PackedBitstream":
+        """Pack a 0/1 array whose last axis is the stream axis."""
+        from repro.sc.bitstream import _validate_bits
+
+        bits = np.asarray(bits)
+        if bits.ndim == 0:
+            raise ShapeError("a bit stream needs at least one (stream) axis")
+        _validate_bits(bits)
+        return cls._trusted(
+            pack_bits(bits), int(bits.shape[-1]), validate_encoding(encoding)
+        )
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def words(self) -> np.ndarray:
+        """The underlying ``uint64`` word array (last axis = word axis)."""
+        return self._words
+
+    @property
+    def encoding(self) -> str:
+        """Encoding format of this stream."""
+        return self._encoding
+
+    @property
+    def length(self) -> int:
+        """Stream length ``N`` in bits."""
+        return self._length
+
+    @property
+    def n_words(self) -> int:
+        """Words per stream (``ceil(length / 64)``)."""
+        return int(self._words.shape[-1])
+
+    @property
+    def value_shape(self) -> tuple[int, ...]:
+        """Shape of the encoded value tensor (all axes except the words)."""
+        return tuple(self._words.shape[:-1])
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedBitstream(value_shape={self.value_shape}, "
+            f"length={self._length}, encoding={self._encoding!r})"
+        )
+
+    # -- decoding ----------------------------------------------------------
+
+    def unpack(self) -> np.ndarray:
+        """The stream as a plain ``uint8`` 0/1 array of shape ``(..., N)``."""
+        return unpack_bits(self._words, self._length)
+
+    def to_bitstream(self):
+        """Convert back to a byte-per-bit :class:`Bitstream`."""
+        from repro.sc.bitstream import Bitstream
+
+        return Bitstream._trusted(self.unpack(), self._encoding)
+
+    def ones_count(self) -> np.ndarray:
+        """Number of set bits along the stream axis (popcount decode)."""
+        return ones_count(self._words)
+
+    def ones_fraction(self) -> np.ndarray:
+        """Fraction of ones along the stream axis."""
+        return self.ones_count() / float(self._length)
+
+    def to_values(self) -> np.ndarray:
+        """Decode the stream back to real values according to its encoding."""
+        fraction = self.ones_fraction()
+        if self._encoding == BIPOLAR:
+            return bipolar_decode(fraction)
+        return unipolar_decode(fraction)

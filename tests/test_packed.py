@@ -1,0 +1,344 @@
+"""Equivalence tests: packed kernels and batched recurrences vs legacy paths.
+
+The word-packed engine and the batched block kernels are pure
+re-representations of the same hardware: every test here asserts
+*bit-identical* output against the byte-per-bit / per-instance reference
+implementations, across shapes, encodings, odd stream lengths (tail words
+shorter than 64 bits) and both feature-extraction feedback modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blocks.categorization import MajorityChainCategorizationBlock
+from repro.blocks.feature_extraction import SorterFeatureExtractionBlock
+from repro.blocks.pooling import SorterAveragePoolingBlock
+from repro.errors import EncodingError, ShapeError
+from repro.rng.lfsr import Lfsr
+from repro.sc.bitstream import Bitstream
+from repro.sc.ops import and_multiply, mux_add, mux_scaled_add, or_gate, xnor_multiply
+from repro.sc.packed import (
+    PackedBitstream,
+    pack_bits,
+    tail_mask,
+    unpack_bits,
+    words_for_length,
+)
+
+#: Shapes exercising leading value axes and non-multiple-of-64 tail words.
+SHAPES = [(1,), (63,), (64,), (65,), (3, 130), (2, 3, 64), (4, 200), (5, 1)]
+
+
+def random_bits(rng, shape):
+    return rng.integers(0, 2, shape, dtype=np.uint8)
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_roundtrip(self, rng, shape):
+        bits = random_bits(rng, shape)
+        words = pack_bits(bits)
+        assert words.shape == shape[:-1] + (words_for_length(shape[-1]),)
+        assert np.array_equal(unpack_bits(words, shape[-1]), bits)
+
+    @pytest.mark.parametrize("length", [1, 63, 64, 65, 127, 130])
+    def test_tail_words_are_masked(self, rng, length):
+        bits = np.ones(length, dtype=np.uint8)
+        words = pack_bits(bits)
+        assert words[-1] == tail_mask(length)
+
+    def test_bitstream_interop(self, rng):
+        bits = random_bits(rng, (3, 100))
+        stream = Bitstream(bits, "unipolar")
+        packed = stream.packed()
+        assert packed.encoding == "unipolar"
+        assert packed.length == 100
+        assert packed.value_shape == (3,)
+        back = Bitstream.from_packed(packed)
+        assert np.array_equal(back.bits, bits)
+        assert back.encoding == "unipolar"
+        assert np.array_equal(packed.to_bitstream().bits, bits)
+
+    def test_popcount_decode_matches_unpacked(self, rng):
+        bits = random_bits(rng, (4, 333))
+        stream = Bitstream(bits)
+        packed = stream.packed()
+        assert np.array_equal(packed.ones_count(), bits.sum(axis=-1))
+        assert np.allclose(packed.to_values(), stream.to_values())
+
+    def test_constructor_rejects_bad_word_count(self):
+        with pytest.raises(ShapeError):
+            PackedBitstream(np.zeros(2, dtype=np.uint64), length=200)
+
+    def test_constructor_masks_dirty_tail(self):
+        dirty = np.full(1, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        packed = PackedBitstream(dirty, length=10)
+        assert packed.ones_count() == 10
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(EncodingError):
+            PackedBitstream.from_bits(np.array([0, 1, 2], dtype=np.uint8))
+        with pytest.raises(EncodingError):
+            PackedBitstream.from_bits(np.array([0.5, 0.0]))
+        with pytest.raises(EncodingError):
+            PackedBitstream.from_bits(np.array([-1.0, 1.0]))
+
+
+class TestPackedOps:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_xnor_matches_uint8_path(self, rng, shape):
+        a, b = random_bits(rng, shape), random_bits(rng, shape)
+        legacy = xnor_multiply(Bitstream(a), Bitstream(b))
+        packed = xnor_multiply(Bitstream(a).packed(), Bitstream(b).packed())
+        assert isinstance(packed, PackedBitstream)
+        assert packed.encoding == legacy.encoding
+        assert np.array_equal(packed.unpack(), legacy.bits)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_and_or_match_uint8_path(self, rng, shape):
+        a, b = random_bits(rng, shape), random_bits(rng, shape)
+        pa, pb = Bitstream(a, "unipolar").packed(), Bitstream(b, "unipolar").packed()
+        assert np.array_equal(
+            and_multiply(pa, pb).unpack(), and_multiply(a, b).bits
+        )
+        assert np.array_equal(or_gate(pa, pb).unpack(), or_gate(a, b))
+
+    def test_mixed_operands_dispatch_to_packed(self, rng):
+        a, b = random_bits(rng, (3, 70)), random_bits(rng, (3, 70))
+        out = xnor_multiply(Bitstream(a).packed(), Bitstream(b))
+        assert isinstance(out, PackedBitstream)
+        assert np.array_equal(out.unpack(), xnor_multiply(a, b).bits)
+
+    def test_length_mismatch_rejected(self, rng):
+        a = Bitstream(random_bits(rng, (64,))).packed()
+        b = Bitstream(random_bits(rng, (65,))).packed()
+        with pytest.raises(ShapeError):
+            xnor_multiply(a, b)
+
+    def test_mux_add_matches_uint8_path(self, rng):
+        bits = random_bits(rng, (4, 2, 100))
+        select = rng.integers(0, 4, (2, 100))
+        legacy = mux_add(Bitstream(bits), select)
+        packed = mux_add(PackedBitstream.from_bits(bits), select)
+        assert np.array_equal(packed.unpack(), legacy.bits)
+
+    def test_mux_add_broadcast_select(self, rng):
+        bits = random_bits(rng, (3, 2, 80))
+        select = rng.integers(0, 3, (80,))
+        legacy = mux_add(Bitstream(bits), select)
+        packed = mux_add(PackedBitstream.from_bits(bits), select)
+        assert np.array_equal(packed.unpack(), legacy.bits)
+
+    def test_mux_add_rejects_out_of_range_select(self, rng):
+        packed = PackedBitstream.from_bits(random_bits(rng, (2, 64)))
+        with pytest.raises(ShapeError):
+            mux_add(packed, np.full(64, 5))
+
+    def test_mux_scaled_add_same_rng_matches(self, rng):
+        bits = random_bits(rng, (4, 3, 120))
+        legacy = mux_scaled_add(Bitstream(bits), np.random.default_rng(7))
+        packed = mux_scaled_add(
+            PackedBitstream.from_bits(bits), np.random.default_rng(7)
+        )
+        assert np.array_equal(packed.unpack(), legacy.bits)
+
+    def test_value_shape_mismatch_rejected(self, rng):
+        # Same ndim but different (broadcastable) value shapes must raise,
+        # not silently broadcast.
+        a = PackedBitstream.from_bits(random_bits(rng, (2, 1, 64)))
+        b = PackedBitstream.from_bits(random_bits(rng, (1, 3, 64)))
+        for op in (xnor_multiply, and_multiply, or_gate):
+            with pytest.raises(ShapeError):
+                op(a, b)
+
+    def test_raw_array_operands_still_validated(self):
+        # The bitwise kernels must not silently accept non-binary arrays
+        # the way np.logical_* used to normalise them.
+        with pytest.raises(EncodingError):
+            and_multiply(np.array([[2]]), np.array([[3]]))
+        with pytest.raises(EncodingError):
+            xnor_multiply(np.array([0.5, 1.0]), np.array([0.0, 1.0]))
+        packed = PackedBitstream.from_bits(np.array([[0, 1]], dtype=np.uint8))
+        with pytest.raises(EncodingError):
+            xnor_multiply(packed, np.array([[2, 3]]))
+
+    def test_or_gate_packed_inherits_encoding(self, rng):
+        bits = random_bits(rng, (3, 70))
+        unipolar = Bitstream(bits, "unipolar").packed()
+        assert or_gate(unipolar, unipolar).encoding == "unipolar"
+        bipolar = Bitstream(bits).packed()
+        assert or_gate(bipolar, bipolar).encoding == "bipolar"
+        with pytest.raises(EncodingError):
+            or_gate(unipolar, Bitstream(bits))  # mixed encodings ambiguous
+
+    def test_mux_add_packed_rejects_bad_encoding(self, rng):
+        packed = PackedBitstream.from_bits(random_bits(rng, (2, 64)))
+        select = rng.integers(0, 2, (64,))
+        with pytest.raises(EncodingError):
+            mux_add(packed, select, encoding="biplar")
+
+    def test_packed_mux_accepts_signed_select_words(self, rng):
+        from repro.sc.packed import packed_mux
+
+        a = pack_bits(random_bits(rng, (3, 70)))
+        b = pack_bits(random_bits(rng, (3, 70)))
+        select = pack_bits(random_bits(rng, (3, 70))).astype(np.int64)
+        out = packed_mux(a, b, select)
+        expected = (a & ~select.astype(np.uint64)) | (b & select.astype(np.uint64))
+        assert np.array_equal(out, expected)
+
+    def test_structural_helpers_return_copies(self, rng):
+        bits = random_bits(rng, (2, 40))
+        stream = Bitstream(bits)
+        sub = stream.select(0)
+        sub.bits[:] = 0
+        assert np.array_equal(stream.bits, bits)  # parent unchanged
+        reshaped = stream.reshape_values((2, 1))
+        reshaped.bits[:] = 0
+        assert np.array_equal(stream.bits, bits)
+
+
+class TestBitstreamValidation:
+    def test_rejects_out_of_range_integers(self):
+        with pytest.raises(EncodingError):
+            Bitstream(np.array([0, 1, 2]))
+        with pytest.raises(EncodingError):
+            Bitstream(np.array([-1, 0, 1]))
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(EncodingError):
+            Bitstream(np.array([0.0, 0.5, 1.0]))
+
+    def test_accepts_bool_and_integral_floats(self):
+        assert Bitstream(np.array([True, False])).length == 2
+        assert np.array_equal(
+            Bitstream(np.array([0.0, 1.0, 1.0])).bits, [0, 1, 1]
+        )
+
+
+class TestPoolingClosedForm:
+    @pytest.mark.parametrize("m", [1, 2, 4, 9, 16])
+    @pytest.mark.parametrize("length", [1, 65, 257])
+    def test_matches_reference_loop(self, rng, m, length):
+        block = SorterAveragePoolingBlock(m)
+        bits = random_bits(rng, (5, m, length))
+        assert np.array_equal(
+            block.forward_bits(bits), block.forward_bits_reference(bits)
+        )
+
+    def test_matches_sorted_vector_model(self, rng):
+        block = SorterAveragePoolingBlock(4)
+        bits = random_bits(rng, (4, 200))
+        assert np.array_equal(
+            block.forward_bits(bits), block.forward_bits_sorted_vector(bits)
+        )
+
+    def test_deep_batch_axes(self, rng):
+        block = SorterAveragePoolingBlock(4)
+        bits = random_bits(rng, (2, 3, 4, 4, 100))
+        out = block.forward_bits(bits)
+        assert out.shape == (2, 3, 4, 100)
+        assert np.array_equal(out, block.forward_bits_reference(bits))
+
+
+class TestFeatureExtractionBatched:
+    @pytest.mark.parametrize("feedback_mode", ["signed", "unsigned"])
+    @pytest.mark.parametrize("m", [3, 8, 9])
+    @pytest.mark.parametrize("length", [63, 64, 200])
+    def test_batch_matches_per_instance(self, rng, feedback_mode, m, length):
+        block = SorterFeatureExtractionBlock(m, feedback_mode=feedback_mode)
+        products = random_bits(rng, (6, m, length))
+        batched = block.forward_products(products)
+        singles = np.stack([block.forward_products(p) for p in products])
+        assert np.array_equal(batched, singles)
+
+    @pytest.mark.parametrize("feedback_mode", ["signed", "unsigned"])
+    def test_matches_sorted_vector_model(self, rng, feedback_mode):
+        block = SorterFeatureExtractionBlock(9, feedback_mode=feedback_mode)
+        products = random_bits(rng, (9, 150))
+        assert np.array_equal(
+            block.forward_products(products),
+            block.forward_products_sorted_vector(products),
+        )
+
+    def test_transfer_curve_cache_key_includes_feedback_mode(self):
+        from repro.blocks.feature_extraction import SorterTransferCurve
+
+        signed = SorterTransferCurve.cached(
+            5, n_points=17, stream_length=256, feedback_mode="signed"
+        )
+        unsigned = SorterTransferCurve.cached(
+            5, n_points=17, stream_length=256, feedback_mode="unsigned"
+        )
+        assert signed is not unsigned
+        assert signed is SorterTransferCurve.cached(
+            5, n_points=17, stream_length=256, feedback_mode="signed"
+        )
+
+
+class TestMajorityChainPacked:
+    @staticmethod
+    def reference_chain(products):
+        """Naive arithmetic majority chain (pre-packing reference)."""
+
+        def maj3(a, b, c):
+            return (
+                (a.astype(np.int64) + b.astype(np.int64) + c.astype(np.int64)) >= 2
+            ).astype(np.uint8)
+
+        k = products.shape[-2]
+        if k == 1:
+            return products[..., 0, :]
+        if k == 2:
+            return products[..., 0, :] & products[..., 1, :]
+        acc = maj3(products[..., 0, :], products[..., 1, :], products[..., 2, :])
+        index = 3
+        while index < k:
+            if index + 1 < k:
+                acc = maj3(acc, products[..., index, :], products[..., index + 1, :])
+                index += 2
+            else:
+                acc = maj3(acc, products[..., index, :], np.zeros_like(acc))
+                index += 1
+        return acc
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8, 17, 64])
+    @pytest.mark.parametrize("length", [63, 100, 200])
+    def test_matches_reference(self, rng, k, length):
+        block = MajorityChainCategorizationBlock(k)
+        products = random_bits(rng, (3, k, length))
+        assert np.array_equal(
+            block.forward_products(products), self.reference_chain(products)
+        )
+
+
+class TestLfsrVectorizedWords:
+    @staticmethod
+    def reference_words(lfsr, count):
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            out[i] = lfsr.step()
+        return out
+
+    @pytest.mark.parametrize("n_bits", [3, 5, 8, 10, 16])
+    @pytest.mark.parametrize("count", [1, 7, 64, 1000])
+    def test_matches_step_loop(self, n_bits, count):
+        fast, slow = Lfsr(n_bits, seed=5), Lfsr(n_bits, seed=5)
+        assert np.array_equal(fast.words(count), self.reference_words(slow, count))
+        assert fast.state == slow.state
+
+    def test_custom_short_taps(self):
+        fast, slow = Lfsr(8, seed=7, taps=(3, 2)), Lfsr(8, seed=7, taps=(3, 2))
+        assert np.array_equal(fast.words(500), self.reference_words(slow, 500))
+        assert fast.state == slow.state
+
+    def test_incremental_draws_continue_sequence(self):
+        fast, slow = Lfsr(10, seed=9), Lfsr(10, seed=9)
+        got = np.concatenate([fast.words(13), fast.words(7), fast.words(450)])
+        assert np.array_equal(got, self.reference_words(slow, 470))
+
+    def test_zero_count_leaves_state(self):
+        lfsr = Lfsr(8, seed=3)
+        before = lfsr.state
+        assert lfsr.words(0).size == 0
+        assert lfsr.state == before
