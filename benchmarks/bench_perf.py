@@ -5,8 +5,15 @@ Times the SC hot kernels -- SNG word generation, XNOR multiplication,
 sorter average pooling, sorter feature extraction, and end-to-end bit-exact
 network inference -- at several stream lengths, for both the legacy
 ``uint8``/per-instance paths and the word-packed / batched engines, and
-writes ``BENCH_perf.json`` (seconds, ops/sec, speedup, peak bytes) so
-future PRs have a performance trajectory to compare against.
+writes ``BENCH_perf.json`` (seconds, ops/sec, speedup, peak bytes).  Each
+run is also **appended to the ``history`` list** inside the JSON report,
+so the performance trajectory accumulates across PRs instead of being
+overwritten.
+
+End-to-end inference is timed through the execution-backend registry
+(:mod:`repro.backends`): the per-image legacy oracle vs the batched uint8
+path, and the batched path vs the word-packed data plane
+(``bit-exact-packed``), each entry recording the backend names it compared.
 
 Every comparison **asserts bit-exactness** between the two paths before
 reporting a speedup: the packed engine is a faster representation of the
@@ -30,6 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.backends import create_backend
 from repro.blocks.feature_extraction import SorterFeatureExtractionBlock
 from repro.blocks.pooling import SorterAveragePoolingBlock
 from repro.nn.architectures import LayerSpec, build_network
@@ -93,6 +101,8 @@ def _entry(
     check_equal,
     legacy_repeats: int = 1,
     new_repeats: int = 2,
+    backend: str | None = None,
+    baseline_backend: str | None = None,
 ) -> dict:
     """Time both paths, assert bit-exactness, and build one JSON record."""
     legacy_seconds, legacy_result = _time_call(legacy_fn, legacy_repeats)
@@ -114,8 +124,12 @@ def _entry(
         "new_peak_bytes": _peak_bytes(new_fn),
         "bit_exact": True,
     }
+    if backend is not None:
+        entry["backend"] = backend
+    if baseline_backend is not None:
+        entry["baseline_backend"] = baseline_backend
     print(
-        f"  {kernel:<20s} N={stream_length:<6d} "
+        f"  {kernel:<22s} N={stream_length:<6d} "
         f"legacy {legacy_seconds * 1e3:8.2f} ms   "
         f"new {new_seconds * 1e3:8.2f} ms   "
         f"speedup {entry['speedup']:7.1f}x"
@@ -217,8 +231,8 @@ def bench_feature_extraction(length: int) -> dict:
     )
 
 
-def bench_end_to_end(length: int, n_images: int) -> dict:
-    """Whole-network bit-exact inference: per-image legacy vs batched."""
+def _bench_network_mapper(length: int) -> ScNetworkMapper:
+    """The small CNN used by every end-to-end inference benchmark."""
     specs = [
         LayerSpec(kind="conv", name="Conv3_x", kernel=3, channels=4),
         LayerSpec(kind="pool", name="AvgPool", kernel=4, stride=4),
@@ -228,22 +242,63 @@ def bench_end_to_end(length: int, n_images: int) -> dict:
     network = build_network(
         specs, activation="hardware", seed=5, training_stream_length=256
     )
-    mapper = ScNetworkMapper(network, stream_length=length, seed=7)
-    rng = np.random.default_rng(11)
-    images = rng.random((n_images, 1, 28, 28))
+    return ScNetworkMapper(network, stream_length=length, seed=7)
 
-    def legacy():
-        return np.stack([mapper.bit_exact_forward_legacy(img) for img in images])
 
+def bench_end_to_end(length: int, n_images: int) -> dict:
+    """Whole-network bit-exact inference: per-image legacy vs batched.
+
+    Both paths run through the execution-backend registry.
+    """
+    mapper = _bench_network_mapper(length)
+    images = np.random.default_rng(11).random((n_images, 1, 28, 28))
+    legacy = create_backend("bit-exact-legacy", mapper)
+    batched = create_backend("bit-exact-batched", mapper)
     return _entry(
         "bit-exact-inference",
         length,
         n_images * length,
-        legacy,
-        lambda: mapper.bit_exact_forward_batch(images),
+        lambda: legacy.forward(images),
+        lambda: batched.forward(images),
         lambda a, b: np.array_equal(a, b),
         new_repeats=1,
+        backend="bit-exact-batched",
+        baseline_backend="bit-exact-legacy",
     )
+
+
+def bench_packed_end_to_end(length: int, n_images: int) -> dict:
+    """Whole-network bit-exact inference: batched uint8 vs packed data plane.
+
+    The baseline here is the PR 1 *batched* path (not the per-image
+    legacy), so the recorded speedup isolates what the word-packed
+    inter-layer data plane buys on top of batching.
+    """
+    mapper = _bench_network_mapper(length)
+    images = np.random.default_rng(11).random((n_images, 1, 28, 28))
+    batched = create_backend("bit-exact-batched", mapper)
+    packed = create_backend("bit-exact-packed", mapper)
+    return _entry(
+        "bit-exact-inference-packed",
+        length,
+        n_images * length,
+        lambda: batched.forward(images),
+        lambda: packed.forward(images),
+        lambda a, b: np.array_equal(a, b),
+        new_repeats=1,
+        backend="bit-exact-packed",
+        baseline_backend="bit-exact-batched",
+    )
+
+
+def _load_history(output: Path) -> list:
+    """Prior run records from an existing report (tolerates missing/old files)."""
+    try:
+        previous = json.loads(output.read_text())
+    except (OSError, ValueError):
+        return []
+    history = previous.get("history", []) if isinstance(previous, dict) else []
+    return history if isinstance(history, list) else []
 
 
 def run(quick: bool, output: Path) -> dict:
@@ -256,22 +311,49 @@ def run(quick: bool, output: Path) -> dict:
         entries.append(bench_pooling(length))
         entries.append(bench_feature_extraction(length))
     # End-to-end inference is dominated by the legacy per-image cost, so it
-    # runs at a single stream length (longer in the full sweep).
+    # runs at a single stream length (longer in the full sweep); the
+    # packed-vs-batched comparison has no per-image path and therefore
+    # affords the long-stream regime where packing matters most.
     print("end-to-end:")
     if quick:
         entries.append(bench_end_to_end(256, n_images=2))
+        entries.append(bench_packed_end_to_end(1024, n_images=2))
     else:
         entries.append(bench_end_to_end(1024, n_images=4))
+        entries.append(bench_packed_end_to_end(8192, n_images=4))
+    history = _load_history(output)
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "quick": quick,
+            "entries": [
+                {
+                    key: entry[key]
+                    for key in (
+                        "kernel",
+                        "stream_length",
+                        "speedup",
+                        "new_ops_per_sec",
+                        "backend",
+                        "baseline_backend",
+                    )
+                    if key in entry
+                }
+                for entry in entries
+            ],
+        }
+    )
     report = {
         "quick": quick,
         "stream_lengths": list(lengths),
         "entries": entries,
+        "history": history,
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {output}")
+    print(f"\nwrote {output} ({len(history)} run(s) in history)")
     for entry in entries:
         print(
-            f"  {entry['kernel']:<20s} N={entry['stream_length']:<6d} "
+            f"  {entry['kernel']:<22s} N={entry['stream_length']:<6d} "
             f"{entry['speedup']:8.1f}x  "
             f"({entry['new_ops_per_sec'] / 1e6:9.1f} Mops/s)"
         )

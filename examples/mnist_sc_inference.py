@@ -6,15 +6,18 @@ injection, weight clipping), then evaluates:
 
 * floating-point (software) accuracy,
 * the fast statistical SC model with stream noise,
-* a bit-exact SC simulation of a few test images through the actual blocks,
+* a bit-exact SC simulation of test images through the actual blocks,
+  using any registered execution backend (``--backend``; the default
+  word-packed data plane simulates 16 images comfortably),
 * the Table 9 style hardware roll-up (energy per image, throughput).
 
-Run with:  python examples/mnist_sc_inference.py [--quick]
+Run with:  python examples/mnist_sc_inference.py [--quick] [--backend NAME]
 """
 
 import argparse
 import time
 
+from repro.backends import backend_class, backend_names
 from repro.datasets import generate_digit_dataset
 from repro.eval.network_report import network_hardware_rollup
 from repro.eval.tables import format_table
@@ -26,6 +29,18 @@ def main() -> None:
     parser.add_argument("--quick", action="store_true", help="use a tiny training budget")
     parser.add_argument("--stream-length", type=int, default=1024)
     parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument(
+        "--backend",
+        choices=[n for n in backend_names() if backend_class(n).bit_exact],
+        default="bit-exact-packed",
+        help="execution backend for the bit-exact validation rows",
+    )
+    parser.add_argument(
+        "--bit-exact-images",
+        type=int,
+        default=None,
+        help="images simulated bit-exactly (default: 2 legacy-sized, 16 packed/batched)",
+    )
     args = parser.parse_args()
 
     n_train, n_test = (800, 200) if args.quick else (3000, 600)
@@ -49,10 +64,18 @@ def main() -> None:
 
     engine = ScInferenceEngine(network, stream_length=args.stream_length, seed=3)
     test_images = dataset.test_images[:, None]
-    float_result = engine.evaluate_float(test_images, dataset.test_labels)
-    fast_result = engine.evaluate_sc_fast(test_images, dataset.test_labels)
-    bit_exact = engine.evaluate_sc_bit_exact(
-        test_images, dataset.test_labels, max_images=2, position_chunk=24
+    # Every evaluation selects its execution backend through the registry.
+    float_result = engine.evaluate(test_images, dataset.test_labels, backend="float")
+    fast_result = engine.evaluate(test_images, dataset.test_labels, backend="sc-fast")
+    if args.bit_exact_images is not None:
+        n_bit_exact = args.bit_exact_images
+    else:
+        n_bit_exact = 2 if args.backend == "bit-exact-legacy" else 16
+    bit_exact = engine.evaluate(
+        test_images,
+        dataset.test_labels,
+        backend=args.backend,
+        max_images=n_bit_exact,
     )
 
     aqfp, cmos = network_hardware_rollup(
@@ -66,7 +89,12 @@ def main() -> None:
                 ["Software (float)", float_result.accuracy, "-", "-"],
                 ["CMOS SC", fast_result.accuracy, cmos.energy_uj_per_image, cmos.throughput_images_per_ms],
                 ["AQFP SC", fast_result.accuracy, aqfp.energy_uj_per_image, aqfp.throughput_images_per_ms],
-                [f"AQFP bit-exact ({bit_exact.n_images} images)", bit_exact.accuracy, "-", "-"],
+                [
+                    f"AQFP {bit_exact.mode} ({bit_exact.n_images} images)",
+                    bit_exact.accuracy,
+                    "-",
+                    "-",
+                ],
             ],
             title="Table 9 style network comparison (SNN)",
         )

@@ -16,6 +16,9 @@ Superconducting Technology" (Cai et al., ISCA 2019).  It contains:
   plus the prior-work APC baseline.
 * ``repro.nn`` -- float reference layers, training, quantization, and the
   SC-domain inference engine for the SNN/DNN architectures of Table 8.
+* ``repro.backends`` -- pluggable execution backends (float, fast
+  statistical, and the bit-exact legacy / batched / word-packed data
+  planes) behind a string-keyed registry.
 * ``repro.datasets`` -- the synthetic MNIST-like digit dataset.
 * ``repro.eval`` -- reproduction harness for every table and figure in the
   paper's evaluation.

@@ -1,0 +1,53 @@
+"""Pluggable execution backends for SC network inference.
+
+The backend layer separates the *description* of a mapped network
+(:class:`~repro.nn.sc_layers.ScNetworkMapper`) from the *simulation
+strategy* that evaluates it.  Every strategy implements the
+:class:`~repro.backends.base.Backend` protocol and registers itself under
+a string key, so engines, reports, examples and benchmarks select an
+execution path by name:
+
+=================== ========= ========== ======= =================================
+name                bit-exact stochastic packed  what it runs
+=================== ========= ========== ======= =================================
+``float``           no        no         --      trained float network (reference)
+``sc-fast``         no        yes        --      fast statistical SC model
+``bit-exact-legacy``  yes     yes        no      per-image byte-per-bit oracle
+``bit-exact-batched`` yes     yes        no      whole-layer batched uint8 path
+``bit-exact-packed``  yes     yes        yes     word-packed end-to-end data plane
+=================== ========= ========== ======= =================================
+
+All three ``bit-exact-*`` backends produce *identical* scores; they only
+differ in speed.  To add a backend, subclass
+:class:`~repro.backends.base.Backend`, set ``name`` plus the capability
+flags, implement ``forward``, and decorate the class with
+:func:`~repro.backends.registry.register_backend`.
+"""
+
+from repro.backends.base import Backend
+from repro.backends.packed import BitExactPackedBackend
+from repro.backends.registry import (
+    backend_class,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+from repro.backends.standard import (
+    BitExactBatchedBackend,
+    BitExactLegacyBackend,
+    FastStatisticalBackend,
+    FloatBackend,
+)
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "backend_class",
+    "backend_names",
+    "create_backend",
+    "FloatBackend",
+    "FastStatisticalBackend",
+    "BitExactLegacyBackend",
+    "BitExactBatchedBackend",
+    "BitExactPackedBackend",
+]

@@ -1,0 +1,96 @@
+"""Execution-backend protocol for SC network inference.
+
+A :class:`Backend` turns a mapped network (a
+:class:`~repro.nn.sc_layers.ScNetworkMapper`) into class scores for a batch
+of images.  What used to be ad-hoc methods on the inference engine --
+float evaluation, the fast statistical SC model, the bit-exact block
+simulations -- are now interchangeable backends behind one interface, so
+reports, examples and benchmarks pick an execution strategy by name
+through the registry (:mod:`repro.backends.registry`) instead of calling
+mapper internals.
+
+Capability flags describe what a backend guarantees:
+
+* ``bit_exact`` -- the scores come from simulating actual bit streams
+  through the block implementations (all ``bit-exact-*`` backends produce
+  *identical* scores, they only differ in speed).
+* ``stochastic`` -- the scores depend on sampled randomness (stream
+  generation or injected decoding noise); deterministic given the seed.
+* ``packed_data_plane`` -- inter-layer feature maps stay word-packed
+  (``uint64``) end to end.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+import numpy as np
+
+from repro.nn.sc_layers import ScNetworkMapper
+
+__all__ = ["Backend"]
+
+
+class Backend(abc.ABC):
+    """One execution strategy for running a mapped network.
+
+    Subclasses are registered by name (see
+    :func:`repro.backends.registry.register_backend`) and constructed with
+    the mapper they execute; backend-specific options are keyword
+    arguments of the concrete ``__init__``.
+
+    Args:
+        mapper: the SC network mapper holding the trained network, stream
+            length, weight precision and seed.
+    """
+
+    #: Registry key of the backend (e.g. ``"bit-exact-packed"``).
+    name: ClassVar[str]
+
+    #: One-line description shown in registry listings.
+    description: ClassVar[str] = ""
+
+    #: True when scores come from simulating actual bit streams.
+    bit_exact: ClassVar[bool] = False
+
+    #: True when scores depend on sampled randomness (given the seed).
+    stochastic: ClassVar[bool] = True
+
+    #: True when inter-layer feature maps stay word-packed end to end.
+    packed_data_plane: ClassVar[bool] = False
+
+    def __init__(self, mapper: ScNetworkMapper) -> None:
+        self.mapper = mapper
+
+    @property
+    def stream_length(self) -> int:
+        """Stochastic stream length ``N`` of the underlying mapper."""
+        return self.mapper.stream_length
+
+    @abc.abstractmethod
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Class scores for a batch of images.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in
+                ``[0, 1]``.
+
+        Returns:
+            ``(batch, n_classes)`` class scores.
+        """
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predicted class indices for a batch of images."""
+        return np.argmax(self.forward(images), axis=1)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correctly classified images."""
+        predictions = self.predict(images)
+        return float((predictions == np.asarray(labels)).mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"stream_length={self.stream_length})"
+        )

@@ -1,0 +1,164 @@
+"""The migrated execution backends: float, fast-statistical, bit-exact.
+
+Each class wraps one of the evaluation modes that used to live as ad-hoc
+methods on the inference engine / network mapper, preserving their exact
+numerical behaviour (batching, RNG seeding order, chunking defaults) so
+that scores are unchanged mode for mode:
+
+* :class:`FloatBackend` -- the trained float network itself (software
+  reference accuracy).
+* :class:`FastStatisticalBackend` -- the fast statistical SC model
+  (quantised weights, hardware transfer curves, optional stream noise).
+* :class:`BitExactLegacyBackend` -- the per-image, small-chunk bit-exact
+  block simulation (the equivalence oracle and perf baseline).
+* :class:`BitExactBatchedBackend` -- the whole-layer batched bit-exact
+  path introduced in PR 1.
+
+The fully packed data plane lives in
+:class:`repro.backends.packed.BitExactPackedBackend`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.registry import register_backend
+from repro.errors import ConfigurationError
+from repro.nn.sc_layers import ScNetworkMapper
+
+__all__ = [
+    "FloatBackend",
+    "FastStatisticalBackend",
+    "BitExactLegacyBackend",
+    "BitExactBatchedBackend",
+]
+
+#: Image batch size used by the float and fast statistical backends; the
+#: historical value of ``Network.predict`` / ``fast_accuracy``, kept so
+#: noise draws land on the same batch boundaries as before.
+_SCORE_BATCH = 256
+
+
+@register_backend
+class FloatBackend(Backend):
+    """Software reference: the trained float network, no SC at all."""
+
+    name = "float"
+    description = "trained float network (software reference)"
+    bit_exact = False
+    stochastic = False
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        bipolar = np.asarray(images, dtype=np.float64) * 2.0 - 1.0
+        network = self.mapper.network
+        scores = [
+            network.forward(bipolar[start : start + _SCORE_BATCH], training=False)
+            for start in range(0, bipolar.shape[0], _SCORE_BATCH)
+        ]
+        return np.concatenate(scores, axis=0)
+
+
+@register_backend
+class FastStatisticalBackend(Backend):
+    """Fast statistical SC model (the full-test-set accuracy model).
+
+    Args:
+        mapper: the SC network mapper.
+        inject_noise: add the stochastic decoding noise of finite streams
+            after every block (the paper's evaluation setting).
+    """
+
+    name = "sc-fast"
+    description = "fast statistical SC model (quantised weights, transfer curves)"
+    bit_exact = False
+    stochastic = True
+
+    def __init__(self, mapper: ScNetworkMapper, inject_noise: bool = True) -> None:
+        super().__init__(mapper)
+        self.inject_noise = bool(inject_noise)
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        # One freshly seeded generator per batch, exactly as the historical
+        # fast_accuracy loop drew its noise.
+        scores = [
+            self.mapper.fast_forward(
+                images[start : start + _SCORE_BATCH], self.inject_noise
+            )
+            for start in range(0, images.shape[0], _SCORE_BATCH)
+        ]
+        return np.concatenate(scores, axis=0)
+
+
+@register_backend
+class BitExactLegacyBackend(Backend):
+    """Per-image, small-chunk bit-exact simulation (equivalence oracle).
+
+    Args:
+        mapper: the SC network mapper.
+        position_chunk: output positions / neurons simulated per product
+            tensor; ``None`` selects the historical default of 32 (so the
+            engine facade can pass ``position_chunk=None`` to any
+            bit-exact backend uniformly).
+    """
+
+    name = "bit-exact-legacy"
+    description = "per-image byte-per-bit block simulation (reference oracle)"
+    bit_exact = True
+    stochastic = True
+
+    #: Historical positions-per-product-tensor default of the legacy path.
+    _DEFAULT_POSITION_CHUNK = 32
+
+    def __init__(
+        self, mapper: ScNetworkMapper, position_chunk: int | None = None
+    ) -> None:
+        super().__init__(mapper)
+        if position_chunk is None:
+            position_chunk = self._DEFAULT_POSITION_CHUNK
+        if position_chunk < 1:
+            raise ConfigurationError("position_chunk must be >= 1")
+        self.position_chunk = int(position_chunk)
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim == 3:
+            images = images[None]
+        return np.stack(
+            [
+                self.mapper.bit_exact_forward_legacy(
+                    image, position_chunk=self.position_chunk
+                )
+                for image in images
+            ]
+        )
+
+
+@register_backend
+class BitExactBatchedBackend(Backend):
+    """Whole-layer batched bit-exact simulation (the PR 1 fast path).
+
+    Args:
+        mapper: the SC network mapper.
+        position_chunk: optional cap on positions / neurons per product
+            tensor; ``None`` picks automatically from the memory budget.
+    """
+
+    name = "bit-exact-batched"
+    description = "batched byte-per-bit block simulation (whole layers per call)"
+    bit_exact = True
+    stochastic = True
+
+    def __init__(
+        self, mapper: ScNetworkMapper, position_chunk: int | None = None
+    ) -> None:
+        super().__init__(mapper)
+        if position_chunk is not None and position_chunk < 1:
+            raise ConfigurationError("position_chunk must be >= 1")
+        self.position_chunk = position_chunk
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        return self.mapper.bit_exact_forward_batch(
+            images, position_chunk=self.position_chunk
+        )

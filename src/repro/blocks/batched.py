@@ -12,23 +12,40 @@ classes and the network mapper build on:
   with a single vectorised ``cumsum``; no per-cycle loop at all.
 * :func:`feature_extraction_recurrence` -- the clipped signed accumulator
   has no closed form (the two-sided saturation is the very nonlinearity
-  that realises ``clip(z, -1, 1)``), so the kernel keeps a loop over the
-  stream axis but advances **all** block instances of a layer per
-  iteration on contiguous time-major arrays, amortising the Python/NumPy
-  dispatch overhead across the whole layer.
+  that realises ``clip(z, -1, 1)``), so it is evaluated by the
+  **word-blocked stepper** (:func:`feature_extraction_recurrence_words`),
+  which emits packed 64-bit output words and, for the small accumulator
+  state spaces of CONV-sized blocks, advances 64 cycles per Python
+  iteration by precomputing every word block for all possible entering
+  states at once and chaining the real trajectory with one gather per
+  block.  Large state spaces (FC-sized blocks) fall back to a per-cycle
+  loop that still advances all block instances of a layer per iteration.
 
-Both kernels accept arbitrary leading batch axes and are bit-identical to
+All kernels accept arbitrary leading batch axes and are bit-identical to
 the scalar reference models (the unit tests prove it against the explicit
 sorted-vector data-path simulations).
 """
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ConfigurationError, ShapeError
+from repro.sc.packed import (
+    WORD_BITS,
+    ones_count,
+    tail_mask,
+    unpack_bits,
+    words_for_length,
+)
 
-__all__ = ["pooling_recurrence", "feature_extraction_recurrence"]
+__all__ = [
+    "pooling_recurrence",
+    "feature_extraction_recurrence",
+    "feature_extraction_recurrence_words",
+]
 
 
 def pooling_recurrence(column_ones: np.ndarray, n_inputs: int) -> np.ndarray:
@@ -74,6 +91,258 @@ def pooling_recurrence(column_ones: np.ndarray, n_inputs: int) -> np.ndarray:
     return output
 
 
+#: The all-states word-blocked strategy multiplies the arithmetic by the
+#: number of accumulator states, so it only pays off while the state space
+#: stays small (CONV-sized blocks); FC-sized blocks fall back to the
+#: per-cycle stepper.
+_STATES_MAX = 16
+
+#: The all-states strategy trades ``states x`` more element arithmetic for
+#: ``~N/64 x`` fewer NumPy dispatches, so it wins exactly in the
+#: dispatch-bound regime: small per-iteration slabs.  Empirically the
+#: break-even sits near ``states * batch ~ 8k`` elements; above it the
+#: per-cycle stepper's larger slabs amortise dispatch on their own.
+_STATES_MAX_SLAB = 8192
+
+
+def _check_recurrence_args(
+    column_ones: np.ndarray, low: int, high: int, strategy: str
+) -> tuple[np.ndarray, int, tuple[int, ...], int, int]:
+    """Validate stepper arguments and derive the batch/word geometry."""
+    if strategy not in ("auto", "all-states", "per-cycle"):
+        raise ConfigurationError(
+            f"strategy must be 'auto', 'all-states' or 'per-cycle', "
+            f"got {strategy!r}"
+        )
+    if high < low:
+        raise ConfigurationError(f"high ({high}) must be >= low ({low})")
+    if not low <= 0 <= high:
+        # The recurrence starts from a zero accumulator; a saturation
+        # domain that excludes zero has no hardware meaning, and the
+        # all-states strategy could not chain from the true start state.
+        raise ConfigurationError(
+            f"saturation bounds must satisfy low <= 0 <= high, "
+            f"got [{low}, {high}]"
+        )
+    c = np.asarray(column_ones)
+    if c.ndim == 0:
+        raise ShapeError("column_ones needs at least one (stream) axis")
+    length = c.shape[-1]
+    batch_shape = c.shape[:-1]
+    batch = int(np.prod(batch_shape, dtype=np.int64)) if batch_shape else 1
+    return c, length, batch_shape, batch, words_for_length(length)
+
+
+def _resolve_strategy(
+    strategy: str, n_states: int, n_words: int, batch: int
+) -> str:
+    """Pick the execution strategy for ``"auto"`` (see the constants above)."""
+    if strategy != "auto":
+        return strategy
+    use_states = (
+        n_states <= _STATES_MAX
+        and n_words >= 2
+        and n_states * batch <= _STATES_MAX_SLAB
+    )
+    return "all-states" if use_states else "per-cycle"
+
+
+def _blocked_time_major(
+    c: np.ndarray, length: int, batch: int, n_words: int
+) -> np.ndarray:
+    """``(..., N)`` counts -> contiguous ``(n_blocks, 64, batch)`` layout.
+
+    Each all-states iteration reads one contiguous ``(batch,)`` slab; tail
+    cycles are zero-padded (their output bits are masked off afterwards).
+    """
+    time_major = np.zeros((n_words, WORD_BITS, batch), dtype=np.int32)
+    flat = c.reshape(batch, length).T  # (N, batch)
+    time_major.reshape(n_words * WORD_BITS, batch)[:length] = flat
+    return time_major
+
+
+def _time_major_counts(c: np.ndarray, length: int, batch: int) -> np.ndarray:
+    """``(..., N)`` counts -> contiguous ``(N, batch)`` for the cycle loop.
+
+    Keeps narrow count dtypes (``uint8``/``uint16``) narrow: the transpose
+    copy is the dominant memory pass here, and the per-cycle adds accept
+    any integer operand against the ``int32`` accumulator.
+    """
+    flat = c.reshape(batch, length).T
+    if c.dtype.kind not in "iu" or c.dtype.itemsize > 4:
+        return np.ascontiguousarray(flat, dtype=np.int32)
+    return np.ascontiguousarray(flat)
+
+
+def _pack_time_major_bits(
+    bits: np.ndarray, length: int, batch: int, n_words: int
+) -> np.ndarray:
+    """Pack time-major ``(N, batch)`` output bits into ``(batch, W)`` words.
+
+    Packing along the time axis *before* transposing moves 8x fewer bytes
+    than transposing the byte-per-bit array and packing afterwards; the
+    resulting words follow the :mod:`repro.sc.packed` layout (bit ``t`` in
+    word ``t // 64`` at position ``t % 64``, tail bits zero).
+    """
+    padded_len = n_words * WORD_BITS
+    if padded_len != length:
+        padded = np.zeros((padded_len, batch), dtype=np.uint8)
+        padded[:length] = bits
+        bits = padded
+    packed_bytes = np.packbits(bits, axis=0, bitorder="little")  # (W*8, batch)
+    words = np.ascontiguousarray(packed_bytes.T).view(np.uint64)
+    if sys.byteorder == "big":  # pragma: no cover - little-endian CI hosts
+        words = words.byteswap()
+    return words
+
+
+def _recurrence_words_all_states(
+    time_major: np.ndarray, half: int, low: int, high: int
+) -> np.ndarray:
+    """All-states word-blocked stepper: 64 cycles per Python iteration.
+
+    The accumulator recurrence is sequential in ``t``, but its state space
+    is tiny (``high - low + 1`` integers).  So every 64-cycle word block is
+    advanced **for all possible entering states simultaneously**, across
+    all blocks at once -- 64 vectorised iterations in total regardless of
+    the stream length -- and the actual trajectory is then stitched
+    together with one cheap gather per block.  Output bits are assembled
+    directly into packed ``uint64`` words.
+
+    Args:
+        time_major: contiguous ``(n_blocks, 64, batch)`` per-cycle column
+            counts (tail cycles zero-padded).
+
+    Returns:
+        ``(batch, n_blocks)`` packed output words (tail bits unmasked).
+    """
+    n_blocks, _, batch = time_major.shape
+    n_states = high - low + 1
+    # Per (state, block, instance): the accumulator trajectory and the
+    # 64 output bits of the block, as one packed word.
+    accumulator = np.broadcast_to(
+        np.arange(low, high + 1, dtype=np.int32)[:, None, None],
+        (n_states, n_blocks, batch),
+    ).copy()
+    out_words = np.zeros((n_states, n_blocks, batch), dtype=np.uint64)
+    threshold = half + 1
+    for t in range(WORD_BITS):
+        np.add(accumulator, time_major[:, t][None], out=accumulator)
+        bit = accumulator >= threshold
+        out_words |= bit.astype(np.uint64) << np.uint64(t)
+        np.subtract(accumulator, half, out=accumulator)
+        np.subtract(accumulator, bit, out=accumulator, casting="unsafe")
+        np.clip(accumulator, low, high, out=accumulator)
+    # Exit states as indices into the state axis for the chaining pass.
+    np.subtract(accumulator, low, out=accumulator)
+    result = np.empty((batch, n_blocks), dtype=np.uint64)
+    instance = np.arange(batch)
+    state = np.full(batch, -low)  # the accumulator starts at zero
+    for block in range(n_blocks):
+        result[:, block] = out_words[state, block, instance]
+        state = accumulator[state, block, instance]
+    return result
+
+
+def _recurrence_per_cycle(
+    time_major: np.ndarray,
+    half: int,
+    low: int,
+    high: int,
+    return_bits: bool = True,
+) -> np.ndarray:
+    """Per-cycle stepper (large-state fallback), emitting ``uint8`` bits.
+
+    Identical recurrence to the all-states strategy but advanced one cycle
+    per Python iteration over the whole batch; used when the accumulator
+    state space is too large for the all-states precomputation to pay off.
+    Emits byte-per-bit output (its natural representation -- no per-cycle
+    word assembly); callers that need packed words pack once at the end.
+
+    Args:
+        time_major: contiguous ``(N, batch)`` per-cycle column counts.
+        return_bits: when false, return only per-instance output-ones
+            counts (``int64`` of shape ``(batch,)``).
+
+    Returns:
+        ``(N, batch)`` 0/1 ``uint8`` output bits (time-major), or the
+        ones counts when ``return_bits`` is false.
+    """
+    length, batch = time_major.shape
+    accumulator = np.zeros(batch, dtype=np.int32)
+    threshold = half + 1
+    if return_bits:
+        output = np.empty((length, batch), dtype=np.uint8)
+    else:
+        ones_total = np.zeros(batch, dtype=np.int64)
+    for t in range(length):
+        np.add(accumulator, time_major[t], out=accumulator)
+        bit = accumulator >= threshold
+        if return_bits:
+            output[t] = bit
+        else:
+            np.add(ones_total, bit, out=ones_total, casting="unsafe")
+        np.subtract(accumulator, half, out=accumulator)
+        np.subtract(accumulator, bit, out=accumulator, casting="unsafe")
+        np.clip(accumulator, low, high, out=accumulator)
+    if return_bits:
+        return output
+    return ones_total
+
+
+def feature_extraction_recurrence_words(
+    column_ones: np.ndarray,
+    half: int,
+    low: int,
+    high: int,
+    strategy: str = "auto",
+) -> np.ndarray:
+    """Word-blocked feature-extraction stepper with packed output.
+
+    Evaluates the Algorithm 1 counter recurrence (see
+    :func:`feature_extraction_recurrence`) and returns the output streams
+    **word-packed** (64 stream bits per ``uint64``, the
+    :mod:`repro.sc.packed` layout), which is what lets the packed
+    inference backend keep inter-layer feature maps packed end to end.
+
+    Two execution strategies produce bit-identical words:
+
+    * ``"all-states"`` -- precompute every 64-cycle word block for all
+      possible accumulator states at once (64 Python iterations total,
+      independent of stream length), then chain the real trajectory with
+      one gather per block.  The default whenever the state space
+      ``high - low + 1`` is small (CONV-sized blocks).
+    * ``"per-cycle"`` -- the classic one-cycle-per-iteration loop, kept
+      for large state spaces (FC-sized blocks) where the all-states
+      arithmetic blow-up outweighs the dispatch savings.
+
+    Args:
+        column_ones: integer array of shape ``(..., N)`` counting ones per
+            cycle across the (padded) product streams.
+        half: the per-cycle subtraction ``h = (M - 1) / 2``.
+        low: accumulator saturation floor (``-h`` signed, ``0`` unsigned).
+        high: accumulator saturation ceiling (``h + 1`` signed, ``M``
+            unsigned).
+        strategy: ``"auto"``, ``"all-states"`` or ``"per-cycle"``.
+
+    Returns:
+        ``uint64`` array of shape ``(..., ceil(N / 64))``: the packed
+        output streams, tail bits zero.
+    """
+    shape = _check_recurrence_args(column_ones, low, high, strategy)
+    c, length, batch_shape, batch, n_words = shape
+    if _resolve_strategy(strategy, high - low + 1, n_words, batch) == "all-states":
+        time_major = _blocked_time_major(c, length, batch, n_words)
+        words = _recurrence_words_all_states(time_major, half, low, high)
+        words[:, -1] &= tail_mask(length)
+    else:
+        bits = _recurrence_per_cycle(
+            _time_major_counts(c, length, batch), half, low, high
+        )
+        words = _pack_time_major_bits(bits, length, batch, n_words)
+    return words.reshape(batch_shape + (n_words,))
+
+
 def feature_extraction_recurrence(
     column_ones: np.ndarray,
     half: int,
@@ -88,10 +357,12 @@ def feature_extraction_recurrence(
     ``k_t = c_t + a_{t-1}``, ``o_t = [k_t >= h + 1]``,
     ``a_t = clip(k_t - h - o_t, low, high)``
 
-    for every block instance in the batch simultaneously.  The stream axis
-    is moved to the front so each of the ``N`` iterations works on one
-    contiguous ``(batch,)`` slab with in-place ufuncs -- one call advances
-    every output pixel / neuron of a layer through one clock cycle.
+    for every block instance in the batch simultaneously, delegating to the
+    word-blocked stepper (:func:`feature_extraction_recurrence_words`):
+    small accumulator state spaces advance 64 cycles per Python iteration
+    via the all-states strategy, large ones fall back to the per-cycle
+    loop.  Output is bit-identical to the scalar sorted-vector block
+    models either way (the unit tests prove it).
 
     Args:
         column_ones: integer array of shape ``(..., N)`` counting ones per
@@ -108,28 +379,18 @@ def feature_extraction_recurrence(
         ``uint8`` array of shape ``(..., N)`` when ``return_bits``, else an
         ``int64`` array of shape ``(...,)`` of output-ones counts.
     """
-    c = np.asarray(column_ones)
-    if c.ndim == 0:
-        raise ShapeError("column_ones needs at least one (stream) axis")
-    length = c.shape[-1]
-    batch_shape = c.shape[:-1]
-    time_major = np.ascontiguousarray(np.moveaxis(c, -1, 0), dtype=np.int32)
-    accumulator = np.zeros(batch_shape, dtype=np.int32)
-    threshold = half + 1
-    if return_bits:
-        output = np.empty((length,) + batch_shape, dtype=np.uint8)
-    else:
-        ones_total = np.zeros(batch_shape, dtype=np.int64)
-    for t in range(length):
-        np.add(accumulator, time_major[t], out=accumulator)
-        bit = accumulator >= threshold
+    shape = _check_recurrence_args(column_ones, low, high, "auto")
+    c, length, batch_shape, batch, n_words = shape
+    if _resolve_strategy("auto", high - low + 1, n_words, batch) == "all-states":
+        time_major = _blocked_time_major(c, length, batch, n_words)
+        words = _recurrence_words_all_states(time_major, half, low, high)
+        words[:, -1] &= tail_mask(length)
         if return_bits:
-            output[t] = bit
-        else:
-            np.add(ones_total, bit, out=ones_total, casting="unsafe")
-        np.subtract(accumulator, half, out=accumulator)
-        np.subtract(accumulator, bit, out=accumulator, casting="unsafe")
-        np.clip(accumulator, low, high, out=accumulator)
+            return unpack_bits(words, length).reshape(batch_shape + (length,))
+        return ones_count(words).reshape(batch_shape)
+    result = _recurrence_per_cycle(
+        _time_major_counts(c, length, batch), half, low, high, return_bits
+    )
     if return_bits:
-        return np.ascontiguousarray(np.moveaxis(output, 0, -1))
-    return ones_total
+        return np.ascontiguousarray(result.T).reshape(batch_shape + (length,))
+    return result.reshape(batch_shape)

@@ -9,7 +9,7 @@ defaults so scripts and benchmarks stay short.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 
@@ -20,6 +20,12 @@ PAPER_STREAM_LENGTHS = (128, 256, 512, 1024, 2048)
 
 #: The stream length used for the paper's hardware and network evaluations.
 DEFAULT_STREAM_LENGTH = 1024
+
+#: Execution backend used when an evaluation does not name one explicitly.
+#: ``"sc-fast"`` is the paper's full-test-set accuracy model; the
+#: bit-exact backends (``"bit-exact-packed"`` being the fast one) simulate
+#: actual streams.  See :mod:`repro.backends` for the registry.
+DEFAULT_BACKEND = "sc-fast"
 
 
 @dataclass(frozen=True)
@@ -32,6 +38,10 @@ class ExperimentConfig:
         seed: base seed for deterministic experiments.
         aqfp_clock_hz: AQFP AC excitation clock frequency.
         cmos_clock_hz: clock frequency assumed for the CMOS baseline.
+        default_backend: registry name of the execution backend used when
+            an evaluation does not name one (validated against the
+            registry at engine construction, not here, so the config stays
+            import-light).
     """
 
     stream_length: int = DEFAULT_STREAM_LENGTH
@@ -39,6 +49,7 @@ class ExperimentConfig:
     seed: int = 2019
     aqfp_clock_hz: float = 5.0e9
     cmos_clock_hz: float = 1.0e9
+    default_backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.stream_length <= 0:
@@ -51,16 +62,19 @@ class ExperimentConfig:
             )
         if self.aqfp_clock_hz <= 0 or self.cmos_clock_hz <= 0:
             raise ConfigurationError("clock frequencies must be positive")
+        if not isinstance(self.default_backend, str) or not self.default_backend:
+            raise ConfigurationError(
+                f"default_backend must be a non-empty backend name, "
+                f"got {self.default_backend!r}"
+            )
 
     def with_stream_length(self, stream_length: int) -> "ExperimentConfig":
         """Return a copy of this config with a different stream length."""
-        return ExperimentConfig(
-            stream_length=stream_length,
-            weight_bits=self.weight_bits,
-            seed=self.seed,
-            aqfp_clock_hz=self.aqfp_clock_hz,
-            cmos_clock_hz=self.cmos_clock_hz,
-        )
+        return replace(self, stream_length=stream_length)
+
+    def with_backend(self, default_backend: str) -> "ExperimentConfig":
+        """Return a copy of this config with a different default backend."""
+        return replace(self, default_backend=default_backend)
 
 
 def default_config() -> ExperimentConfig:

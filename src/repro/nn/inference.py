@@ -1,20 +1,29 @@
-"""High-level SC inference engine.
+"""High-level SC inference engine (a thin facade over execution backends).
 
-:class:`ScInferenceEngine` is the user-facing entry point: give it a trained
-float network and it evaluates accuracy under the fast statistical SC model,
-validates individual images bit-exactly through the blocks, and exposes the
-block inventory used for the network-level hardware roll-up (Table 9).
+:class:`ScInferenceEngine` is the user-facing entry point: give it a
+trained float network and evaluate it under any registered execution
+backend -- ``engine.evaluate(images, labels, backend="bit-exact-packed")``
+-- or construct backends directly with :meth:`ScInferenceEngine.backend`.
+The historical mode-specific methods (``evaluate_float``,
+``evaluate_sc_fast``, ``evaluate_sc_bit_exact``) remain as thin wrappers
+over the corresponding backends, and the engine still exposes the block
+inventory used for the network-level hardware roll-up (Table 9).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.config import default_config
 from repro.errors import ConfigurationError
 from repro.nn.layers import Network
 from repro.nn.sc_layers import LayerInventory, ScNetworkMapper
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.backends.base import Backend
 
 __all__ = ["InferenceResult", "ScInferenceEngine"]
 
@@ -27,7 +36,10 @@ class InferenceResult:
         accuracy: fraction of correctly classified images.
         n_images: number of images evaluated.
         stream_length: stochastic stream length used.
-        mode: ``"float"``, ``"sc-fast"`` or ``"sc-bit-exact"``.
+        mode: name of the execution backend that produced the scores
+            (``"float"``, ``"sc-fast"``, ``"bit-exact-packed"``, ...; the
+            legacy ``evaluate_sc_bit_exact`` wrapper reports its
+            historical ``"sc-bit-exact"`` label).
     """
 
     accuracy: float
@@ -37,13 +49,16 @@ class InferenceResult:
 
 
 class ScInferenceEngine:
-    """Evaluate a trained network in float and in the SC domain.
+    """Evaluate a trained network through pluggable execution backends.
 
     Args:
         network: trained float network.
         weight_bits: stored weight precision for SC conversion.
         stream_length: stochastic stream length ``N``.
         seed: randomness seed for stream generation and noise.
+        default_backend: registry name used when :meth:`evaluate` is called
+            without an explicit backend; ``None`` falls back to
+            :attr:`repro.config.ExperimentConfig.default_backend`.
     """
 
     def __init__(
@@ -52,27 +67,79 @@ class ScInferenceEngine:
         weight_bits: int = 10,
         stream_length: int = 1024,
         seed: int = 2019,
+        default_backend: str | None = None,
     ) -> None:
         if stream_length <= 0:
             raise ConfigurationError("stream_length must be positive")
         self.network = network
         self.mapper = ScNetworkMapper(network, weight_bits, stream_length, seed)
         self.stream_length = int(stream_length)
+        # Imported lazily: repro.backends imports the mapper layer, so a
+        # module-level import here would be circular.
+        from repro.backends import backend_class
+
+        name = default_backend or default_config().default_backend
+        backend_class(name)  # fail fast on unknown names
+        self.default_backend = name
+
+    # -- backend facade --------------------------------------------------------
+
+    def backend(self, name: str | None = None, **options: object) -> Backend:
+        """Construct an execution backend for this engine's mapper.
+
+        Args:
+            name: registry name; ``None`` uses :attr:`default_backend`.
+            **options: backend-specific constructor options (e.g.
+                ``inject_noise``, ``position_chunk``).
+        """
+        from repro.backends import create_backend
+
+        return create_backend(name or self.default_backend, self.mapper, **options)
+
+    def evaluate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        backend: str | None = None,
+        max_images: int | None = None,
+        **options: object,
+    ) -> InferenceResult:
+        """Accuracy of the network under the named execution backend.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in ``[0, 1]``.
+            labels: integer class labels.
+            backend: registry name; ``None`` uses :attr:`default_backend`.
+            max_images: optional cap on the number of images evaluated
+                (bounds the memory of the bit-exact backends).
+            **options: forwarded to the backend constructor.
+
+        Returns:
+            The accuracy summary; ``mode`` is the backend name.
+        """
+        if max_images is not None and max_images < 1:
+            raise ConfigurationError("max_images must be >= 1")
+        images = np.asarray(images)[:max_images]
+        labels = np.asarray(labels)[:max_images]
+        executor = self.backend(backend, **options)
+        accuracy = executor.accuracy(images, labels)
+        return InferenceResult(
+            accuracy, len(labels), self.stream_length, executor.name
+        )
+
+    # -- historical mode-specific wrappers --------------------------------------
 
     def evaluate_float(self, images: np.ndarray, labels: np.ndarray) -> InferenceResult:
         """Software (floating-point) accuracy of the trained network."""
-        images = np.asarray(images, dtype=np.float64) * 2.0 - 1.0
-        accuracy = self.network.accuracy(images, labels)
-        return InferenceResult(accuracy, len(labels), self.stream_length, "float")
+        return self.evaluate(images, labels, backend="float")
 
     def evaluate_sc_fast(
         self, images: np.ndarray, labels: np.ndarray, inject_noise: bool = True
     ) -> InferenceResult:
         """Accuracy under the fast statistical SC model."""
-        accuracy = self.mapper.fast_accuracy(
-            np.asarray(images, dtype=np.float64), labels, inject_noise
+        return self.evaluate(
+            images, labels, backend="sc-fast", inject_noise=inject_noise
         )
-        return InferenceResult(accuracy, len(labels), self.stream_length, "sc-fast")
 
     def evaluate_sc_bit_exact(
         self,
@@ -80,24 +147,23 @@ class ScInferenceEngine:
         labels: np.ndarray,
         max_images: int = 32,
         position_chunk: int | None = None,
+        backend: str = "bit-exact-batched",
     ) -> InferenceResult:
-        """Accuracy of the bit-exact block simulation on a batch of images.
+        """Accuracy of a bit-exact block simulation on a batch of images.
 
-        The batched engine advances every block instance of a layer (all
-        images, all output pixels / neurons) through the counter
-        recurrences in one vectorised call per layer, so dozens of images
-        are practical; ``max_images`` only bounds memory.
+        All ``bit-exact-*`` backends produce identical scores; ``backend``
+        selects the implementation speed (``"bit-exact-packed"`` is the
+        fastest).  Reports the historical ``"sc-bit-exact"`` mode label.
         """
-        if max_images < 1:
-            raise ConfigurationError("max_images must be >= 1")
-        images = np.asarray(images, dtype=np.float64)[:max_images]
-        labels = np.asarray(labels)[:max_images]
-        scores = self.mapper.bit_exact_forward_batch(
-            images, position_chunk=position_chunk
+        result = self.evaluate(
+            images,
+            labels,
+            backend=backend,
+            max_images=max_images,
+            position_chunk=position_chunk,
         )
-        correct = int((np.argmax(scores, axis=1) == labels).sum())
         return InferenceResult(
-            correct / len(labels), len(labels), self.stream_length, "sc-bit-exact"
+            result.accuracy, result.n_images, result.stream_length, "sc-bit-exact"
         )
 
     def classify_bit_exact(self, image: np.ndarray) -> tuple[int, np.ndarray]:

@@ -300,6 +300,40 @@ class ScNetworkMapper:
         """
         return max(1, self._PRODUCT_BYTES_BUDGET // max(1, bytes_per_item))
 
+    def input_stream_bits(
+        self, images: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """SNG conversion of a batch of images to input bit streams.
+
+        This is the shared stream-generation preamble of every bit-exact
+        execution path (batched and packed): quantise to the SNG
+        comparator levels, then compare against **one** draw tensor shared
+        across the batch -- mirroring the legacy path, where every image
+        re-seeded the generator and therefore compared against the same
+        draws.  Keeping it in one place is what guarantees the backends
+        consume the RNG identically and stay bit-for-bit interchangeable.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in
+                ``[0, 1]`` (a single ``(channels, height, width)`` image
+                is also accepted).
+            rng: stream-generation random generator.
+
+        Returns:
+            0/1 ``uint8`` array of shape ``(batch, channels, height,
+            width, N)``.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4:
+            raise ShapeError(
+                f"expected (batch, channels, height, width), got {images.shape}"
+            )
+        value = self._quantize_activations(images * 2.0 - 1.0)
+        draws = rng.random(value.shape[1:] + (self.stream_length,))
+        return (draws[None, ...] < ((value + 1.0) / 2.0)[..., None]).astype(np.uint8)
+
     def bit_exact_forward_batch(
         self,
         images: np.ndarray,
@@ -329,20 +363,8 @@ class ScNetworkMapper:
             ``(batch, n_classes)`` decoded class scores.
         """
         rng = rng or np.random.default_rng(self.seed)
-        images = np.asarray(images, dtype=np.float64)
-        if images.ndim == 3:
-            images = images[None]
-        if images.ndim != 4:
-            raise ShapeError(
-                f"expected (batch, channels, height, width), got {images.shape}"
-            )
         n = self.stream_length
-        value = self._quantize_activations(images * 2.0 - 1.0)
-        # One comparison-draw tensor shared across the batch: this mirrors
-        # the legacy path, where every image re-seeded the generator and
-        # therefore compared against the same draws.
-        draws = rng.random(value.shape[1:] + (n,))
-        bits = (draws[None, ...] < ((value + 1.0) / 2.0)[..., None]).astype(np.uint8)
+        bits = self.input_stream_bits(images, rng)
         dense_layers = [l for l in self.network.layers if isinstance(l, Dense)]
         dense_seen = 0
         for layer in self.network.layers:
@@ -412,8 +434,8 @@ class ScNetworkMapper:
         windows = np.lib.stride_tricks.sliding_window_view(
             padded, (kernel, kernel), axis=(2, 3)
         )[:, :, ::stride, ::stride]  # (B, C, out_h, out_w, N, k, k)
-        weight_bits = self._weight_streams(layer.weights, rng)  # (out_ch, fan_in, N)
-        bias_bits = self._weight_streams(layer.bias, rng)  # (out_ch, N)
+        weight_bits = self.weight_stream_bits(layer.weights, rng)  # (out_ch, fan_in, N)
+        bias_bits = self.weight_stream_bits(layer.bias, rng)  # (out_ch, N)
         out_ch = layer.out_channels
         fan_in = layer.fan_in
         block = SorterFeatureExtractionBlock(fan_in + 1)
@@ -471,8 +493,8 @@ class ScNetworkMapper:
                 f"got {bits.shape}"
             )
         in_features = layer.in_features
-        weight_bits = self._weight_streams(layer.weights, rng)  # (out, in, N)
-        bias_bits = self._weight_streams(layer.bias, rng)  # (out, N)
+        weight_bits = self.weight_stream_bits(layer.weights, rng)  # (out, in, N)
+        bias_bits = self.weight_stream_bits(layer.bias, rng)  # (out, N)
         chunk = neuron_chunk or self._auto_chunk(batch * (in_features + 1) * n)
         outputs = np.empty((batch, layer.out_features, n), dtype=np.uint8)
         if is_output:
@@ -552,10 +574,17 @@ class ScNetworkMapper:
                 )
         return 2.0 * bits.mean(axis=-1) - 1.0
 
-    def _weight_streams(
+    def weight_stream_bits(
         self, weights: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        """Generate bipolar streams for quantised weights (shape + (N,))."""
+        """Bipolar bit streams for quantised weights (shape + ``(N,)``).
+
+        Part of the shared stream-generation contract (see
+        :meth:`input_stream_bits`): every bit-exact execution backend
+        draws its weight and bias streams through this method, in layer
+        order, so the RNG consumption -- and therefore the simulated
+        streams -- are identical across backends.
+        """
         q = quantize_weights(weights, self.weight_bits)
         p = (q + 1.0) / 2.0
         return (rng.random(q.shape + (self.stream_length,)) < p[..., None]).astype(np.uint8)
@@ -576,8 +605,8 @@ class ScNetworkMapper:
         patches, out_h, out_w = im2col(stacked, layer.kernel_size, layer.stride, pad)
         # patches: (N, positions, fan_in) -> (positions, fan_in, N)
         patches = patches.transpose(1, 2, 0).astype(np.uint8)
-        weight_bits = self._weight_streams(layer.weights, rng)  # (out_ch, fan_in, N)
-        bias_bits = self._weight_streams(layer.bias, rng)  # (out_ch, N)
+        weight_bits = self.weight_stream_bits(layer.weights, rng)  # (out_ch, fan_in, N)
+        bias_bits = self.weight_stream_bits(layer.bias, rng)  # (out_ch, N)
         block = SorterFeatureExtractionBlock(layer.fan_in + 1)
         n_positions = patches.shape[0]
         output = np.empty((layer.out_channels, n_positions, n), dtype=np.uint8)
@@ -620,8 +649,8 @@ class ScNetworkMapper:
             raise ShapeError(
                 f"dense layer expects ({layer.in_features}, {n}) streams, got {bits.shape}"
             )
-        weight_bits = self._weight_streams(layer.weights, rng)  # (out, in, N)
-        bias_bits = self._weight_streams(layer.bias, rng)  # (out, N)
+        weight_bits = self.weight_stream_bits(layer.weights, rng)  # (out, in, N)
+        bias_bits = self.weight_stream_bits(layer.bias, rng)  # (out, N)
         outputs = np.empty((layer.out_features, n), dtype=np.uint8)
         if is_output:
             block = MajorityChainCategorizationBlock(layer.in_features)

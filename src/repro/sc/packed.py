@@ -52,6 +52,7 @@ __all__ = [
     "packed_mux_add",
     "majority3_words",
     "majority_chain_words",
+    "packed_column_counts",
 ]
 
 #: Stream bits stored per packed word.
@@ -222,6 +223,77 @@ def packed_mux_add(
         mask = pack_bits((select == index).astype(np.uint8))
         out |= words[index] & mask
     return out
+
+
+def _csa_words(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Word-parallel full adder (carry-save 3:2 compressor).
+
+    Treats the three operands as equal-weight bit planes and returns the
+    ``(sum, carry)`` planes: ``sum`` keeps the operands' weight, ``carry``
+    has twice that weight.  64 full adders evaluate per word operation.
+    """
+    partial = a ^ b
+    return partial ^ c, (a & b) | (partial & c)
+
+
+def packed_column_counts(words: np.ndarray, length: int) -> np.ndarray:
+    """Per-cycle ones counts across packed streams: ``(..., M, W) -> (..., N)``.
+
+    Computes, for each stream bit position ``t``, how many of the ``M``
+    packed streams carry a one at ``t`` -- the "column count" every sorter
+    block recurrence consumes -- without ever unpacking the operand
+    streams.  The ``M`` bit planes are reduced with a carry-save adder
+    tree (:func:`_csa_words`; ``O(M)`` word operations in total), leaving
+    one packed plane per count bit; only those ``ceil(log2(M + 1))``
+    planes are unpacked and recombined, so the memory traffic is
+    logarithmic in ``M`` instead of linear.
+
+    Args:
+        words: packed streams of shape ``(..., M, W)``.
+        length: stream length ``N``.
+
+    Returns:
+        Integer array of shape ``(..., N)`` with entries in ``[0, M]``
+        (``uint8`` when ``M <= 255``, ``uint16`` otherwise).
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim < 2:
+        raise ShapeError("packed_column_counts expects shape (..., M, W)")
+    m = words.shape[-2]
+    if m < 1:
+        raise ShapeError("packed_column_counts needs at least one stream")
+    # levels[j] holds the not-yet-reduced planes of weight 2**j.
+    levels: list[list[np.ndarray]] = [[words[..., i, :] for i in range(m)]]
+    j = 0
+    while j < len(levels):
+        planes = levels[j]
+        while len(planes) >= 3:
+            total, carry = _csa_words(planes.pop(), planes.pop(), planes.pop())
+            planes.append(total)
+            if j + 1 == len(levels):
+                levels.append([])
+            levels[j + 1].append(carry)
+        if len(planes) == 2:  # half adder finishes the level
+            a, b = planes.pop(), planes.pop()
+            planes.append(a ^ b)
+            if j + 1 == len(levels):
+                levels.append([])
+            levels[j + 1].append(a & b)
+        j += 1
+    dtype = np.uint8 if m <= 255 else np.uint16
+    counts = np.zeros(words.shape[:-2] + (int(length),), dtype=dtype)
+    for exponent, planes in enumerate(levels):
+        if not planes:
+            continue
+        (plane,) = planes
+        bits = unpack_bits(plane, length)
+        if exponent:
+            counts += bits.astype(dtype) << exponent
+        else:
+            counts += bits
+    return counts
 
 
 def majority3_words(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
