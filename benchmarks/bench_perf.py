@@ -291,6 +291,11 @@ def bench_packed_end_to_end(length: int, n_images: int) -> dict:
     )
 
 
+#: Default cap on the accumulated ``history`` list: enough runs to read a
+#: trajectory across many PRs without the report growing without bound.
+DEFAULT_HISTORY_LIMIT = 50
+
+
 def _load_history(output: Path) -> list:
     """Prior run records from an existing report (tolerates missing/old files)."""
     try:
@@ -301,7 +306,12 @@ def _load_history(output: Path) -> list:
     return history if isinstance(history, list) else []
 
 
-def run(quick: bool, output: Path) -> dict:
+def run(
+    quick: bool, output: Path, history_limit: int = DEFAULT_HISTORY_LIMIT
+) -> dict:
+    # Reject a bad limit before spending minutes measuring.
+    if history_limit < 1:
+        raise SystemExit("--history-limit must be >= 1")
     lengths = QUICK_LENGTHS if quick else FULL_LENGTHS
     entries = []
     for length in lengths:
@@ -343,6 +353,8 @@ def run(quick: bool, output: Path) -> dict:
             ],
         }
     )
+    # Keep the newest runs only, so the report stops growing without bound.
+    history = history[-history_limit:]
     report = {
         "quick": quick,
         "stream_lengths": list(lengths),
@@ -373,11 +385,17 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_perf.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--history-limit",
+        type=int,
+        default=DEFAULT_HISTORY_LIMIT,
+        help="maximum runs kept in the report's accumulating history list",
+    )
     args = parser.parse_args(argv)
     # Fail on an unwritable report path before spending minutes measuring.
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.touch()
-    run(args.quick, args.output)
+    run(args.quick, args.output, history_limit=args.history_limit)
     return 0
 
 

@@ -17,7 +17,7 @@ Run with:  python examples/mnist_sc_inference.py [--quick] [--backend NAME]
 import argparse
 import time
 
-from repro.backends import backend_class, backend_names
+from repro.backends import backend_class, backend_names, describe_backends
 from repro.datasets import generate_digit_dataset
 from repro.eval.network_report import network_hardware_rollup
 from repro.eval.tables import format_table
@@ -25,7 +25,11 @@ from repro.nn import ScInferenceEngine, Trainer, TrainingConfig, build_snn
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        epilog="available backends:\n" + describe_backends(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument("--quick", action="store_true", help="use a tiny training budget")
     parser.add_argument("--stream-length", type=int, default=1024)
     parser.add_argument("--epochs", type=int, default=None)

@@ -19,6 +19,8 @@ Superconducting Technology" (Cai et al., ISCA 2019).  It contains:
 * ``repro.backends`` -- pluggable execution backends (float, fast
   statistical, and the bit-exact legacy / batched / word-packed data
   planes) behind a string-keyed registry.
+* ``repro.serve`` -- the serving layer: micro-batching inference service
+  with progressive-precision early exit, result caching and metrics.
 * ``repro.datasets`` -- the synthetic MNIST-like digit dataset.
 * ``repro.eval`` -- reproduction harness for every table and figure in the
   paper's evaluation.

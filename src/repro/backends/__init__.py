@@ -7,18 +7,22 @@ strategy* that evaluates it.  Every strategy implements the
 a string key, so engines, reports, examples and benchmarks select an
 execution path by name:
 
-=================== ========= ========== ======= =================================
-name                bit-exact stochastic packed  what it runs
-=================== ========= ========== ======= =================================
-``float``           no        no         --      trained float network (reference)
-``sc-fast``         no        yes        --      fast statistical SC model
-``bit-exact-legacy``  yes     yes        no      per-image byte-per-bit oracle
-``bit-exact-batched`` yes     yes        no      whole-layer batched uint8 path
-``bit-exact-packed``  yes     yes        yes     word-packed end-to-end data plane
-=================== ========= ========== ======= =================================
+=================== ========= ========== ======= =========== =====================
+name                bit-exact stochastic packed  progressive what it runs
+=================== ========= ========== ======= =========== =====================
+``float``           no        no         --      no          trained float network
+``sc-fast``         no        yes        --      yes         fast statistical model
+``bit-exact-legacy``  yes     yes        no      no          per-image oracle
+``bit-exact-batched`` yes     yes        no      no          batched uint8 path
+``bit-exact-packed``  yes     yes        yes     yes         packed data plane
+=================== ========= ========== ======= =========== =====================
 
 All three ``bit-exact-*`` backends produce *identical* scores; they only
-differ in speed.  To add a backend, subclass
+differ in speed.  ``progressive`` backends additionally implement
+:meth:`~repro.backends.base.Backend.forward_partial` (class scores at
+intermediate stream-length checkpoints), the primitive the serving layer
+(:mod:`repro.serve`) uses for micro-batched inference with
+progressive-precision early exit.  To add a backend, subclass
 :class:`~repro.backends.base.Backend`, set ``name`` plus the capability
 flags, implement ``forward``, and decorate the class with
 :func:`~repro.backends.registry.register_backend`.
@@ -30,6 +34,7 @@ from repro.backends.registry import (
     backend_class,
     backend_names,
     create_backend,
+    describe_backends,
     register_backend,
 )
 from repro.backends.standard import (
@@ -44,6 +49,7 @@ __all__ = [
     "register_backend",
     "backend_class",
     "backend_names",
+    "describe_backends",
     "create_backend",
     "FloatBackend",
     "FastStatisticalBackend",

@@ -18,6 +18,10 @@ Capability flags describe what a backend guarantees:
   generation or injected decoding noise); deterministic given the seed.
 * ``packed_data_plane`` -- inter-layer feature maps stay word-packed
   (``uint64``) end to end.
+* ``progressive`` -- the backend can evaluate class scores at
+  intermediate stream-length checkpoints (:meth:`Backend.forward_partial`),
+  which is what the progressive-precision early exit of the serving layer
+  (:mod:`repro.serve`) is built on.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from typing import ClassVar
 
 import numpy as np
 
+from repro.errors import ConfigurationError, EncodingError, ShapeError
 from repro.nn.sc_layers import ScNetworkMapper
 
 __all__ = ["Backend"]
@@ -60,6 +65,10 @@ class Backend(abc.ABC):
     #: True when inter-layer feature maps stay word-packed end to end.
     packed_data_plane: ClassVar[bool] = False
 
+    #: True when the backend implements :meth:`forward_partial` (scores at
+    #: intermediate stream-length checkpoints for progressive early exit).
+    progressive: ClassVar[bool] = False
+
     def __init__(self, mapper: ScNetworkMapper) -> None:
         self.mapper = mapper
 
@@ -67,6 +76,81 @@ class Backend(abc.ABC):
     def stream_length(self) -> int:
         """Stochastic stream length ``N`` of the underlying mapper."""
         return self.mapper.stream_length
+
+    @staticmethod
+    def _check_images(images: np.ndarray) -> np.ndarray:
+        """Validate an image batch once, before any kernel touches it.
+
+        Every backend used to fail on malformed input deep inside its
+        kernels (a broadcast error in the SNG, a reshape in ``im2col``);
+        this shared helper turns those into one clear, early error.
+
+        Args:
+            images: ``(batch, channels, height, width)`` array in
+                ``[0, 1]``; a single ``(channels, height, width)`` image
+                is also accepted and promoted to a batch of one.
+
+        Returns:
+            ``float64`` array of shape ``(batch, channels, height,
+            width)``.
+
+        Raises:
+            ShapeError: when the array is not 3- or 4-dimensional.
+            EncodingError: when the dtype is not numeric or values fall
+                outside the unipolar SNG input domain ``[0, 1]``.
+        """
+        arr = np.asarray(images)
+        if arr.dtype.kind not in "fiub":
+            raise EncodingError(
+                f"images must be a numeric array, got dtype {arr.dtype}"
+            )
+        arr = arr.astype(np.float64, copy=False)
+        if arr.ndim == 3:
+            arr = arr[None]
+        if arr.ndim != 4:
+            raise ShapeError(
+                "expected (batch, channels, height, width) images "
+                f"(or one (channels, height, width) image), got shape "
+                f"{np.shape(images)}"
+            )
+        if arr.size:
+            low, high = float(arr.min()), float(arr.max())
+            # Negated comparison so NaN (for which both `low < 0` and
+            # `high > 1` are false) also fails the check.
+            if not (low >= 0.0 and high <= 1.0):
+                raise EncodingError(
+                    f"image values must lie in [0, 1] (the SNG input "
+                    f"domain), got range [{low:.4g}, {high:.4g}]"
+                )
+        return arr
+
+    def _check_checkpoints(self, checkpoints) -> tuple[int, ...]:
+        """Validate a stream-length checkpoint schedule.
+
+        Checkpoints must be strictly increasing, lie inside ``[1, N]``,
+        and end at the full stream length ``N`` -- the last checkpoint is
+        the fallback when no earlier one satisfies the early-exit policy,
+        and anchoring it at ``N`` is what guarantees
+        ``forward_partial(...)[-1]`` equals :meth:`forward` exactly.
+        """
+        points = tuple(int(p) for p in checkpoints)
+        n = self.stream_length
+        if not points:
+            raise ConfigurationError("at least one checkpoint is required")
+        if any(p < 1 or p > n for p in points):
+            raise ConfigurationError(
+                f"checkpoints must lie in [1, {n}], got {points}"
+            )
+        if any(b <= a for a, b in zip(points, points[1:])):
+            raise ConfigurationError(
+                f"checkpoints must be strictly increasing, got {points}"
+            )
+        if points[-1] != n:
+            raise ConfigurationError(
+                f"the final checkpoint must equal the stream length {n}, "
+                f"got {points[-1]}"
+            )
+        return points
 
     @abc.abstractmethod
     def forward(self, images: np.ndarray) -> np.ndarray:
@@ -79,6 +163,38 @@ class Backend(abc.ABC):
         Returns:
             ``(batch, n_classes)`` class scores.
         """
+
+    def forward_partial(
+        self, images: np.ndarray, checkpoints
+    ) -> np.ndarray:
+        """Class scores at intermediate stream-length checkpoints.
+
+        Progressive backends (``progressive = True``) override this to
+        evaluate the scores a request would have seen had the streams
+        stopped after ``P`` cycles, for each checkpoint ``P`` -- the
+        primitive behind the early-exit serving path
+        (:func:`repro.serve.progressive_forward`).  The contract:
+        checkpoints are validated by :meth:`_check_checkpoints` (strictly
+        increasing, ending at ``N``), and the scores at the final
+        checkpoint equal :meth:`forward` exactly.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in
+                ``[0, 1]``.
+            checkpoints: increasing stream-length checkpoints ending at
+                ``N`` (e.g. ``(N // 8, N // 4, N // 2, N)``).
+
+        Returns:
+            ``(n_checkpoints, batch, n_classes)`` class scores.
+
+        Raises:
+            ConfigurationError: when the backend is not progressive.
+        """
+        raise ConfigurationError(
+            f"backend {self.name!r} does not support partial-stream "
+            "(progressive) evaluation; pick a backend whose 'progressive' "
+            "capability flag is set"
+        )
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Predicted class indices for a batch of images."""

@@ -37,6 +37,7 @@ from repro.blocks.batched import (
     feature_extraction_recurrence_words,
     pooling_recurrence,
 )
+from repro.blocks.categorization import prefix_chain_scores
 from repro.blocks.feature_extraction import (
     SorterFeatureExtractionBlock,
     neutral_column,
@@ -82,6 +83,7 @@ class BitExactPackedBackend(Backend):
     bit_exact = True
     stochastic = True
     packed_data_plane = True
+    progressive = True
 
     #: Target size (bytes) for the transient packed-product tensors.
     #: Larger than the batched mapper's uint8 budget: packed words carry
@@ -98,16 +100,20 @@ class BitExactPackedBackend(Backend):
             raise ConfigurationError("position_chunk must be >= 1")
         self.position_chunk = position_chunk
 
-    def forward(
+    def output_stream_words(
         self, images: np.ndarray, rng: np.random.Generator | None = None
     ) -> np.ndarray:
-        """Run a batch of images through the packed data plane.
+        """Packed categorization-output streams for a batch of images.
 
         The stream randomness is drawn in exactly the order and shape of
         the legacy / batched paths (one shared comparison-draw tensor,
         then per-layer weight and bias streams), so the decoded scores are
         bit-identical to
         :meth:`~repro.nn.sc_layers.ScNetworkMapper.bit_exact_forward_legacy`.
+        Keeping the *streams* (rather than only their decoded means)
+        available is what the progressive early exit builds on: any prefix
+        of these words is exactly the stream the hardware would have
+        produced had it stopped that many cycles in.
 
         Args:
             images: ``(batch, channels, height, width)`` images in
@@ -116,11 +122,12 @@ class BitExactPackedBackend(Backend):
             rng: stream-generation random generator.
 
         Returns:
-            ``(batch, n_classes)`` decoded class scores.
+            ``(batch, n_classes, ceil(N / 64))`` packed ``uint64`` output
+            words.
         """
         mapper = self.mapper
+        images = self._check_images(images)
         rng = rng or np.random.default_rng(mapper.seed)
-        n = mapper.stream_length
         # The shared SNG preamble keeps the RNG consumption identical to
         # the batched/legacy paths (the bit-exactness contract).
         words = pack_bits(mapper.input_stream_bits(images, rng))
@@ -143,7 +150,45 @@ class BitExactPackedBackend(Backend):
                 raise ConfigurationError(
                     f"cannot map layer {type(layer).__name__} to SC hardware"
                 )
-        return 2.0 * (ones_count(words) / float(n)) - 1.0
+        return words
+
+    def forward(
+        self, images: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Decoded class scores: popcount of the full output streams.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in
+                ``[0, 1]`` (a single ``(channels, height, width)`` image
+                is also accepted).
+            rng: stream-generation random generator.
+
+        Returns:
+            ``(batch, n_classes)`` decoded class scores.
+        """
+        words = self.output_stream_words(images, rng)
+        return 2.0 * (ones_count(words) / float(self.mapper.stream_length)) - 1.0
+
+    def forward_partial(
+        self,
+        images: np.ndarray,
+        checkpoints,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Class scores at stream prefixes, via prefix popcounts.
+
+        One full simulation produces the packed output streams; every
+        checkpoint is then a prefix popcount over the words
+        (:func:`repro.blocks.categorization.prefix_chain_scores`), which
+        the word layout makes nearly free.  Because every block recurrence
+        is causal in the stream axis, checkpoint ``P`` is *exactly* the
+        score the hardware would have decoded after streaming ``P``
+        cycles, and the final checkpoint (``P = N``) reproduces
+        :meth:`forward` bit for bit.
+        """
+        points = self._check_checkpoints(checkpoints)
+        words = self.output_stream_words(images, rng)
+        return prefix_chain_scores(words, points, self.mapper.stream_length)
 
     # -- layer kernels ---------------------------------------------------------
 

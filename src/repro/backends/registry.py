@@ -23,6 +23,7 @@ __all__ = [
     "register_backend",
     "backend_class",
     "backend_names",
+    "describe_backends",
     "create_backend",
 ]
 
@@ -56,6 +57,21 @@ def register_backend(cls: _BackendT) -> _BackendT:
 def backend_names() -> tuple[str, ...]:
     """All registered backend names, sorted."""
     return tuple(sorted(_REGISTRY))
+
+
+def describe_backends() -> str:
+    """One line per registered backend: ``name -- description``, sorted.
+
+    Intended for CLI ``--backend`` help text (examples and benchmarks
+    build their epilogs from it) so that the flag documentation can never
+    drift from the registry contents.
+    """
+    lines = []
+    for name in backend_names():
+        cls = _REGISTRY[name]
+        description = cls.description or cls.__name__
+        lines.append(f"{name} -- {description}")
+    return "\n".join(lines)
 
 
 def backend_class(name: str) -> type["Backend"]:

@@ -50,7 +50,7 @@ class FloatBackend(Backend):
     stochastic = False
 
     def forward(self, images: np.ndarray) -> np.ndarray:
-        bipolar = np.asarray(images, dtype=np.float64) * 2.0 - 1.0
+        bipolar = self._check_images(images) * 2.0 - 1.0
         network = self.mapper.network
         scores = [
             network.forward(bipolar[start : start + _SCORE_BATCH], training=False)
@@ -73,22 +73,57 @@ class FastStatisticalBackend(Backend):
     description = "fast statistical SC model (quantised weights, transfer curves)"
     bit_exact = False
     stochastic = True
+    progressive = True
 
     def __init__(self, mapper: ScNetworkMapper, inject_noise: bool = True) -> None:
         super().__init__(mapper)
         self.inject_noise = bool(inject_noise)
 
-    def forward(self, images: np.ndarray) -> np.ndarray:
-        images = np.asarray(images, dtype=np.float64)
-        # One freshly seeded generator per batch, exactly as the historical
-        # fast_accuracy loop drew its noise.
+    def _batched_fast_forward(
+        self, images: np.ndarray, mapper: ScNetworkMapper
+    ) -> np.ndarray:
+        """Score a batch through ``mapper`` with the historical batching.
+
+        One freshly seeded generator per ``_SCORE_BATCH`` slice, exactly as
+        the historical ``fast_accuracy`` loop drew its noise -- shared by
+        :meth:`forward` and every checkpoint of :meth:`forward_partial` so
+        the final checkpoint reproduces the full-stream scores exactly.
+        """
         scores = [
-            self.mapper.fast_forward(
+            mapper.fast_forward(
                 images[start : start + _SCORE_BATCH], self.inject_noise
             )
             for start in range(0, images.shape[0], _SCORE_BATCH)
         ]
         return np.concatenate(scores, axis=0)
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        return self._batched_fast_forward(self._check_images(images), self.mapper)
+
+    def forward_partial(self, images: np.ndarray, checkpoints) -> np.ndarray:
+        """Per-checkpoint statistical evaluation of the scores.
+
+        Each checkpoint ``P`` is scored by the fast statistical model at
+        stream length ``P`` (decoding noise shrinking as ``1 / sqrt(P)``),
+        the statistical analogue of reading the bit-exact stream prefix.
+        The final checkpoint reuses this backend's own mapper, so its
+        scores equal :meth:`forward` exactly.
+        """
+        images = self._check_images(images)
+        points = self._check_checkpoints(checkpoints)
+        scores = []
+        for p in points:
+            if p == self.stream_length:
+                mapper = self.mapper
+            else:
+                mapper = ScNetworkMapper(
+                    self.mapper.network,
+                    weight_bits=self.mapper.weight_bits,
+                    stream_length=p,
+                    seed=self.mapper.seed,
+                )
+            scores.append(self._batched_fast_forward(images, mapper))
+        return np.stack(scores)
 
 
 @register_backend
@@ -122,9 +157,7 @@ class BitExactLegacyBackend(Backend):
         self.position_chunk = int(position_chunk)
 
     def forward(self, images: np.ndarray) -> np.ndarray:
-        images = np.asarray(images, dtype=np.float64)
-        if images.ndim == 3:
-            images = images[None]
+        images = self._check_images(images)
         return np.stack(
             [
                 self.mapper.bit_exact_forward_legacy(
@@ -160,5 +193,5 @@ class BitExactBatchedBackend(Backend):
 
     def forward(self, images: np.ndarray) -> np.ndarray:
         return self.mapper.bit_exact_forward_batch(
-            images, position_chunk=self.position_chunk
+            self._check_images(images), position_chunk=self.position_chunk
         )

@@ -28,9 +28,51 @@ from repro.blocks.hardware import (
 )
 from repro.errors import ConfigurationError, ShapeError
 from repro.sc.bitstream import Bitstream
-from repro.sc.packed import majority_chain_words, pack_bits, unpack_bits
+from repro.sc.packed import (
+    majority_chain_words,
+    pack_bits,
+    prefix_ones_counts,
+    unpack_bits,
+)
 
-__all__ = ["MajorityChainCategorizationBlock", "chain_output_probability"]
+__all__ = [
+    "MajorityChainCategorizationBlock",
+    "chain_output_probability",
+    "prefix_chain_scores",
+]
+
+
+def prefix_chain_scores(
+    words: np.ndarray, checkpoints, length: int
+) -> np.ndarray:
+    """Early-exit class scores of packed chain-output streams at checkpoints.
+
+    Every SC block in the network is *causal* along the stream axis: the
+    SNG comparisons are per-cycle, the feature-extraction and pooling
+    counters only accumulate past cycles, and the majority chain is
+    combinational.  Output bit ``t`` of the categorization chain therefore
+    depends only on input cycles ``<= t``, so the ``P``-bit prefix of the
+    output stream is *exactly* what the hardware would have produced had
+    it stopped streaming after ``P`` cycles.  Decoding those prefixes is a
+    prefix popcount over the packed words
+    (:func:`repro.sc.packed.prefix_ones_counts`) -- nearly free in the
+    word layout -- which is what the progressive-precision early exit of
+    :mod:`repro.serve` evaluates at its stream-length checkpoints.
+
+    Args:
+        words: packed chain-output streams of shape ``(..., W)`` (e.g.
+            ``(batch, n_classes, W)``).
+        checkpoints: ``K`` prefix lengths, each in ``[1, length]``.
+        length: stream length ``N``.
+
+    Returns:
+        ``float64`` array of shape ``(K, ...)``: the bipolar-decoded
+        scores ``2 * ones(P) / P - 1`` per checkpoint.
+    """
+    counts = prefix_ones_counts(words, checkpoints, length)
+    lengths = np.asarray([float(int(p)) for p in checkpoints])
+    lengths = lengths.reshape((-1,) + (1,) * (counts.ndim - 1))
+    return 2.0 * (counts / lengths) - 1.0
 
 
 def chain_output_probability(p: np.ndarray | float, n_inputs: int) -> np.ndarray:

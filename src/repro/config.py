@@ -13,7 +13,7 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ExperimentConfig", "default_config"]
+__all__ = ["ExperimentConfig", "ServiceConfig", "default_config"]
 
 #: Bit-stream lengths used throughout the paper's accuracy tables.
 PAPER_STREAM_LENGTHS = (128, 256, 512, 1024, 2048)
@@ -75,6 +75,107 @@ class ExperimentConfig:
     def with_backend(self, default_backend: str) -> "ExperimentConfig":
         """Return a copy of this config with a different default backend."""
         return replace(self, default_backend=default_backend)
+
+
+#: Stream-length checkpoint fractions evaluated by the progressive
+#: early-exit policy (see :mod:`repro.serve`): ``N/8, N/4, N/2, N``.
+DEFAULT_CHECKPOINT_FRACTIONS = (0.125, 0.25, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the micro-batching inference service (:mod:`repro.serve`).
+
+    Attributes:
+        backend: registry name of the execution backend each worker
+            replica runs, or a tuple of names to shard the worker pool
+            across several backends (workers are assigned round-robin).
+        max_batch_size: the scheduler dispatches a merged batch as soon
+            as this many images are pending.
+        max_wait_ms: ... or once the oldest queued request has waited
+            this long (the classic micro-batching latency/throughput
+            trade-off).
+        num_workers: worker threads, each owning one backend replica.
+        cache_capacity: entries held by the LRU result cache (keyed on
+            image digest, backend name and stream length); ``0`` disables
+            caching.
+        early_exit: evaluate requests at stream-length checkpoints and
+            answer early once the prediction stabilises (only effective
+            on backends whose ``progressive`` capability flag is set).
+        checkpoint_fractions: increasing fractions of the stream length
+            at which scores are evaluated; a final full-length checkpoint
+            is always included.
+        margin: minimum gap between the top-1 and top-2 class scores for
+            an early exit to fire.
+        stable_checkpoints: number of consecutive checkpoints whose
+            predicted class must agree (ending at the exit checkpoint).
+    """
+
+    backend: str | tuple[str, ...] = DEFAULT_BACKEND
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    num_workers: int = 2
+    cache_capacity: int = 1024
+    early_exit: bool = True
+    checkpoint_fractions: tuple[float, ...] = DEFAULT_CHECKPOINT_FRACTIONS
+    margin: float = 0.1
+    stable_checkpoints: int = 2
+
+    def __post_init__(self) -> None:
+        names = (
+            (self.backend,) if isinstance(self.backend, str) else self.backend
+        )
+        if not names or not all(
+            isinstance(n, str) and n for n in names
+        ):
+            raise ConfigurationError(
+                f"backend must be a non-empty backend name (or a tuple of "
+                f"them), got {self.backend!r}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.cache_capacity < 0:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity}"
+            )
+        if not self.checkpoint_fractions or any(
+            not 0.0 < f <= 1.0 for f in self.checkpoint_fractions
+        ):
+            raise ConfigurationError(
+                f"checkpoint_fractions must lie in (0, 1], got "
+                f"{self.checkpoint_fractions}"
+            )
+        if any(
+            b <= a
+            for a, b in zip(self.checkpoint_fractions, self.checkpoint_fractions[1:])
+        ):
+            raise ConfigurationError(
+                f"checkpoint_fractions must be strictly increasing, got "
+                f"{self.checkpoint_fractions}"
+            )
+        if self.margin < 0:
+            raise ConfigurationError(f"margin must be >= 0, got {self.margin}")
+        if self.stable_checkpoints < 1:
+            raise ConfigurationError(
+                f"stable_checkpoints must be >= 1, got {self.stable_checkpoints}"
+            )
+
+    @property
+    def backend_names(self) -> tuple[str, ...]:
+        """The backend shard names as a tuple (single names wrapped)."""
+        if isinstance(self.backend, str):
+            return (self.backend,)
+        return tuple(self.backend)
 
 
 def default_config() -> ExperimentConfig:

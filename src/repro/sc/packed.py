@@ -45,6 +45,7 @@ __all__ = [
     "tail_mask",
     "popcount_words",
     "ones_count",
+    "prefix_ones_counts",
     "packed_xnor",
     "packed_and",
     "packed_or",
@@ -150,6 +151,58 @@ else:  # pragma: no cover - NumPy < 2.0 fallback
 def ones_count(words: np.ndarray) -> np.ndarray:
     """Total set bits along the word axis (the popcount-based decode core)."""
     return popcount_words(words).sum(axis=-1, dtype=np.int64)
+
+
+def prefix_ones_counts(
+    words: np.ndarray, checkpoints, length: int
+) -> np.ndarray:
+    """Set-bit counts of stream *prefixes*: ``(..., W)`` -> ``(K, ...)``.
+
+    ``checkpoints`` is a sequence of ``K`` prefix lengths; entry ``k`` of
+    the result counts the ones among stream bits ``t < checkpoints[k]``.
+    Because bit ``t`` lives in word ``t // 64`` at position ``t % 64``, a
+    prefix count is one cumulative-popcount lookup plus (for checkpoints
+    off a word boundary) a single masked popcount of the straddled word --
+    the word layout makes partial-stream decoding nearly free, which is
+    what the progressive-precision early exit of :mod:`repro.serve` is
+    built on.
+
+    Args:
+        words: packed streams of shape ``(..., W)``.
+        checkpoints: prefix lengths, each in ``[1, length]``.
+        length: stream length ``N`` (``W == ceil(N / 64)``).
+
+    Returns:
+        ``int64`` array of shape ``(K, ...)`` of prefix ones counts.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim == 0 or words.shape[-1] != words_for_length(length):
+        raise ShapeError(
+            f"word array of shape {np.shape(words)} cannot hold a "
+            f"{length}-bit stream"
+        )
+    checkpoints = [int(p) for p in checkpoints]
+    for p in checkpoints:
+        if not 1 <= p <= length:
+            raise ShapeError(
+                f"checkpoint {p} outside the stream length [1, {length}]"
+            )
+    # One cumulative popcount pass serves every checkpoint.
+    cumulative = np.cumsum(popcount_words(words), axis=-1, dtype=np.int64)
+    out = np.empty((len(checkpoints),) + words.shape[:-1], dtype=np.int64)
+    for k, p in enumerate(checkpoints):
+        full_words, rem = divmod(p, WORD_BITS)
+        if full_words:
+            total = cumulative[..., full_words - 1].copy()
+        else:
+            total = np.zeros(words.shape[:-1], dtype=np.int64)
+        if rem:
+            mask = np.uint64((1 << rem) - 1)
+            total += popcount_words(words[..., full_words] & mask).astype(
+                np.int64
+            )
+        out[k] = total
+    return out
 
 
 # -- word-parallel SC gate kernels ------------------------------------------

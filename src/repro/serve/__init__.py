@@ -1,0 +1,51 @@
+"""Serving layer: micro-batched SC inference with progressive early exit.
+
+The execution backends (:mod:`repro.backends`) answer one question --
+*how fast can a merged batch run* -- and this package answers the next
+one: *how do individual requests become merged batches, and how few
+stream cycles can each request get away with*.  It contains:
+
+* :class:`~repro.serve.service.ScInferenceService` -- the front door:
+  futures-based request submission, a FIFO micro-batching scheduler
+  (``max_batch_size`` / ``max_wait_ms``), and a worker pool of backend
+  replicas, optionally sharded across several registry backends.
+* :mod:`~repro.serve.progressive` -- the progressive-precision engine:
+  class scores evaluated at stream-length checkpoints
+  (:meth:`~repro.backends.base.Backend.forward_partial`) with a
+  stability + margin early-exit policy, exploiting SC's defining
+  property that precision grows monotonically with stream length.
+* :mod:`~repro.serve.cache` -- an LRU result cache keyed on
+  ``(image digest, backend name, stream length)``.
+* :mod:`~repro.serve.metrics` -- latency percentiles, throughput,
+  micro-batch sizes, cache hit rate and mean exit checkpoint.
+
+``benchmarks/bench_serve.py`` drives the whole stack with a load
+generator and records the latency/throughput curves and early-exit
+stream-cycle savings in ``BENCH_serve.json``; ``examples/serve_demo.py``
+is the minimal end-to-end walkthrough.
+"""
+
+from repro.config import ServiceConfig
+from repro.serve.cache import CachedResult, LruResultCache, image_digest
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.progressive import (
+    ProgressiveResult,
+    early_exit_from_scores,
+    progressive_forward,
+    resolve_checkpoints,
+)
+from repro.serve.service import InferenceResponse, ScInferenceService
+
+__all__ = [
+    "ServiceConfig",
+    "ScInferenceService",
+    "InferenceResponse",
+    "ProgressiveResult",
+    "progressive_forward",
+    "early_exit_from_scores",
+    "resolve_checkpoints",
+    "LruResultCache",
+    "CachedResult",
+    "image_digest",
+    "ServiceMetrics",
+]

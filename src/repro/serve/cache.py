@@ -1,0 +1,117 @@
+"""LRU result cache for the inference service.
+
+Serving traffic is repetitive -- the same image recurs (retries, popular
+inputs, idempotent clients), and every SC evaluation of a given image is
+deterministic given the backend and stream length (all randomness is
+seeded per forward pass).  Results are therefore cached under the key
+``(image digest, backend name, stream length)``: a hit returns the stored
+scores without spending a single stream cycle, which the service metrics
+report as cache hit rate alongside the early-exit savings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CachedResult", "LruResultCache", "image_digest"]
+
+
+def image_digest(image: np.ndarray) -> str:
+    """Content digest of one image (shape-qualified SHA-1 of its bytes)."""
+    arr = np.ascontiguousarray(image, dtype=np.float64)
+    hasher = hashlib.sha1(str(arr.shape).encode())
+    hasher.update(arr.tobytes())
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One cached per-image inference outcome.
+
+    Attributes:
+        scores: ``(n_classes,)`` class scores at the exit checkpoint.
+        prediction: predicted class index.
+        exit_checkpoint: stream cycles the original evaluation consumed.
+    """
+
+    scores: np.ndarray
+    prediction: int
+    exit_checkpoint: int
+
+
+class LruResultCache:
+    """Thread-safe LRU cache of per-image inference results.
+
+    Args:
+        capacity: maximum number of entries; ``0`` disables the cache
+            (every lookup misses, every store is dropped).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ConfigurationError(
+                f"cache capacity must be >= 0, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple[str, str, int], CachedResult] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def key(digest: str, backend: str, stream_length: int) -> tuple[str, str, int]:
+        """The cache key convention: (image digest, backend name, N)."""
+        return (digest, backend, int(stream_length))
+
+    def get(self, key: tuple[str, str, int]) -> CachedResult | None:
+        """Look up a result, refreshing its recency on a hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: tuple[str, str, int], result: CachedResult) -> None:
+        """Store a result, evicting the least recently used beyond capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when untouched)."""
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters snapshot: size, capacity, hits, misses, hit rate."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": self._hits / total if total else 0.0,
+            }

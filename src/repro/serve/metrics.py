@@ -1,0 +1,154 @@
+"""Service-level metrics: latency percentiles, throughput, exit savings.
+
+The serving story needs numbers, not anecdotes: the micro-batching
+scheduler trades a bounded queueing delay for larger (faster-per-image)
+batches, the progressive engine trades checkpoints for stream cycles, and
+the cache trades memory for recomputation.  :class:`ServiceMetrics`
+accumulates the per-request observations that quantify all three --
+``benchmarks/bench_serve.py`` sweeps offered load and reports these
+snapshots as the latency/throughput curves in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thread-safe accumulator of serving observations.
+
+    One instance lives inside each :class:`~repro.serve.ScInferenceService`;
+    tests and benchmarks read :meth:`snapshot`.
+
+    Totals (requests, images, cycles, cache hits) are exact running
+    counters; the percentile / mean statistics are computed over a
+    sliding window of the most recent observations so that memory stays
+    bounded in a long-running service.
+
+    Args:
+        window: per-series observations retained for the percentile and
+            mean statistics.
+    """
+
+    #: Default sliding-window length for latency / batch / exit series.
+    DEFAULT_WINDOW = 65536
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._batch_sizes: deque[int] = deque(maxlen=window)
+        self._exit_checkpoints: deque[int] = deque(maxlen=window)
+        self._requests = 0
+        self._batches = 0
+        self._full_cycles = 0
+        self._spent_cycles = 0
+        self._images = 0
+        self._cache_hits = 0
+        self._started = time.perf_counter()
+        self._first_completion: float | None = None
+        self._last_completion: float | None = None
+
+    def record_batch(self, n_images: int) -> None:
+        """One merged batch dispatched to a worker."""
+        with self._lock:
+            self._batches += 1
+            self._batch_sizes.append(int(n_images))
+
+    def record_request(
+        self,
+        latency_seconds: float,
+        exit_checkpoints,
+        stream_length: int,
+        cache_hits: int = 0,
+        n_images: int | None = None,
+    ) -> None:
+        """One completed request.
+
+        Args:
+            latency_seconds: submit-to-response wall time.
+            exit_checkpoints: stream cycles consumed per *computed* image
+                (cache hits consume none and are excluded).
+            stream_length: the full stream length ``N``.
+            cache_hits: images served from the cache.
+            n_images: total images in the request (computed + cached);
+                defaults to the number of computed images plus the hits.
+        """
+        exits = [int(p) for p in np.atleast_1d(np.asarray(exit_checkpoints))]
+        now = time.perf_counter()
+        with self._lock:
+            self._requests += 1
+            self._latencies.append(float(latency_seconds))
+            self._exit_checkpoints.extend(exits)
+            self._full_cycles += stream_length * len(exits)
+            self._spent_cycles += sum(exits)
+            self._cache_hits += int(cache_hits)
+            self._images += (
+                int(n_images) if n_images is not None else len(exits) + cache_hits
+            )
+            if self._first_completion is None:
+                self._first_completion = now
+            self._last_completion = now
+
+    def snapshot(self) -> dict:
+        """Current aggregate view (all quantities are cheap to recompute).
+
+        Returns a dict with request/image counts, latency percentiles
+        (``p50/p95/p99``, milliseconds), throughput (images per second
+        over the completion window), micro-batch statistics, cache hit
+        rate, and the progressive-exit summary (mean exit checkpoint and
+        the mean stream-cycle reduction ``N * images / cycles spent``).
+        Counts and the cycle reduction are exact totals; percentile/mean
+        statistics cover the most recent ``window`` observations.
+        """
+        with self._lock:
+            latencies = np.asarray(self._latencies)
+            batches = np.asarray(self._batch_sizes)
+            exits = np.asarray(self._exit_checkpoints)
+            snapshot = {
+                "requests": self._requests,
+                "images": self._images,
+                "cache_hits": self._cache_hits,
+                "cache_hit_rate": (
+                    self._cache_hits / self._images if self._images else 0.0
+                ),
+                "batches": self._batches,
+                "mean_batch_size": float(batches.mean()) if batches.size else 0.0,
+                "max_batch_size": int(batches.max()) if batches.size else 0,
+                "latency_ms": {
+                    "p50": float(np.percentile(latencies, 50) * 1e3),
+                    "p95": float(np.percentile(latencies, 95) * 1e3),
+                    "p99": float(np.percentile(latencies, 99) * 1e3),
+                    "mean": float(latencies.mean() * 1e3),
+                }
+                if latencies.size
+                else None,
+                "mean_exit_checkpoint": (
+                    float(exits.mean()) if exits.size else None
+                ),
+                "cycle_reduction": (
+                    self._full_cycles / self._spent_cycles
+                    if self._spent_cycles
+                    else None
+                ),
+            }
+            if (
+                self._first_completion is not None
+                and self._last_completion is not None
+            ):
+                window = self._last_completion - self._first_completion
+                # A single completion has no window; fall back to the
+                # service lifetime so throughput stays finite.
+                if window <= 0:
+                    window = self._last_completion - self._started
+                snapshot["throughput_images_per_sec"] = (
+                    self._images / window if window > 0 else None
+                )
+            else:
+                snapshot["throughput_images_per_sec"] = None
+            return snapshot

@@ -1,0 +1,234 @@
+"""Progressive-precision early exit over stream-length checkpoints.
+
+Stochastic computing has a property conventional binary arithmetic lacks:
+**precision grows monotonically with stream length**.  A request does not
+need to wait for all ``N`` cycles -- once the categorization scores have
+stabilised, the remaining cycles only narrow an already-decided vote.
+This module turns that into a serving policy:
+
+1. a progressive backend evaluates class scores at increasing
+   stream-length checkpoints (``N/8, N/4, N/2, N`` by default) via
+   :meth:`~repro.backends.base.Backend.forward_partial` -- for the packed
+   bit-exact backend a checkpoint is literally a prefix popcount over the
+   packed output words, for the fast statistical backend it is the
+   statistical model at the checkpoint's stream length;
+2. a request **exits early** at the first checkpoint where the predicted
+   class has been stable for ``stable_checkpoints`` consecutive
+   checkpoints *and* the top-1/top-2 score gap clears a confidence
+   ``margin``; requests that never stabilise fall through to the final
+   full-length checkpoint, whose scores equal the ordinary full-stream
+   forward pass exactly.
+
+The exit checkpoint is the number of stream cycles the hardware would
+actually have spent, so ``stream_length / mean(exit_checkpoints)`` is the
+mean stream-cycle (and hence energy/latency) reduction -- the quantity
+``benchmarks/bench_serve.py`` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.config import DEFAULT_CHECKPOINT_FRACTIONS
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = [
+    "ProgressiveResult",
+    "resolve_checkpoints",
+    "early_exit_from_scores",
+    "progressive_forward",
+]
+
+
+def resolve_checkpoints(
+    stream_length: int, fractions=DEFAULT_CHECKPOINT_FRACTIONS
+) -> tuple[int, ...]:
+    """Concrete checkpoint schedule for a stream length.
+
+    Fractions are rounded to whole cycles, clamped to ``[1, N]``,
+    deduplicated, and a final full-length checkpoint is appended when the
+    schedule does not already end at ``N`` (the early-exit fallback must
+    always be the exact full-stream evaluation).
+
+    Args:
+        stream_length: stochastic stream length ``N``.
+        fractions: increasing fractions of ``N`` in ``(0, 1]``.
+
+    Returns:
+        Strictly increasing checkpoint cycle counts ending at ``N``.
+    """
+    if stream_length <= 0:
+        raise ConfigurationError(
+            f"stream_length must be positive, got {stream_length}"
+        )
+    if not fractions:
+        raise ConfigurationError("at least one checkpoint fraction is required")
+    points: list[int] = []
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"checkpoint fractions must lie in (0, 1], got {fraction}"
+            )
+        p = min(stream_length, max(1, int(round(fraction * stream_length))))
+        if not points or p > points[-1]:
+            points.append(p)
+    if points[-1] != stream_length:
+        points.append(stream_length)
+    return tuple(points)
+
+
+@dataclass(frozen=True)
+class ProgressiveResult:
+    """Outcome of one progressive early-exit evaluation.
+
+    Attributes:
+        scores: ``(batch, n_classes)`` scores at each image's exit
+            checkpoint.
+        predictions: ``(batch,)`` predicted classes (argmax of ``scores``).
+        exit_checkpoints: ``(batch,)`` stream cycles each image actually
+            consumed.
+        checkpoints: the checkpoint schedule that was evaluated.
+        checkpoint_scores: ``(n_checkpoints, batch, n_classes)`` scores at
+            every checkpoint (``checkpoint_scores[-1]`` are the
+            full-stream scores).
+    """
+
+    scores: np.ndarray
+    predictions: np.ndarray
+    exit_checkpoints: np.ndarray
+    checkpoints: tuple[int, ...]
+    checkpoint_scores: np.ndarray
+
+    @property
+    def stream_length(self) -> int:
+        """Full stream length ``N`` (the final checkpoint)."""
+        return self.checkpoints[-1]
+
+    @property
+    def mean_exit_checkpoint(self) -> float:
+        """Mean stream cycles consumed per image."""
+        return float(self.exit_checkpoints.mean())
+
+    @property
+    def cycle_reduction(self) -> float:
+        """Mean stream-cycle reduction ``N / mean(exit_checkpoints)``."""
+        return self.stream_length / self.mean_exit_checkpoint
+
+
+def early_exit_from_scores(
+    checkpoint_scores: np.ndarray,
+    checkpoints,
+    margin: float = 0.1,
+    stable_checkpoints: int = 2,
+) -> ProgressiveResult:
+    """Apply the stability + margin early-exit policy to checkpoint scores.
+
+    An image exits at the first checkpoint ``k`` where
+
+    * the predicted class at checkpoints ``k - stable_checkpoints + 1 ..
+      k`` is identical, and
+    * the top-1/top-2 score gap at checkpoint ``k`` is at least
+      ``margin``;
+
+    images that never satisfy both conditions exit at the final
+    checkpoint (the full stream).  The policy is deliberately
+    conservative: a lone early checkpoint with a large margin does not
+    exit until a later checkpoint *confirms* the same class, which is
+    what keeps early-exit predictions glued to the full-stream ones.
+
+    Args:
+        checkpoint_scores: ``(n_checkpoints, batch, n_classes)`` scores.
+        checkpoints: the evaluated checkpoint cycle counts.
+        margin: minimum top-1/top-2 gap for an exit.
+        stable_checkpoints: consecutive agreeing checkpoints required.
+
+    Returns:
+        The per-image exit decisions and scores.
+    """
+    scores = np.asarray(checkpoint_scores, dtype=np.float64)
+    if scores.ndim != 3:
+        raise ShapeError(
+            f"checkpoint_scores must have shape (n_checkpoints, batch, "
+            f"n_classes), got {scores.shape}"
+        )
+    points = tuple(int(p) for p in checkpoints)
+    n_checkpoints, batch, n_classes = scores.shape
+    if len(points) != n_checkpoints:
+        raise ShapeError(
+            f"{len(points)} checkpoints for {n_checkpoints} score planes"
+        )
+    if margin < 0:
+        raise ConfigurationError(f"margin must be >= 0, got {margin}")
+    if stable_checkpoints < 1:
+        raise ConfigurationError(
+            f"stable_checkpoints must be >= 1, got {stable_checkpoints}"
+        )
+    predictions = np.argmax(scores, axis=-1)  # (K, B)
+    if n_classes >= 2:
+        top2 = np.sort(scores, axis=-1)[..., -2:]
+        margins = top2[..., 1] - top2[..., 0]  # (K, B)
+    else:
+        margins = np.full((n_checkpoints, batch), np.inf)
+    exit_index = np.full(batch, n_checkpoints - 1)
+    undecided = np.ones(batch, dtype=bool)
+    # The final checkpoint needs no policy check -- it is the fallback.
+    for k in range(stable_checkpoints - 1, n_checkpoints - 1):
+        stable = np.ones(batch, dtype=bool)
+        for j in range(k - stable_checkpoints + 1, k):
+            stable &= predictions[j] == predictions[k]
+        exits = undecided & stable & (margins[k] >= margin)
+        exit_index[exits] = k
+        undecided &= ~exits
+    rows = np.arange(batch)
+    return ProgressiveResult(
+        scores=scores[exit_index, rows],
+        predictions=predictions[exit_index, rows],
+        exit_checkpoints=np.asarray(points)[exit_index],
+        checkpoints=points,
+        checkpoint_scores=scores,
+    )
+
+
+def progressive_forward(
+    backend: Backend,
+    images: np.ndarray,
+    checkpoints=None,
+    margin: float = 0.1,
+    stable_checkpoints: int = 2,
+) -> ProgressiveResult:
+    """Evaluate a batch with progressive early exit (when supported).
+
+    Progressive backends are scored at every checkpoint with one
+    :meth:`~repro.backends.base.Backend.forward_partial` call and the
+    stability + margin policy picks each image's exit.  Non-progressive
+    backends degrade gracefully: one full forward pass, every image
+    "exits" at the full stream length.
+
+    Args:
+        backend: the execution backend.
+        images: ``(batch, channels, height, width)`` images in ``[0, 1]``.
+        checkpoints: explicit checkpoint schedule; ``None`` derives the
+            default ``N/8, N/4, N/2, N`` schedule from the backend's
+            stream length.
+        margin: minimum top-1/top-2 gap for an exit.
+        stable_checkpoints: consecutive agreeing checkpoints required.
+    """
+    if not backend.progressive:
+        scores = np.asarray(backend.forward(images))
+        n = backend.stream_length
+        return ProgressiveResult(
+            scores=scores,
+            predictions=np.argmax(scores, axis=-1),
+            exit_checkpoints=np.full(scores.shape[0], n),
+            checkpoints=(n,),
+            checkpoint_scores=scores[None],
+        )
+    if checkpoints is None:
+        checkpoints = resolve_checkpoints(backend.stream_length)
+    checkpoint_scores = backend.forward_partial(images, checkpoints)
+    return early_exit_from_scores(
+        checkpoint_scores, checkpoints, margin, stable_checkpoints
+    )

@@ -1,0 +1,405 @@
+"""Micro-batching SC inference service with progressive early exit.
+
+:class:`ScInferenceService` is the request path in front of the execution
+backends (:mod:`repro.backends`): clients submit single images or small
+batches and receive futures; a scheduler thread coalesces queued requests
+into merged batches (dispatching as soon as ``max_batch_size`` images are
+pending or the oldest request has waited ``max_wait_ms``); a pool of
+worker threads -- each owning one backend replica, optionally sharded
+across several registry backends -- executes the merged batches.  Per
+image the service consults the LRU result cache first and, on progressive
+backends, answers through the early-exit engine
+(:mod:`repro.serve.progressive`) so confidently classified images stop
+streaming at an early checkpoint.
+
+Micro-batching is *transparent* for the bit-exact backends: every image's
+streams are generated from draw tensors shared across the batch, so its
+scores are bit-identical no matter which requests it was coalesced with
+-- the property ``tests/test_serve.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends import create_backend
+from repro.backends.base import Backend
+from repro.config import ServiceConfig
+from repro.errors import ConfigurationError
+from repro.nn.sc_layers import ScNetworkMapper
+from repro.serve.cache import CachedResult, LruResultCache, image_digest
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.progressive import progressive_forward, resolve_checkpoints
+
+__all__ = ["InferenceResponse", "ScInferenceService"]
+
+#: Queue sentinel that shuts down the scheduler / a worker.
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """Answer to one service request.
+
+    Attributes:
+        scores: ``(batch, n_classes)`` class scores at each image's exit
+            checkpoint.
+        predictions: ``(batch,)`` predicted classes.
+        exit_checkpoints: ``(batch,)`` stream cycles at which each
+            image's scores were evaluated (cached images report the
+            checkpoint of the original evaluation; the ``cached`` mask
+            marks that *this* request spent no cycles on them).
+        cached: ``(batch,)`` boolean mask of images served from the cache.
+        stream_length: full stream length ``N`` of the service.
+        latency_seconds: submit-to-response wall time.
+    """
+
+    scores: np.ndarray
+    predictions: np.ndarray
+    exit_checkpoints: np.ndarray
+    cached: np.ndarray
+    stream_length: int
+    latency_seconds: float
+
+
+class _PendingRequest:
+    """One submitted request: the uncached rows awaiting a worker."""
+
+    __slots__ = (
+        "future",
+        "n_images",
+        "compute_images",
+        "compute_indices",
+        "digests",
+        "rows",
+        "submitted_at",
+    )
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        digests: list[str],
+        rows: list[CachedResult | None],
+    ) -> None:
+        self.future: Future = Future()
+        self.n_images = images.shape[0]
+        self.compute_indices = [i for i, row in enumerate(rows) if row is None]
+        self.compute_images = images[self.compute_indices]
+        self.digests = digests
+        self.rows = rows
+        self.submitted_at = time.perf_counter()
+
+    @property
+    def n_compute(self) -> int:
+        return len(self.compute_indices)
+
+    def response(self) -> InferenceResponse:
+        """Assemble the response once every row is filled."""
+        scores = np.stack([row.scores for row in self.rows])
+        cached = np.ones(self.n_images, dtype=bool)
+        cached[self.compute_indices] = False
+        return InferenceResponse(
+            scores=scores,
+            predictions=np.asarray([row.prediction for row in self.rows]),
+            exit_checkpoints=np.asarray(
+                [row.exit_checkpoint for row in self.rows]
+            ),
+            cached=cached,
+            stream_length=0,  # patched by the service (see _finish)
+            latency_seconds=0.0,
+        )
+
+
+class ScInferenceService:
+    """Micro-batching front door over the execution backends.
+
+    Args:
+        mapper: the SC network mapper every backend replica executes
+            (trained network, stream length, weight precision, seed).
+        config: service knobs (:class:`repro.config.ServiceConfig`);
+            ``None`` uses the defaults.
+        **backend_options: forwarded to every backend replica's
+            constructor (e.g. ``position_chunk`` for the bit-exact
+            backends).
+
+    The service starts its scheduler and worker threads immediately and
+    is used either as a context manager or with an explicit
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        mapper: ScNetworkMapper,
+        config: ServiceConfig | None = None,
+        **backend_options: object,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.mapper = mapper
+        names = self.config.backend_names
+        # Worker i runs a replica of shard i % len(names): a homogeneous
+        # pool by default, round-robin sharding across several registry
+        # backends when the config names more than one.
+        self._replicas = [
+            create_backend(names[i % len(names)], mapper, **backend_options)
+            for i in range(self.config.num_workers)
+        ]
+        self._shard_names = tuple(dict.fromkeys(names))
+        self.stream_length = mapper.stream_length
+        self.checkpoints = resolve_checkpoints(
+            self.stream_length, self.config.checkpoint_fractions
+        )
+        self.cache = LruResultCache(self.config.cache_capacity)
+        self.metrics = ServiceMetrics()
+        self._pending: queue.Queue = queue.Queue()
+        self._dispatch: queue.Queue = queue.Queue()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="sc-serve-scheduler", daemon=True
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(replica,),
+                name=f"sc-serve-worker-{i}",
+                daemon=True,
+            )
+            for i, replica in enumerate(self._replicas)
+        ]
+        self._scheduler.start()
+        for worker in self._workers:
+            worker.start()
+
+    # -- request path ----------------------------------------------------------
+
+    def submit(self, images: np.ndarray) -> Future:
+        """Enqueue a request; the future resolves to an
+        :class:`InferenceResponse`.
+
+        Args:
+            images: one ``(channels, height, width)`` image or a small
+                ``(batch, channels, height, width)`` batch in ``[0, 1]``.
+        """
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        arr = Backend._check_images(images)
+        if arr.shape[0] == 0:
+            raise ConfigurationError("a request needs at least one image")
+        if self.cache.capacity:
+            digests = [image_digest(image) for image in arr]
+            rows: list[CachedResult | None] = [
+                self._cache_lookup(digest) for digest in digests
+            ]
+        else:
+            # Cache disabled: skip the per-image digests and lookups
+            # entirely (they would cost a hash pass per image on the
+            # latency hot path for guaranteed misses).
+            digests = [""] * arr.shape[0]
+            rows = [None] * arr.shape[0]
+        request = _PendingRequest(arr, digests, rows)
+        if request.n_compute == 0:
+            self._finish(request, cache_hits=request.n_images, exits=())
+            return request.future
+        # Enqueueing is serialised with close(): the closed re-check and
+        # the put happen under the lock close() uses to enqueue its
+        # shutdown sentinel, so a request can never land behind the
+        # sentinel drain and leave its future unresolved.
+        with self._close_lock:
+            if self._closed:
+                raise ConfigurationError("service is closed")
+            self._pending.put(request)
+        return request.future
+
+    def infer(
+        self, images: np.ndarray, timeout: float | None = None
+    ) -> InferenceResponse:
+        """Synchronous convenience wrapper: submit and wait."""
+        return self.submit(images).result(timeout=timeout)
+
+    def _cache_lookup(self, digest: str) -> CachedResult | None:
+        for name in self._shard_names:
+            entry = self.cache.get(
+                LruResultCache.key(digest, name, self.stream_length)
+            )
+            if entry is not None:
+                return entry
+        return None
+
+    # -- scheduler -------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        max_batch = self.config.max_batch_size
+        max_wait = self.config.max_wait_ms / 1e3
+        shutdown = False
+        while not shutdown:
+            item = self._pending.get()
+            if item is _SHUTDOWN:
+                break
+            group = [item]
+            total = item.n_compute
+            deadline = item.submitted_at + max_wait
+            while total < max_batch:
+                remaining = deadline - time.perf_counter()
+                try:
+                    if remaining <= 0:
+                        # Window elapsed: keep draining whatever is
+                        # already queued (backlog wants *larger* batches,
+                        # not more of them), but never block again.
+                        nxt = self._pending.get_nowait()
+                    else:
+                        nxt = self._pending.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    shutdown = True
+                    break
+                group.append(nxt)
+                total += nxt.n_compute
+            self.metrics.record_batch(total)
+            self._dispatch.put(group)
+        # Graceful shutdown: everything still queued is dispatched before
+        # the workers are released.
+        while True:
+            try:
+                item = self._pending.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            self.metrics.record_batch(item.n_compute)
+            self._dispatch.put([item])
+        for _ in self._workers:
+            self._dispatch.put(_SHUTDOWN)
+
+    # -- workers ---------------------------------------------------------------
+
+    def _worker_loop(self, replica: Backend) -> None:
+        while True:
+            group = self._dispatch.get()
+            if group is _SHUTDOWN:
+                return
+            try:
+                self._process_group(group, replica)
+            except Exception as exc:  # pragma: no cover - defensive
+                for request in group:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+
+    def _process_group(
+        self, group: list[_PendingRequest], replica: Backend
+    ) -> None:
+        images = np.concatenate(
+            [request.compute_images for request in group], axis=0
+        )
+        if self.config.early_exit and replica.progressive:
+            result = progressive_forward(
+                replica,
+                images,
+                checkpoints=self.checkpoints,
+                margin=self.config.margin,
+                stable_checkpoints=self.config.stable_checkpoints,
+            )
+            scores = result.scores
+            predictions = result.predictions
+            exits = result.exit_checkpoints
+        else:
+            scores = np.asarray(replica.forward(images))
+            predictions = np.argmax(scores, axis=-1)
+            exits = np.full(images.shape[0], self.stream_length)
+        offset = 0
+        for request in group:
+            k = request.n_compute
+            window = slice(offset, offset + k)
+            self._fulfill(
+                request,
+                replica,
+                scores[window],
+                predictions[window],
+                exits[window],
+            )
+            offset += k
+
+    def _fulfill(
+        self,
+        request: _PendingRequest,
+        replica: Backend,
+        scores: np.ndarray,
+        predictions: np.ndarray,
+        exits: np.ndarray,
+    ) -> None:
+        for j, index in enumerate(request.compute_indices):
+            row = CachedResult(
+                scores=np.array(scores[j]),
+                prediction=int(predictions[j]),
+                exit_checkpoint=int(exits[j]),
+            )
+            request.rows[index] = row
+            if self.cache.capacity:
+                self.cache.put(
+                    LruResultCache.key(
+                        request.digests[index], replica.name, self.stream_length
+                    ),
+                    row,
+                )
+        self._finish(
+            request,
+            cache_hits=request.n_images - request.n_compute,
+            exits=tuple(int(p) for p in exits),
+        )
+
+    def _finish(
+        self, request: _PendingRequest, cache_hits: int, exits
+    ) -> None:
+        latency = time.perf_counter() - request.submitted_at
+        base = request.response()
+        response = InferenceResponse(
+            scores=base.scores,
+            predictions=base.predictions,
+            exit_checkpoints=base.exit_checkpoints,
+            cached=base.cached,
+            stream_length=self.stream_length,
+            latency_seconds=latency,
+        )
+        self.metrics.record_request(
+            latency,
+            exits,
+            self.stream_length,
+            cache_hits=cache_hits,
+            n_images=request.n_images,
+        )
+        request.future.set_result(response)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting requests, finish the queue, join the threads."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Inside the lock: every request enqueued by submit() is now
+            # guaranteed to precede the sentinel in the FIFO queue.
+            self._pending.put(_SHUTDOWN)
+        self._scheduler.join()
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "ScInferenceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScInferenceService(backends={self.config.backend_names}, "
+            f"workers={self.config.num_workers}, "
+            f"stream_length={self.stream_length}, "
+            f"checkpoints={self.checkpoints})"
+        )

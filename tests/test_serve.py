@@ -1,0 +1,494 @@
+"""Serving layer: micro-batching, progressive early exit, cache, bench.
+
+Pins down the three serving contracts of :mod:`repro.serve`:
+
+* **micro-batching transparency** -- coalescing requests into merged
+  batches is invisible for bit-exact backends: per-image scores are
+  bit-identical to a direct ``Backend.forward`` call, no matter how the
+  scheduler grouped the requests;
+* **progressive early exit** -- ``forward_partial`` scores at the final
+  checkpoint equal the full-stream forward scores exactly (for the
+  packed backend, bit for bit via prefix popcounts), and the stability +
+  margin policy never changes a prediction on the configurations the
+  benchmark ships;
+* **the serving benchmark** -- ``benchmarks/bench_serve.py`` writes
+  ``BENCH_serve.json`` reporting >= 1.5x mean stream-cycle reduction at
+  ``N = 1024`` on the synthetic MNIST test set with unchanged accuracy.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backends import Backend, backend_names, create_backend, describe_backends
+from repro.backends.registry import backend_class
+from repro.config import ServiceConfig
+from repro.errors import ConfigurationError, EncodingError, ShapeError
+from repro.nn.architectures import LayerSpec, build_network
+from repro.nn.sc_layers import ScNetworkMapper
+from repro.sc.packed import pack_bits, prefix_ones_counts
+from repro.serve import (
+    LruResultCache,
+    CachedResult,
+    ScInferenceService,
+    early_exit_from_scores,
+    image_digest,
+    progressive_forward,
+    resolve_checkpoints,
+)
+
+
+def _tiny_cnn():
+    specs = [
+        LayerSpec(kind="conv", name="Conv3_x", kernel=3, channels=2),
+        LayerSpec(kind="pool", name="AvgPool", kernel=4, stride=4),
+        LayerSpec(kind="fc", name="FC16", units=16),
+        LayerSpec(kind="output", name="OutLayer", units=10),
+    ]
+    return build_network(
+        specs, activation="hardware", seed=5, training_stream_length=128
+    )
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return ScNetworkMapper(_tiny_cnn(), stream_length=128, seed=7)
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.random.default_rng(11).random((6, 1, 28, 28))
+
+
+class TestResolveCheckpoints:
+    def test_default_schedule(self):
+        assert resolve_checkpoints(1024) == (128, 256, 512, 1024)
+
+    def test_appends_full_length(self):
+        assert resolve_checkpoints(100, (0.25, 0.5)) == (25, 50, 100)
+
+    def test_deduplicates_tiny_streams(self):
+        # 1/8 and 1/4 of N=4 both round to 1.
+        assert resolve_checkpoints(4) == (1, 2, 4)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ConfigurationError):
+            resolve_checkpoints(128, (0.5, 1.5))
+        with pytest.raises(ConfigurationError):
+            resolve_checkpoints(128, ())
+        with pytest.raises(ConfigurationError):
+            resolve_checkpoints(0)
+
+
+class TestEarlyExitPolicy:
+    def test_stable_confident_image_exits_early(self):
+        # Image 0: class 2 from the first checkpoint with a huge margin.
+        # Image 1: flips class every checkpoint -> full stream.
+        # Image 2: stable class but a sub-margin gap -> full stream.
+        scores = np.zeros((3, 3, 4))
+        scores[:, 0, 2] = 0.9
+        for k in range(3):
+            scores[k, 1, k % 4] = 0.9
+        scores[:, 2, 1] = 0.05
+        result = early_exit_from_scores(
+            scores, (16, 32, 64), margin=0.1, stable_checkpoints=2
+        )
+        assert list(result.exit_checkpoints) == [32, 64, 64]
+        assert list(result.predictions) == [2, 2, 1]
+        # Fallback images return exactly the final-checkpoint scores.
+        assert np.array_equal(result.scores[1], scores[-1, 1])
+
+    def test_margin_zero_stability_one_exits_first(self):
+        scores = np.zeros((2, 1, 3))
+        scores[:, 0, 1] = 0.5
+        result = early_exit_from_scores(
+            scores, (8, 16), margin=0.0, stable_checkpoints=1
+        )
+        assert list(result.exit_checkpoints) == [8]
+
+    def test_stability_longer_than_schedule_never_exits_early(self):
+        scores = np.full((2, 2, 3), 0.1)
+        scores[:, :, 0] = 0.9
+        result = early_exit_from_scores(
+            scores, (8, 16), margin=0.0, stable_checkpoints=5
+        )
+        assert list(result.exit_checkpoints) == [16, 16]
+
+    def test_cycle_reduction_property(self):
+        scores = np.zeros((2, 2, 2))
+        scores[:, :, 0] = 1.0
+        result = early_exit_from_scores(
+            scores, (8, 16), margin=0.1, stable_checkpoints=1
+        )
+        assert result.stream_length == 16
+        assert result.mean_exit_checkpoint == 8.0
+        assert result.cycle_reduction == 2.0
+
+    def test_rejects_bad_arguments(self):
+        scores = np.zeros((2, 1, 3))
+        with pytest.raises(ShapeError):
+            early_exit_from_scores(scores[0], (8,))
+        with pytest.raises(ShapeError):
+            early_exit_from_scores(scores, (8, 16, 32))
+        with pytest.raises(ConfigurationError):
+            early_exit_from_scores(scores, (8, 16), margin=-1.0)
+        with pytest.raises(ConfigurationError):
+            early_exit_from_scores(scores, (8, 16), stable_checkpoints=0)
+
+
+class TestForwardPartial:
+    def test_packed_final_checkpoint_is_bit_exact(self, mapper, images):
+        """Prefix popcount at checkpoint N reproduces forward() exactly."""
+        backend = create_backend("bit-exact-packed", mapper)
+        checkpoints = resolve_checkpoints(mapper.stream_length)
+        partial = backend.forward_partial(images, checkpoints)
+        assert partial.shape == (len(checkpoints), 6, 10)
+        assert np.array_equal(partial[-1], backend.forward(images))
+
+    def test_packed_prefixes_on_odd_stream_length(self, images):
+        """Tail-word masking: prefix counts stay exact when N % 64 != 0."""
+        odd = ScNetworkMapper(_tiny_cnn(), stream_length=100, seed=3)
+        backend = create_backend("bit-exact-packed", odd)
+        partial = backend.forward_partial(images[:2], (13, 50, 100))
+        assert np.array_equal(partial[-1], backend.forward(images[:2]))
+
+    def test_packed_prefix_matches_bitwise_reference(self, mapper, images):
+        """Checkpoint scores equal decoding the literal stream prefix."""
+        backend = create_backend("bit-exact-packed", mapper)
+        words = backend.output_stream_words(images[:2])
+        n = mapper.stream_length
+        from repro.sc.packed import unpack_bits
+
+        bits = unpack_bits(words, n)
+        for p in (32, 100, n):
+            scores = backend.forward_partial(images[:2], (p, n) if p < n else (n,))
+            expected = 2.0 * bits[..., :p].sum(axis=-1) / p - 1.0
+            assert np.allclose(scores[0] if p < n else scores[-1], expected)
+
+    def test_sc_fast_final_checkpoint_matches_forward(self, mapper, images):
+        backend = create_backend("sc-fast", mapper)
+        partial = backend.forward_partial(images, (32, 64, 128))
+        assert np.array_equal(partial[-1], backend.forward(images))
+
+    def test_checkpoint_validation(self, mapper, images):
+        backend = create_backend("bit-exact-packed", mapper)
+        for bad in [(32, 64), (64, 32, 128), (0, 128), (32, 200), ()]:
+            with pytest.raises(ConfigurationError):
+                backend.forward_partial(images, bad)
+
+    def test_non_progressive_backend_raises(self, mapper, images):
+        backend = create_backend("bit-exact-batched", mapper)
+        assert backend.progressive is False
+        with pytest.raises(ConfigurationError, match="progressive"):
+            backend.forward_partial(images, (64, 128))
+
+    def test_progressive_forward_degrades_gracefully(self, mapper, images):
+        """Non-progressive backends run one full pass, exiting at N."""
+        backend = create_backend("bit-exact-batched", mapper)
+        result = progressive_forward(backend, images)
+        assert np.array_equal(result.scores, backend.forward(images))
+        assert np.all(result.exit_checkpoints == mapper.stream_length)
+
+    def test_packed_early_exit_keeps_predictions(self, mapper, images):
+        """Exited predictions match the full stream under the shipped margin."""
+        backend = create_backend("bit-exact-packed", mapper)
+        result = progressive_forward(
+            backend, images, margin=0.25, stable_checkpoints=2
+        )
+        full_predictions = np.argmax(backend.forward(images), axis=1)
+        assert np.array_equal(result.predictions, full_predictions)
+        assert (result.exit_checkpoints < mapper.stream_length).any()
+
+    def test_prefix_ones_counts_reference(self, rng):
+        bits = rng.integers(0, 2, (5, 3, 130), dtype=np.uint8)
+        words = pack_bits(bits)
+        counts = prefix_ones_counts(words, (1, 64, 65, 100, 130), 130)
+        for k, p in enumerate((1, 64, 65, 100, 130)):
+            assert np.array_equal(counts[k], bits[..., :p].sum(axis=-1))
+
+    def test_prefix_ones_counts_validation(self, rng):
+        words = pack_bits(rng.integers(0, 2, (2, 130), dtype=np.uint8))
+        with pytest.raises(ShapeError):
+            prefix_ones_counts(words, (0,), 130)
+        with pytest.raises(ShapeError):
+            prefix_ones_counts(words, (131,), 130)
+        with pytest.raises(ShapeError):
+            prefix_ones_counts(words, (64,), 300)
+
+    def test_progressive_capability_flags(self):
+        assert backend_class("sc-fast").progressive is True
+        assert backend_class("bit-exact-packed").progressive is True
+        assert backend_class("float").progressive is False
+        assert backend_class("bit-exact-legacy").progressive is False
+
+
+class TestImageValidation:
+    def test_single_image_promoted_to_batch(self, mapper, images):
+        backend = create_backend("float", mapper)
+        single = backend.forward(images[0])
+        assert single.shape == (1, 10)
+        assert np.array_equal(single, backend.forward(images[0:1]))
+
+    def test_bad_rank_raises_shape_error(self):
+        with pytest.raises(ShapeError):
+            Backend._check_images(np.zeros((28, 28)))
+        with pytest.raises(ShapeError):
+            Backend._check_images(np.zeros((1, 1, 1, 28, 28)))
+
+    def test_out_of_range_raises_encoding_error(self):
+        with pytest.raises(EncodingError, match=r"\[0, 1\]"):
+            Backend._check_images(np.full((1, 1, 4, 4), 1.5))
+        with pytest.raises(EncodingError, match=r"\[0, 1\]"):
+            Backend._check_images(np.full((1, 1, 4, 4), -0.1))
+
+    def test_non_numeric_raises_encoding_error(self):
+        with pytest.raises(EncodingError, match="numeric"):
+            Backend._check_images(np.array([["a"]]))
+
+    def test_nan_raises_encoding_error(self):
+        bad = np.full((1, 1, 4, 4), 0.5)
+        bad[0, 0, 0, 0] = np.nan
+        with pytest.raises(EncodingError, match=r"\[0, 1\]"):
+            Backend._check_images(bad)
+
+    @pytest.mark.parametrize("name", ["float", "sc-fast", "bit-exact-packed"])
+    def test_every_backend_validates_before_kernels(self, mapper, name):
+        backend = create_backend(name, mapper)
+        with pytest.raises(ShapeError):
+            backend.forward(np.zeros((28, 28)))
+        with pytest.raises(EncodingError):
+            # Bipolar-range input: the classic caller bug this catches.
+            backend.forward(np.full((1, 1, 28, 28), -1.0))
+
+
+class TestRegistryHelp:
+    def test_describe_backends_lists_every_name_sorted(self):
+        lines = describe_backends().splitlines()
+        assert [line.split(" -- ")[0] for line in lines] == list(backend_names())
+        assert all(" -- " in line for line in lines)
+
+    def test_unknown_backend_error_lists_sorted_names(self):
+        with pytest.raises(ConfigurationError) as err:
+            backend_class("no-such-backend")
+        message = str(err.value)
+        positions = [message.index(name) for name in backend_names()]
+        assert positions == sorted(positions)
+
+
+class TestLruCache:
+    def test_round_trip_and_hit_rate(self):
+        cache = LruResultCache(4)
+        key = LruResultCache.key("digest", "sc-fast", 128)
+        assert cache.get(key) is None
+        cache.put(key, CachedResult(np.zeros(10), 3, 64))
+        hit = cache.get(key)
+        assert hit is not None and hit.prediction == 3
+        assert cache.stats() == {
+            "size": 1,
+            "capacity": 4,
+            "hits": 1,
+            "misses": 1,
+            "hit_rate": 0.5,
+        }
+
+    def test_lru_eviction_order(self):
+        cache = LruResultCache(2)
+        rows = [CachedResult(np.zeros(1), i, 1) for i in range(3)]
+        for i, row in enumerate(rows):
+            cache.put(LruResultCache.key(str(i), "b", 1), row)
+        assert cache.get(LruResultCache.key("0", "b", 1)) is None  # evicted
+        assert cache.get(LruResultCache.key("2", "b", 1)) is not None
+
+    def test_zero_capacity_disables(self):
+        cache = LruResultCache(0)
+        cache.put(LruResultCache.key("d", "b", 1), CachedResult(np.zeros(1), 0, 1))
+        assert len(cache) == 0
+
+    def test_digest_distinguishes_images(self, images):
+        assert image_digest(images[0]) == image_digest(images[0].copy())
+        assert image_digest(images[0]) != image_digest(images[1])
+
+
+class TestService:
+    def test_micro_batched_equals_direct_forward(self, mapper, images):
+        """Coalesced single-image requests are bit-identical to one
+        direct ``Backend.forward`` call over the whole batch."""
+        direct = create_backend("bit-exact-packed", mapper).forward(images)
+        config = ServiceConfig(
+            backend="bit-exact-packed",
+            num_workers=2,
+            max_batch_size=4,
+            max_wait_ms=50.0,
+            early_exit=False,
+            cache_capacity=0,
+        )
+        with ScInferenceService(mapper, config) as service:
+            futures = [service.submit(image) for image in images]
+            scores = np.concatenate(
+                [future.result(timeout=120).scores for future in futures]
+            )
+        assert np.array_equal(scores, direct)
+
+    def test_multi_image_requests_equal_direct_forward(self, mapper, images):
+        direct = create_backend("bit-exact-packed", mapper).forward(images)
+        config = ServiceConfig(
+            backend="bit-exact-packed",
+            num_workers=1,
+            max_wait_ms=20.0,
+            early_exit=False,
+        )
+        with ScInferenceService(mapper, config) as service:
+            response = service.infer(images[:4], timeout=120)
+            tail = service.infer(images[4:], timeout=120)
+        assert np.array_equal(response.scores, direct[:4])
+        assert np.array_equal(tail.scores, direct[4:])
+
+    def test_sharded_backends_stay_bit_identical(self, mapper, images):
+        """A pool sharded across bit-exact backends answers identically."""
+        direct = create_backend("bit-exact-packed", mapper).forward(images)
+        config = ServiceConfig(
+            backend=("bit-exact-packed", "bit-exact-batched"),
+            num_workers=2,
+            max_batch_size=2,
+            max_wait_ms=5.0,
+            early_exit=False,
+            cache_capacity=0,
+        )
+        with ScInferenceService(mapper, config) as service:
+            futures = [service.submit(image) for image in images]
+            scores = np.concatenate(
+                [future.result(timeout=120).scores for future in futures]
+            )
+        assert np.array_equal(scores, direct)
+
+    def test_scheduler_coalesces_waiting_requests(self, mapper, images):
+        config = ServiceConfig(
+            backend="sc-fast",
+            num_workers=1,
+            max_batch_size=16,
+            max_wait_ms=400.0,
+            cache_capacity=0,
+        )
+        with ScInferenceService(mapper, config) as service:
+            futures = [service.submit(image) for image in images]
+            for future in futures:
+                future.result(timeout=120)
+            snapshot = service.metrics.snapshot()
+        assert snapshot["requests"] == len(images)
+        assert snapshot["max_batch_size"] >= 2
+        assert snapshot["latency_ms"]["p50"] <= snapshot["latency_ms"]["p99"]
+        assert snapshot["throughput_images_per_sec"] > 0
+
+    def test_early_exit_service_matches_full_predictions(self, mapper, images):
+        direct = create_backend("bit-exact-packed", mapper).forward(images)
+        config = ServiceConfig(
+            backend="bit-exact-packed",
+            num_workers=1,
+            max_wait_ms=10.0,
+            early_exit=True,
+            margin=0.25,
+            stable_checkpoints=2,
+        )
+        with ScInferenceService(mapper, config) as service:
+            response = service.infer(images, timeout=120)
+        assert np.array_equal(response.predictions, np.argmax(direct, axis=1))
+        assert (response.exit_checkpoints <= mapper.stream_length).all()
+        assert (response.exit_checkpoints < mapper.stream_length).any()
+
+    def test_cache_hit_on_repeat(self, mapper, images):
+        config = ServiceConfig(
+            backend="sc-fast", num_workers=1, max_wait_ms=1.0, cache_capacity=64
+        )
+        with ScInferenceService(mapper, config) as service:
+            first = service.infer(images[0], timeout=120)
+            second = service.infer(images[0], timeout=120)
+            snapshot = service.metrics.snapshot()
+        assert not first.cached.any()
+        assert second.cached.all()
+        assert np.array_equal(first.scores, second.scores)
+        assert second.exit_checkpoints[0] == first.exit_checkpoints[0]
+        assert snapshot["cache_hits"] == 1
+        assert service.cache.stats()["hits"] == 1
+
+    def test_submit_after_close_raises(self, mapper, images):
+        service = ScInferenceService(
+            mapper, ServiceConfig(backend="sc-fast", num_workers=1)
+        )
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.submit(images[0])
+
+    def test_rejects_malformed_requests(self, mapper):
+        config = ServiceConfig(backend="sc-fast", num_workers=1)
+        with ScInferenceService(mapper, config) as service:
+            with pytest.raises(ShapeError):
+                service.submit(np.zeros((28, 28)))
+            with pytest.raises(ConfigurationError):
+                service.submit(np.zeros((0, 1, 28, 28)))
+
+    def test_unknown_backend_fails_at_construction(self, mapper):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            ScInferenceService(mapper, ServiceConfig(backend="typo"))
+
+
+class TestServiceConfig:
+    def test_defaults_resolve(self):
+        config = ServiceConfig()
+        assert config.backend_names == ("sc-fast",)
+        assert config.max_batch_size >= 1
+
+    def test_sharded_backend_names(self):
+        config = ServiceConfig(backend=("a", "b"))
+        assert config.backend_names == ("a", "b")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": ""},
+            {"backend": ()},
+            {"max_batch_size": 0},
+            {"max_wait_ms": -1.0},
+            {"num_workers": 0},
+            {"cache_capacity": -1},
+            {"checkpoint_fractions": ()},
+            {"checkpoint_fractions": (0.5, 0.25)},
+            {"checkpoint_fractions": (0.0, 1.0)},
+            {"margin": -0.5},
+            {"stable_checkpoints": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**kwargs)
+
+
+class TestBenchServe:
+    def test_smoke_run_meets_acceptance(self, tmp_path):
+        """The load benchmark writes BENCH_serve.json with >= 1.5x mean
+        stream-cycle reduction at N = 1024 and unchanged accuracy."""
+        spec = importlib.util.spec_from_file_location(
+            "bench_serve",
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "bench_serve.py",
+        )
+        bench = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench)
+        output = tmp_path / "BENCH_serve.json"
+        report = bench.run(smoke=True, output=output)
+        on_disk = json.loads(output.read_text())
+        assert on_disk["stream_length"] == 1024
+        early = on_disk["early_exit"]
+        assert early["cycle_reduction"] >= 1.5
+        assert early["accuracy_unchanged"] is True
+        assert early["accuracy_early"] == early["accuracy_full"]
+        assert early["prediction_agreement"] == 1.0
+        assert on_disk["packed_prefix"]["last_checkpoint_equals_forward"]
+        assert on_disk["packed_prefix"]["early_exit_predictions_match_full"]
+        assert on_disk["load_sweep"][0]["latency_ms"]["p50"] > 0
+        assert on_disk["cache"]["hit_rate"] == pytest.approx(2 / 3)
+        assert report["early_exit"]["cycle_reduction"] >= 1.5
