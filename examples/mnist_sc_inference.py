@@ -17,7 +17,12 @@ Run with:  python examples/mnist_sc_inference.py [--quick] [--backend NAME]
 import argparse
 import time
 
-from repro.backends import backend_class, backend_names, describe_backends
+from repro.backends import (
+    backend_class,
+    backend_names,
+    describe_backends,
+    resolve_parallel_backend,
+)
 from repro.datasets import generate_digit_dataset
 from repro.eval.network_report import network_hardware_rollup
 from repro.eval.tables import format_table
@@ -45,7 +50,20 @@ def main() -> None:
         default=None,
         help="images simulated bit-exactly (default: 2 legacy-sized, 16 packed/batched)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the bit-exact evaluation across this many worker "
+        "processes (selects the 'bit-exact-packed-mp' backend from the "
+        "registry; scores stay bit-identical)",
+    )
     args = parser.parse_args()
+    # With --workers > 1 the chosen backend rides along as the parallel
+    # wrapper's inner backend (shared policy in repro.backends).
+    backend_name, backend_options = resolve_parallel_backend(
+        args.backend, args.workers
+    )
 
     n_train, n_test = (800, 200) if args.quick else (3000, 600)
     epochs = args.epochs or (2 if args.quick else 5)
@@ -78,8 +96,9 @@ def main() -> None:
     bit_exact = engine.evaluate(
         test_images,
         dataset.test_labels,
-        backend=args.backend,
+        backend=backend_name,
         max_images=n_bit_exact,
+        **backend_options,
     )
 
     aqfp, cmos = network_hardware_rollup(

@@ -18,7 +18,12 @@ import argparse
 
 import numpy as np
 
-from repro.backends import backend_class, backend_names, describe_backends
+from repro.backends import (
+    backend_class,
+    backend_names,
+    describe_backends,
+    resolve_parallel_backend,
+)
 from repro.config import ServiceConfig
 from repro.datasets import generate_digit_dataset
 from repro.eval.tables import format_table
@@ -44,6 +49,14 @@ def main() -> None:
     parser.add_argument(
         "--requests", type=int, default=32, help="single-image requests to submit"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="serve through the process-sharded packed backend "
+        "('bit-exact-packed-mp' from the registry) with this many worker "
+        "processes behind a single service worker thread",
+    )
     args = parser.parse_args()
 
     print("training a small CNN on the synthetic digit dataset...")
@@ -66,20 +79,31 @@ def main() -> None:
     )
 
     mapper = ScNetworkMapper(network, stream_length=args.stream_length, seed=7)
+    # With --workers > 1: one service worker thread whose replica shards
+    # each merged batch across a process pool (identical scores, more
+    # cores).  The chosen backend rides along as the inner backend when
+    # it can shard; sc-fast is not batch-invariant, so the shared policy
+    # falls back to the packed plane.
+    backend, backend_options = resolve_parallel_backend(
+        args.backend, args.workers
+    )
+    num_workers = 1 if backend_options else 2
     config = ServiceConfig(
-        backend=args.backend,
+        backend=backend,
         max_batch_size=16,
         max_wait_ms=5.0,
-        num_workers=2,
+        num_workers=num_workers,
         cache_capacity=256,
     )
     test_images = dataset.test_images[:, None]
     n = args.requests
     print(
         f"serving {n} requests + {n // 4} repeats through "
-        f"{config.num_workers} workers ({args.backend}, N={args.stream_length})..."
+        f"{config.num_workers} worker thread(s) ({backend}"
+        + (f", {args.workers} processes" if backend_options else "")
+        + f", N={args.stream_length})..."
     )
-    with ScInferenceService(mapper, config) as service:
+    with ScInferenceService(mapper, config, **backend_options) as service:
         futures = [service.submit(test_images[i]) for i in range(n)]
         responses = [future.result(timeout=300) for future in futures]
         # A second wave repeating earlier images exercises the cache

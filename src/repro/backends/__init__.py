@@ -7,18 +7,22 @@ strategy* that evaluates it.  Every strategy implements the
 a string key, so engines, reports, examples and benchmarks select an
 execution path by name:
 
-=================== ========= ========== ======= =========== =====================
-name                bit-exact stochastic packed  progressive what it runs
-=================== ========= ========== ======= =========== =====================
-``float``           no        no         --      no          trained float network
-``sc-fast``         no        yes        --      yes         fast statistical model
-``bit-exact-legacy``  yes     yes        no      no          per-image oracle
-``bit-exact-batched`` yes     yes        no      no          batched uint8 path
-``bit-exact-packed``  yes     yes        yes     yes         packed data plane
-=================== ========= ========== ======= =========== =====================
+====================== ========= ========== ======= =========== =====================
+name                   bit-exact stochastic packed  progressive what it runs
+====================== ========= ========== ======= =========== =====================
+``float``              no        no         --      no          trained float network
+``sc-fast``            no        yes        --      yes         fast statistical model
+``bit-exact-legacy``     yes     yes        no      no          per-image oracle
+``bit-exact-batched``    yes     yes        no      no          batched uint8 path
+``bit-exact-packed``     yes     yes        yes     yes         packed data plane
+``bit-exact-packed-mp``  yes     yes        yes     yes         packed plane, process-sharded
+====================== ========= ========== ======= =========== =====================
 
-All three ``bit-exact-*`` backends produce *identical* scores; they only
-differ in speed.  ``progressive`` backends additionally implement
+All ``bit-exact-*`` backends produce *identical* scores; they only
+differ in speed.  ``batch_invariant`` backends guarantee per-image scores
+independent of batch composition, which is what lets
+:class:`~repro.backends.parallel.ParallelBackend` shard batches across a
+process pool bit-exactly.  ``progressive`` backends additionally implement
 :meth:`~repro.backends.base.Backend.forward_partial` (class scores at
 intermediate stream-length checkpoints), the primitive the serving layer
 (:mod:`repro.serve`) uses for micro-batched inference with
@@ -30,6 +34,7 @@ flags, implement ``forward``, and decorate the class with
 
 from repro.backends.base import Backend
 from repro.backends.packed import BitExactPackedBackend
+from repro.backends.parallel import ParallelBackend, resolve_parallel_backend
 from repro.backends.registry import (
     backend_class,
     backend_names,
@@ -56,4 +61,6 @@ __all__ = [
     "BitExactLegacyBackend",
     "BitExactBatchedBackend",
     "BitExactPackedBackend",
+    "ParallelBackend",
+    "resolve_parallel_backend",
 ]

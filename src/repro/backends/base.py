@@ -69,6 +69,16 @@ class Backend(abc.ABC):
     #: intermediate stream-length checkpoints for progressive early exit).
     progressive: ClassVar[bool] = False
 
+    #: True when each image's scores are independent of which other images
+    #: share its batch (``forward(images)[i] == forward(images[i:i+1])[0]``
+    #: for every ``i``).  This is what makes a backend safe to shard
+    #: across processes (:mod:`repro.backends.parallel`) and to
+    #: micro-batch transparently (:mod:`repro.serve`).  All bit-exact
+    #: backends hold it by construction (stream draws are shared across
+    #: the batch); ``sc-fast`` does not (its injected decoding noise is
+    #: drawn over the whole batch tensor at once).
+    batch_invariant: ClassVar[bool] = False
+
     def __init__(self, mapper: ScNetworkMapper) -> None:
         self.mapper = mapper
 
@@ -195,6 +205,15 @@ class Backend(abc.ABC):
             "(progressive) evaluation; pick a backend whose 'progressive' "
             "capability flag is set"
         )
+
+    def close(self) -> None:
+        """Release backend-held resources (process pools, arenas).
+
+        The default is a no-op; backends that own operating-system
+        resources (e.g. the process pool of
+        :class:`~repro.backends.parallel.ParallelBackend`) override it.
+        The serving layer closes every worker replica on shutdown.
+        """
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Predicted class indices for a batch of images."""

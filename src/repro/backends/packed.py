@@ -1,33 +1,45 @@
-"""Bit-exact inference on a fully word-packed data plane.
+"""Bit-exact inference on a fully word-packed, fused, allocation-free data plane.
 
 :class:`BitExactPackedBackend` runs the same block simulation as the
 legacy and batched backends -- identical streams, identical counter
 recurrences, bit-identical scores -- but keeps the inter-layer feature
 maps **word-packed** (64 stream bits per ``uint64``) from the SNG output
-all the way to the categorization chain:
+all the way to the categorization chain, and executes every layer through
+*fused* kernels over a reusable buffer arena:
 
+* Stream generation is **word-direct**: the SNG comparison draws are
+  generated in bounded chunks and packed immediately
+  (:meth:`~repro.nn.sc_layers.ScNetworkMapper.input_stream_words` /
+  :meth:`~repro.nn.sc_layers.ScNetworkMapper.weight_stream_words`), so the
+  full-stream ``float64`` draw tensors -- formerly the peak allocation of
+  a forward pass -- never exist.
 * CONV layers gather im2col patches directly over packed words (zero-copy
-  sliding windows on the spatial axes, the word axis rides along), form
-  the XNOR product streams as word operations, reduce them to per-cycle
-  column counts with the carry-save adder tree
-  (:func:`repro.sc.packed.packed_column_counts`), and advance the
-  feature-extraction recurrence with the word-blocked stepper
+  sliding windows, the word axis rides along) and reduce the XNOR product
+  streams to per-cycle column counts with the **fused streaming
+  carry-save kernel** (:func:`repro.sc.packed.fused_xnor_column_counts`):
+  each product plane is formed in a recycled buffer and folded into the
+  CSA accumulator immediately, so only ``O(log M)`` planes are ever live
+  instead of the whole ``(..., M, W)`` product tensor.  The
+  feature-extraction recurrence then advances on the word-blocked stepper
   (:func:`repro.blocks.batched.feature_extraction_recurrence_words`),
-  which emits packed output words natively.
-* Pooling uses the exact closed form of the pooling counter on the
-  CSA-reduced column counts and re-packs the output stream.
-* Dense feature-extraction layers run the same packed inner product
-  (word XNOR + CSA counts + stepper); the output layer reduces packed
-  products with the word-parallel majority chain.
+  whose internal slabs also live in the workspace.
+* Pooling uses the exact closed form of the pooling counter on
+  CSA-reduced column counts; dense feature-extraction layers run the same
+  fused inner product, and the output layer reduces its products with the
+  fused word-parallel majority chain
+  (:func:`repro.sc.packed.fused_xnor_majority_chain`).
 
-Packing shrinks every transient product tensor 8x, so the memory budget
-admits 8x more output positions per chunk, which in turn slashes the
-number of recurrence invocations -- that, plus the all-states stepper on
-CONV-sized blocks, is where the end-to-end speedup over the batched
-``uint8`` path comes from.
+All large intermediates -- patch gathers, column counts, CSA planes,
+stepper slabs, layer outputs -- are views over one per-backend
+:class:`~repro.workspace.Workspace`, so a steady-state ``forward()``
+performs near-zero heap allocation and the chunking budget admits far
+larger position chunks (fewer recurrence invocations) within the same
+memory envelope.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -54,28 +66,34 @@ from repro.nn.layers import (
 )
 from repro.nn.sc_layers import ScNetworkMapper
 from repro.sc.packed import (
-    majority_chain_words,
+    fused_xnor_column_counts,
+    fused_xnor_majority_chain,
     ones_count,
     pack_bits,
     packed_column_counts,
-    tail_mask,
 )
+from repro.workspace import Workspace
 
 __all__ = ["BitExactPackedBackend"]
 
 
 @register_backend
 class BitExactPackedBackend(Backend):
-    """Bit-exact simulation with word-packed inter-layer feature maps.
+    """Bit-exact simulation with fused kernels on a word-packed data plane.
 
     Args:
         mapper: the SC network mapper.
         position_chunk: optional cap on CONV output positions / FC neurons
-            per product tensor; ``None`` picks automatically from the
-            memory budget (packing admits ~8x more positions per chunk
-            than the batched backend).  CONV chunks are materialised in
-            whole output rows (matching the batched backend), so the
-            effective floor is one row of positions.
+            per fused-reduction chunk; ``None`` picks automatically from
+            the memory budget.  CONV chunks are materialised in whole
+            output rows (matching the batched backend), so the effective
+            floor is one row of positions.
+
+    A backend instance owns one :class:`~repro.workspace.Workspace` and is
+    therefore **not** safe for concurrent ``forward()`` calls from several
+    threads; give each thread (or serving-worker replica) its own
+    instance, which is what :class:`~repro.serve.ScInferenceService` and
+    the process-sharded parallel backend do anyway.
     """
 
     name = "bit-exact-packed"
@@ -84,13 +102,15 @@ class BitExactPackedBackend(Backend):
     stochastic = True
     packed_data_plane = True
     progressive = True
+    batch_invariant = True
 
-    #: Target size (bytes) for the transient packed-product tensors.
-    #: Larger than the batched mapper's uint8 budget: packed words carry
-    #: 8x the positions per byte, and bigger chunks mean fewer recurrence
-    #: invocations (the stepper's slabs grow, its Python dispatch count
-    #: shrinks).
-    _PRODUCT_BYTES_BUDGET = 48 * 1024 * 1024
+    #: Target size (bytes) of the live per-chunk working set (column
+    #: counts + stepper slabs + CSA planes).  Unlike the pre-fusion
+    #: budget, this accounts for *everything* the chunk keeps live -- the
+    #: fused kernels shrank the per-position footprint by the fan-in
+    #: factor, so the same envelope admits much larger chunks (fewer
+    #: stepper invocations, less Python dispatch).
+    _CHUNK_BYTES_BUDGET = 128 * 1024 * 1024
 
     def __init__(
         self, mapper: ScNetworkMapper, position_chunk: int | None = None
@@ -99,6 +119,7 @@ class BitExactPackedBackend(Backend):
         if position_chunk is not None and position_chunk < 1:
             raise ConfigurationError("position_chunk must be >= 1")
         self.position_chunk = position_chunk
+        self.workspace = Workspace()
 
     def output_stream_words(
         self, images: np.ndarray, rng: np.random.Generator | None = None
@@ -123,27 +144,29 @@ class BitExactPackedBackend(Backend):
 
         Returns:
             ``(batch, n_classes, ceil(N / 64))`` packed ``uint64`` output
-            words.
+            words.  The final (categorization) layer's words are freshly
+            allocated -- unlike the inter-layer buffers they do not live
+            in the workspace, so callers may hold them across calls.
         """
         mapper = self.mapper
         images = self._check_images(images)
         rng = rng or np.random.default_rng(mapper.seed)
         # The shared SNG preamble keeps the RNG consumption identical to
         # the batched/legacy paths (the bit-exactness contract).
-        words = pack_bits(mapper.input_stream_bits(images, rng))
+        words = mapper.input_stream_words(images, rng)
         dense_layers = [l for l in mapper.network.layers if isinstance(l, Dense)]
         dense_seen = 0
-        for layer in mapper.network.layers:
+        for index, layer in enumerate(mapper.network.layers):
             if isinstance(layer, Conv2D):
-                words = self._packed_conv(words, layer, rng)
+                words = self._packed_conv(words, layer, rng, index)
             elif isinstance(layer, AvgPool2D):
-                words = self._packed_pool(words, layer)
+                words = self._packed_pool(words, layer, index)
             elif isinstance(layer, Flatten):
                 words = words.reshape(words.shape[0], -1, words.shape[-1])
             elif isinstance(layer, Dense):
                 dense_seen += 1
                 is_output = dense_seen == len(dense_layers)
-                words = self._packed_dense(words, layer, rng, is_output)
+                words = self._packed_dense(words, layer, rng, is_output, index)
             elif isinstance(layer, (HardwareActivation, ClipActivation, LogitScale)):
                 continue
             else:  # pragma: no cover - defensive
@@ -192,41 +215,52 @@ class BitExactPackedBackend(Backend):
 
     # -- layer kernels ---------------------------------------------------------
 
-    def _weight_words(
-        self, weights: np.ndarray, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Packed bipolar weight streams (same draws as the uint8 paths)."""
-        return pack_bits(self.mapper.weight_stream_bits(weights, rng))
+    @staticmethod
+    def _count_dtype(m_total: int):
+        """Count dtype wide enough for ``m_total`` streams (plus padding)."""
+        return np.uint8 if m_total <= 255 else np.uint16
 
-    def _auto_chunk(self, bytes_per_item: int) -> int:
-        """Positions/neurons per chunk fitting the packed-product budget."""
-        return max(1, self._PRODUCT_BYTES_BUDGET // max(1, bytes_per_item))
+    def _chunk_bytes_per_position(self, m: int, count_itemsize: int) -> int:
+        """Live bytes one output position keeps during a fused chunk.
 
-    def _column_counts(self, products: np.ndarray, m: int) -> np.ndarray:
-        """Per-cycle ones counts of the (neutrally padded) product streams.
-
-        When the product count ``m`` is even the feature-extraction block
-        pads with the alternating neutral stream; its contribution is
-        added to the CSA counts directly instead of materialising the
-        extra packed column.
+        Column counts (``count_itemsize`` bytes per cycle), the stepper's
+        time-major slab (up to ``int32`` per cycle), and the streaming-CSA
+        plane set (two planes per carry-save level plus product/scratch,
+        at one byte per eight cycles each).
         """
         n = self.mapper.stream_length
-        counts = packed_column_counts(products, n)
-        if m % 2 == 0:
-            counts = counts + neutral_column(n)
-        return counts
+        levels = max(1, math.ceil(math.log2(m + 1)))
+        live_planes = 2 * levels + 3
+        return (count_itemsize + 4) * n + live_planes * (n // 8 + 8)
 
-    def _feature_extraction_words(
-        self, products: np.ndarray, n_inputs: int
+    def _auto_chunk(self, bytes_per_item: int) -> int:
+        """Positions/neurons per chunk fitting the working-set budget."""
+        return max(1, self._CHUNK_BYTES_BUDGET // max(1, bytes_per_item))
+
+    def _recurrence_words(
+        self, counts: np.ndarray, m: int, neutral: np.ndarray | None
     ) -> np.ndarray:
-        """Packed products ``(..., M, W)`` -> packed activated streams."""
-        block = SorterFeatureExtractionBlock(n_inputs)
-        counts = self._column_counts(products, n_inputs)
-        half = block.threshold
-        return feature_extraction_recurrence_words(counts, half, -half, half + 1)
+        """Column counts -> packed activated streams (workspace-backed).
+
+        The returned words live in the workspace; callers copy them into
+        their per-layer output buffer before the next stepper call.
+        """
+        if neutral is not None:
+            # Even input sizes are padded with the alternating neutral
+            # stream; its contribution is added to the counts directly
+            # instead of materialising the extra packed column.
+            np.add(counts, neutral, out=counts, casting="unsafe")
+        half = SorterFeatureExtractionBlock(m).threshold
+        return feature_extraction_recurrence_words(
+            counts, half, -half, half + 1, workspace=self.workspace
+        )
 
     def _packed_conv(
-        self, words: np.ndarray, layer: Conv2D, rng: np.random.Generator
+        self,
+        words: np.ndarray,
+        layer: Conv2D,
+        rng: np.random.Generator,
+        layer_key: int,
     ) -> np.ndarray:
         n = self.mapper.stream_length
         n_words = words.shape[-1]
@@ -234,10 +268,15 @@ class BitExactPackedBackend(Backend):
         kernel = layer.kernel_size
         stride = layer.stride
         pad = (kernel - 1) // 2 if layer.padding == "same" else 0
+        ws = self.workspace
         if pad:
-            padded = np.pad(
-                words, ((0, 0), (0, 0), (pad, pad), (pad, pad), (0, 0))
+            padded = ws.array(
+                (layer_key, "pad"),
+                (batch, channels, height + 2 * pad, width + 2 * pad, n_words),
+                np.uint64,
             )
+            padded[...] = 0
+            padded[:, :, pad : pad + height, pad : pad + width] = words
         else:
             padded = words
         out_h = (height + 2 * pad - kernel) // stride + 1
@@ -247,57 +286,91 @@ class BitExactPackedBackend(Backend):
         windows = np.lib.stride_tricks.sliding_window_view(
             padded, (kernel, kernel), axis=(2, 3)
         )[:, :, ::stride, ::stride]  # (B, C, out_h, out_w, words, k, k)
-        weight_words = self._weight_words(layer.weights, rng)  # (oc, fan_in, W)
-        bias_words = self._weight_words(layer.bias, rng)  # (oc, W)
+        weight_words = self.mapper.weight_stream_words(layer.weights, rng)
+        bias_words = self.mapper.weight_stream_words(layer.bias, rng)
         out_ch = layer.out_channels
         fan_in = layer.fan_in
-        mask = tail_mask(n)
+        m = fan_in + 1
+        dtype = self._count_dtype(m + 1)
+        # Per position: the fused working set (scaled by out_ch) plus the
+        # im2col patch gather, which carries the fan-in once per position
+        # regardless of out_ch.
         chunk = self.position_chunk or self._auto_chunk(
-            batch * out_ch * (fan_in + 2) * n_words * 8
+            batch
+            * (
+                out_ch * self._chunk_bytes_per_position(m, dtype().itemsize)
+                + fan_in * (n // 8 + 8)
+            )
         )
         row_chunk = max(1, chunk // out_w)
-        output = np.empty((batch, out_ch, out_h * out_w, n_words), dtype=np.uint64)
+        neutral = neutral_column(n) if m % 2 == 0 else None
+        output = ws.array(
+            (layer_key, "out"), (batch, out_ch, out_h * out_w, n_words), np.uint64
+        )
         for row_start in range(0, out_h, row_chunk):
             row_end = min(out_h, row_start + row_chunk)
+            rows = row_end - row_start
+            pc = rows * out_w
             # (B, C, rows, out_w, W, k, k) -> (B, rows*out_w, fan_in, W),
-            # the im2col channel-major (C, kh, kw) patch layout.
-            p_chunk = np.ascontiguousarray(
-                windows[:, :, row_start:row_end].transpose(0, 2, 3, 1, 5, 6, 4)
-            ).reshape(batch, (row_end - row_start) * out_w, fan_in, n_words)
-            pc = p_chunk.shape[1]
-            products = np.empty(
-                (batch, pc, out_ch, fan_in + 1, n_words), dtype=np.uint64
+            # the im2col channel-major (C, kh, kw) patch layout, gathered
+            # straight into a recycled buffer.
+            patches = ws.array(
+                (layer_key, "patches"), (batch, pc, fan_in, n_words), np.uint64
             )
-            np.bitwise_xor(
-                p_chunk[:, :, None, :, :],
+            patches.reshape(
+                batch, rows, out_w, channels, kernel, kernel, n_words
+            )[...] = windows[:, :, row_start:row_end].transpose(
+                0, 2, 3, 1, 5, 6, 4
+            )
+            counts = ws.array(
+                (layer_key, "counts"), (batch, pc, out_ch, n), dtype
+            )
+            fused_xnor_column_counts(
+                patches[:, :, None, :, :],
                 weight_words[None, None, :, :, :],
-                out=products[..., :fan_in, :],
+                n,
+                extra=bias_words[None, None, :, None, :],
+                out=counts,
+                workspace=ws,
+                key=(layer_key, "csa"),
             )
-            np.bitwise_not(
-                products[..., :fan_in, :], out=products[..., :fan_in, :]
-            )
-            products[..., :fan_in, -1] &= mask
-            products[..., fan_in, :] = bias_words[None, None, :, :]
-            activated = self._feature_extraction_words(products, fan_in + 1)
+            activated = self._recurrence_words(counts, m, neutral)
             start = row_start * out_w
             output[:, :, start : start + pc] = activated.transpose(0, 2, 1, 3)
         return output.reshape(batch, out_ch, out_h, out_w, n_words)
 
-    def _packed_pool(self, words: np.ndarray, layer: AvgPool2D) -> np.ndarray:
+    def _packed_pool(
+        self, words: np.ndarray, layer: AvgPool2D, layer_key: int
+    ) -> np.ndarray:
         n = self.mapper.stream_length
         batch, channels, height, width, n_words = words.shape
         p = layer.pool_size
         out_h, out_w = height // p, width // p
+        ws = self.workspace
         trimmed = words[:, :, : out_h * p, : out_w * p]
-        grouped = trimmed.reshape(batch, channels, out_h, p, out_w, p, n_words)
-        grouped = grouped.transpose(0, 1, 2, 4, 3, 5, 6).reshape(
-            batch, channels, out_h, out_w, p * p, n_words
+        grouped = ws.array(
+            (layer_key, "grouped"),
+            (batch, channels, out_h, out_w, p * p, n_words),
+            np.uint64,
+        )
+        grouped.reshape(batch, channels, out_h, out_w, p, p, n_words)[...] = (
+            trimmed.reshape(batch, channels, out_h, p, out_w, p, n_words)
+            .transpose(0, 1, 2, 4, 3, 5, 6)
         )
         # Exact closed form of the pooling counter on the CSA column
         # counts; only the (log-size) count planes and the single output
         # stream are ever unpacked.
-        counts = packed_column_counts(grouped, n)
-        return pack_bits(pooling_recurrence(counts, p * p))
+        counts = ws.array(
+            (layer_key, "counts"), (batch, channels, out_h, out_w, n), np.uint8
+        )
+        packed_column_counts(grouped, n, out=counts)
+        output = ws.array(
+            (layer_key, "out"),
+            (batch, channels, out_h, out_w, n_words),
+            np.uint64,
+        )
+        output[...] = pack_bits(pooling_recurrence(counts, p * p))
+        return output
 
     def _packed_dense(
         self,
@@ -305,6 +378,7 @@ class BitExactPackedBackend(Backend):
         layer: Dense,
         rng: np.random.Generator,
         is_output: bool,
+        layer_key: int,
     ) -> np.ndarray:
         n = self.mapper.stream_length
         n_words = words.shape[-1]
@@ -315,32 +389,53 @@ class BitExactPackedBackend(Backend):
                 f"packed streams, got {words.shape}"
             )
         in_features = layer.in_features
-        weight_words = self._weight_words(layer.weights, rng)  # (out, in, W)
-        bias_words = self._weight_words(layer.bias, rng)  # (out, W)
-        mask = tail_mask(n)
+        weight_words = self.mapper.weight_stream_words(layer.weights, rng)
+        bias_words = self.mapper.weight_stream_words(layer.bias, rng)
+        ws = self.workspace
+        if is_output:
+            # The categorization layer's words are returned to the caller
+            # (and may be held across calls by the progressive engine), so
+            # they are allocated fresh rather than in the workspace.
+            outputs = np.empty(
+                (batch, layer.out_features, n_words), dtype=np.uint64
+            )
+            chunk = self.position_chunk or self._auto_chunk(
+                batch * 6 * (n // 8 + 8)
+            )
+            for start in range(0, layer.out_features, chunk):
+                w_chunk = weight_words[start : start + chunk]  # (oc, in, W)
+                fused_xnor_majority_chain(
+                    words[:, None, :, :],
+                    w_chunk[None, :, :, :],
+                    n,
+                    out=outputs[:, start : start + w_chunk.shape[0]],
+                    workspace=ws,
+                    key=(layer_key, "chain"),
+                )
+            return outputs
+        m = in_features + 1
+        dtype = self._count_dtype(m + 1)
         chunk = self.position_chunk or self._auto_chunk(
-            batch * (in_features + 1) * n_words * 8
+            batch * self._chunk_bytes_per_position(m, dtype().itemsize)
         )
-        outputs = np.empty((batch, layer.out_features, n_words), dtype=np.uint64)
+        neutral = neutral_column(n) if m % 2 == 0 else None
+        outputs = ws.array(
+            (layer_key, "out"), (batch, layer.out_features, n_words), np.uint64
+        )
         for start in range(0, layer.out_features, chunk):
             w_chunk = weight_words[start : start + chunk]  # (oc, in, W)
             oc = w_chunk.shape[0]
-            rows = in_features if is_output else in_features + 1
-            products = np.empty((batch, oc, rows, n_words), dtype=np.uint64)
-            np.bitwise_xor(
+            counts = ws.array((layer_key, "counts"), (batch, oc, n), dtype)
+            fused_xnor_column_counts(
                 words[:, None, :, :],
                 w_chunk[None, :, :, :],
-                out=products[..., :in_features, :],
+                n,
+                extra=bias_words[None, start : start + oc, None, :],
+                out=counts,
+                workspace=ws,
+                key=(layer_key, "csa"),
             )
-            np.bitwise_not(
-                products[..., :in_features, :], out=products[..., :in_features, :]
+            outputs[:, start : start + oc] = self._recurrence_words(
+                counts, m, neutral
             )
-            products[..., :in_features, -1] &= mask
-            if is_output:
-                outputs[:, start : start + oc] = majority_chain_words(products)
-            else:
-                products[..., in_features, :] = bias_words[None, start : start + oc, :]
-                outputs[:, start : start + oc] = self._feature_extraction_words(
-                    products, in_features + 1
-                )
         return outputs

@@ -1,0 +1,367 @@
+"""Multi-core sharded execution: one batch, many processes, shared memory.
+
+The SC pipeline is embarrassingly parallel across images: every bit-exact
+backend draws its stream randomness from tensors *shared across the
+batch*, so image ``i``'s scores never depend on which other images it was
+batched with (the ``batch_invariant`` capability flag).
+:class:`ParallelBackend` exploits exactly that invariance: it splits an
+image batch into contiguous shards, runs each shard through a replica of
+an inner backend in a worker *process* (side-stepping the GIL, which
+thread pools cannot for NumPy-dispatch-bound kernels), and assembles the
+scores -- bit-identical to running the inner backend on the whole batch
+in one process, asserted by the unit tests and by ``bench_perf.py``.
+
+Images and scores travel through :mod:`multiprocessing.shared_memory`
+buffers rather than pickled task payloads, so the per-call IPC cost is
+two small control messages per shard regardless of batch or stream
+length; worker processes build their backend replica once (from the
+pickled mapper) and reuse it -- including its workspace arena -- across
+calls.
+
+The backend registers as ``bit-exact-packed-mp`` and implements both
+``forward`` and ``forward_partial``, so the serving layer
+(:mod:`repro.serve`) and the progressive early-exit engine can use it
+unchanged wherever ``bit-exact-packed`` fits (a typical serving
+configuration runs **one** service worker thread whose replica is a
+parallel backend, instead of many single-core replicas).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.registry import backend_class, create_backend, register_backend
+from repro.errors import ConfigurationError
+from repro.nn.layers import Dense
+from repro.nn.sc_layers import ScNetworkMapper
+
+__all__ = ["ParallelBackend", "resolve_parallel_backend"]
+
+
+def resolve_parallel_backend(
+    backend: str, workers: int | None
+) -> tuple[str, dict]:
+    """Map a CLI ``(--backend, --workers)`` pair onto a registry selection.
+
+    The shared policy behind the examples' ``--workers`` flags: with one
+    (or no) worker the chosen backend is used as-is; otherwise the
+    process-sharded wrapper is selected with the chosen backend riding
+    along as its inner backend -- unless that choice cannot shard (not
+    ``batch_invariant``) or *is* the wrapper, in which case the default
+    packed inner is used.
+
+    Args:
+        backend: registry name the user chose.
+        workers: requested worker process count (``None``/``<= 1`` means
+            no sharding).
+
+    Returns:
+        ``(backend_name, backend_options)`` ready for
+        :func:`~repro.backends.registry.create_backend` (or any
+        ``backend=``/``**options`` forwarding call site).
+    """
+    if not workers or workers <= 1:
+        return backend, {}
+    inner = backend
+    if inner == ParallelBackend.name or not getattr(
+        backend_class(inner), "batch_invariant", False
+    ):
+        inner = "bit-exact-packed"
+    return ParallelBackend.name, {
+        "workers": int(workers),
+        "inner_backend": inner,
+    }
+
+
+#: Per-process backend replica, built once by the pool initializer.
+_WORKER_BACKEND: Backend | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: build this worker's backend replica once."""
+    global _WORKER_BACKEND
+    mapper, backend_name, options = pickle.loads(payload)
+    _WORKER_BACKEND = create_backend(backend_name, mapper, **options)
+
+
+def _run_shard(
+    images_name: str,
+    images_shape: tuple[int, ...],
+    out_name: str,
+    out_shape: tuple[int, ...],
+    start: int,
+    stop: int,
+    checkpoints: tuple[int, ...] | None,
+) -> int:
+    """Run one contiguous image shard inside a worker process.
+
+    Reads ``images[start:stop]`` from the shared input buffer, executes
+    the replica, and writes the scores into the shared output buffer
+    (rows ``start:stop``; for partial evaluation the checkpoint axis
+    leads, so the shard fills ``out[:, start:stop]``).
+    """
+    shm_in = shared_memory.SharedMemory(name=images_name)
+    shm_out = shared_memory.SharedMemory(name=out_name)
+    try:
+        images = np.ndarray(images_shape, dtype=np.float64, buffer=shm_in.buf)
+        out = np.ndarray(out_shape, dtype=np.float64, buffer=shm_out.buf)
+        shard = images[start:stop]
+        if checkpoints is None:
+            out[start:stop] = _WORKER_BACKEND.forward(shard)
+        else:
+            out[:, start:stop] = _WORKER_BACKEND.forward_partial(
+                shard, checkpoints
+            )
+        return stop - start
+    finally:
+        shm_in.close()
+        shm_out.close()
+
+
+def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
+    """Finalizer target: tear the pool down without waiting on GC order."""
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+@register_backend
+class ParallelBackend(Backend):
+    """Process-sharded wrapper around a batch-invariant inner backend.
+
+    Args:
+        mapper: the SC network mapper every worker replica executes.
+        workers: worker process count; ``None`` uses ``os.cpu_count()``.
+        inner_backend: registry name of the inner backend each worker
+            runs (default ``"bit-exact-packed"``).  Named to avoid
+            colliding with the ``backend=`` keyword of registry-forwarding
+            call sites (e.g. ``ScInferenceEngine.evaluate``).  It must
+            advertise
+            ``batch_invariant`` -- sharding a batch across replicas is
+            only score-preserving when per-image scores do not depend on
+            batch composition.
+        min_shard_images: smallest shard worth dispatching to a process
+            (batches smaller than ``2 * min_shard_images`` run on the
+            in-process replica, skipping IPC entirely).
+        start_method: optional :mod:`multiprocessing` start method
+            (default: ``"fork"`` where available, the platform default
+            otherwise).
+        **backend_options: forwarded to every inner-replica constructor
+            (e.g. ``position_chunk``).
+
+    The worker pool is created lazily on the first sharded call and
+    reused across calls; :meth:`close` (also invoked by the serving
+    layer on shutdown, and as a GC finalizer) tears it down.
+    """
+
+    name = "bit-exact-packed-mp"
+    description = (
+        "bit-exact packed data plane sharded across a process pool "
+        "(shared-memory image/score buffers)"
+    )
+    bit_exact = True
+    stochastic = True
+    packed_data_plane = True
+    progressive = True
+    batch_invariant = True
+
+    def __init__(
+        self,
+        mapper: ScNetworkMapper,
+        workers: int | None = None,
+        inner_backend: str = "bit-exact-packed",
+        min_shard_images: int = 1,
+        start_method: str | None = None,
+        **backend_options: object,
+    ) -> None:
+        super().__init__(mapper)
+        inner_cls = backend_class(inner_backend)
+        if not getattr(inner_cls, "batch_invariant", False):
+            raise ConfigurationError(
+                f"backend {inner_backend!r} is not batch-invariant: sharding "
+                "its batches across processes would change per-image scores"
+            )
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if min_shard_images < 1:
+            raise ConfigurationError(
+                f"min_shard_images must be >= 1, got {min_shard_images}"
+            )
+        # Capabilities follow the inner backend: the wrapper only changes
+        # *where* the batch runs, not what the scores mean -- advertising
+        # e.g. `progressive` for a non-progressive inner would send the
+        # serving layer's early-exit gate into forward_partial calls the
+        # replica cannot answer.  (Instance attributes shadow the class
+        # flags, which describe the default inner.)
+        self.bit_exact = bool(inner_cls.bit_exact)
+        self.stochastic = bool(inner_cls.stochastic)
+        self.packed_data_plane = bool(inner_cls.packed_data_plane)
+        self.progressive = bool(inner_cls.progressive)
+        self.workers = int(workers)
+        self.inner_backend = inner_backend
+        self.min_shard_images = int(min_shard_images)
+        self.start_method = start_method
+        self.backend_options = dict(backend_options)
+        #: In-process replica: serves small batches and the 1-worker case.
+        self.inner = create_backend(inner_backend, mapper, **backend_options)
+        self._executor: ProcessPoolExecutor | None = None
+        self._finalizer = None
+        n_classes = None
+        for layer in mapper.network.layers:
+            if isinstance(layer, Dense):
+                n_classes = layer.out_features
+        if n_classes is None:
+            raise ConfigurationError(
+                "the mapped network has no Dense output layer"
+            )
+        self._n_classes = int(n_classes)
+
+    # -- pool / shard plumbing -------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            method = self.start_method
+            if method is None:
+                available = multiprocessing.get_all_start_methods()
+                # fork is the cheapest start-up, but forking a process
+                # whose *other* threads may hold locks mid-acquire (the
+                # serving layer's scheduler/worker threads) can deadlock
+                # the child; prefer forkserver there, fork only from a
+                # single-threaded coordinator.
+                if "fork" in available and threading.active_count() == 1:
+                    method = "fork"
+                elif "forkserver" in available:
+                    method = "forkserver"
+            context = (
+                multiprocessing.get_context(method)
+                if method
+                else multiprocessing.get_context()
+            )
+            payload = pickle.dumps(
+                (self.mapper, self.inner_backend, self.backend_options)
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+            self._finalizer = weakref.finalize(
+                self, _shutdown_executor, self._executor
+            )
+        return self._executor
+
+    def _plan_shards(self, batch: int) -> list[tuple[int, int]]:
+        """Contiguous, near-equal shards: ``[(start, stop), ...]``."""
+        n_shards = min(self.workers, max(1, batch // self.min_shard_images))
+        if batch < 2 * self.min_shard_images:
+            n_shards = 1
+        bounds = np.linspace(0, batch, n_shards + 1).astype(int)
+        return [
+            (int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a
+        ]
+
+    def _run_sharded(
+        self,
+        images: np.ndarray,
+        shards: list[tuple[int, int]],
+        out_shape: tuple[int, ...],
+        checkpoints: tuple[int, ...] | None,
+    ) -> np.ndarray:
+        executor = self._ensure_executor()
+        out_bytes = int(np.prod(out_shape)) * np.dtype(np.float64).itemsize
+        shm_in = shared_memory.SharedMemory(create=True, size=images.nbytes)
+        shm_out = shared_memory.SharedMemory(create=True, size=out_bytes)
+        try:
+            np.ndarray(images.shape, dtype=np.float64, buffer=shm_in.buf)[
+                ...
+            ] = images
+            futures = [
+                executor.submit(
+                    _run_shard,
+                    shm_in.name,
+                    images.shape,
+                    shm_out.name,
+                    out_shape,
+                    start,
+                    stop,
+                    checkpoints,
+                )
+                for start, stop in shards
+            ]
+            for future in futures:
+                future.result()
+            return np.array(
+                np.ndarray(out_shape, dtype=np.float64, buffer=shm_out.buf),
+                copy=True,
+            )
+        finally:
+            shm_in.close()
+            shm_in.unlink()
+            shm_out.close()
+            shm_out.unlink()
+
+    # -- Backend interface -----------------------------------------------------
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Class scores, bit-identical to the inner backend's.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in
+                ``[0, 1]``.
+
+        Returns:
+            ``(batch, n_classes)`` class scores.
+        """
+        images = self._check_images(images)
+        shards = self._plan_shards(images.shape[0])
+        if len(shards) <= 1:
+            return self.inner.forward(images)
+        out_shape = (images.shape[0], self._n_classes)
+        return self._run_sharded(images, shards, out_shape, None)
+
+    def forward_partial(self, images: np.ndarray, checkpoints) -> np.ndarray:
+        """Checkpoint scores, bit-identical to the inner backend's.
+
+        Each worker computes its shard's full packed output streams once
+        and reads every checkpoint as a prefix popcount, exactly like the
+        inner backend; the checkpoint axis leads in the shared output
+        buffer so shard writes stay disjoint.
+        """
+        points = self._check_checkpoints(checkpoints)
+        images = self._check_images(images)
+        shards = self._plan_shards(images.shape[0])
+        if len(shards) <= 1:
+            return self.inner.forward_partial(images, points)
+        out_shape = (len(points), images.shape[0], self._n_classes)
+        return self._run_sharded(images, shards, out_shape, points)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelBackend(inner={self.inner_backend!r}, "
+            f"workers={self.workers}, stream_length={self.stream_length})"
+        )

@@ -48,6 +48,7 @@ class FloatBackend(Backend):
     description = "trained float network (software reference)"
     bit_exact = False
     stochastic = False
+    batch_invariant = True
 
     def forward(self, images: np.ndarray) -> np.ndarray:
         bipolar = self._check_images(images) * 2.0 - 1.0
@@ -142,6 +143,7 @@ class BitExactLegacyBackend(Backend):
     description = "per-image byte-per-bit block simulation (reference oracle)"
     bit_exact = True
     stochastic = True
+    batch_invariant = True
 
     #: Historical positions-per-product-tensor default of the legacy path.
     _DEFAULT_POSITION_CHUNK = 32
@@ -182,6 +184,7 @@ class BitExactBatchedBackend(Backend):
     description = "batched byte-per-bit block simulation (whole layers per call)"
     bit_exact = True
     stochastic = True
+    batch_invariant = True
 
     def __init__(
         self, mapper: ScNetworkMapper, position_chunk: int | None = None

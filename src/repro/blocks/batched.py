@@ -147,21 +147,38 @@ def _resolve_strategy(
     return "all-states" if use_states else "per-cycle"
 
 
+def _ws_array(workspace, key, shape, dtype) -> np.ndarray:
+    """Workspace-backed buffer when a workspace is given, else a fresh one.
+
+    Callers without a workspace must receive freshly allocated arrays
+    (several of these buffers are returned to the caller, and a shared
+    cache would alias results across calls).
+    """
+    if workspace is None:
+        return np.empty(shape, dtype=dtype)
+    return workspace.array(("fe-stepper",) + key, shape, dtype)
+
+
 def _blocked_time_major(
-    c: np.ndarray, length: int, batch: int, n_words: int
+    c: np.ndarray, length: int, batch: int, n_words: int, workspace=None
 ) -> np.ndarray:
     """``(..., N)`` counts -> contiguous ``(n_blocks, 64, batch)`` layout.
 
     Each all-states iteration reads one contiguous ``(batch,)`` slab; tail
     cycles are zero-padded (their output bits are masked off afterwards).
     """
-    time_major = np.zeros((n_words, WORD_BITS, batch), dtype=np.int32)
-    flat = c.reshape(batch, length).T  # (N, batch)
-    time_major.reshape(n_words * WORD_BITS, batch)[:length] = flat
+    time_major = _ws_array(
+        workspace, ("tm",), (n_words, WORD_BITS, batch), np.int32
+    )
+    flat_view = time_major.reshape(n_words * WORD_BITS, batch)
+    flat_view[:length] = c.reshape(batch, length).T
+    flat_view[length:] = 0
     return time_major
 
 
-def _time_major_counts(c: np.ndarray, length: int, batch: int) -> np.ndarray:
+def _time_major_counts(
+    c: np.ndarray, length: int, batch: int, workspace=None
+) -> np.ndarray:
     """``(..., N)`` counts -> contiguous ``(N, batch)`` for the cycle loop.
 
     Keeps narrow count dtypes (``uint8``/``uint16``) narrow: the transpose
@@ -170,8 +187,12 @@ def _time_major_counts(c: np.ndarray, length: int, batch: int) -> np.ndarray:
     """
     flat = c.reshape(batch, length).T
     if c.dtype.kind not in "iu" or c.dtype.itemsize > 4:
-        return np.ascontiguousarray(flat, dtype=np.int32)
-    return np.ascontiguousarray(flat)
+        dtype = np.int32
+    else:
+        dtype = c.dtype
+    buf = _ws_array(workspace, ("tmc",), (length, batch), dtype)
+    np.copyto(buf, flat, casting="unsafe")
+    return buf
 
 
 def _pack_time_major_bits(
@@ -197,7 +218,7 @@ def _pack_time_major_bits(
 
 
 def _recurrence_words_all_states(
-    time_major: np.ndarray, half: int, low: int, high: int
+    time_major: np.ndarray, half: int, low: int, high: int, workspace=None
 ) -> np.ndarray:
     """All-states word-blocked stepper: 64 cycles per Python iteration.
 
@@ -219,23 +240,37 @@ def _recurrence_words_all_states(
     n_blocks, _, batch = time_major.shape
     n_states = high - low + 1
     # Per (state, block, instance): the accumulator trajectory and the
-    # 64 output bits of the block, as one packed word.
-    accumulator = np.broadcast_to(
-        np.arange(low, high + 1, dtype=np.int32)[:, None, None],
-        (n_states, n_blocks, batch),
-    ).copy()
-    out_words = np.zeros((n_states, n_blocks, batch), dtype=np.uint64)
+    # 64 output bits of the block, as one packed word.  All per-cycle
+    # transients live in (reusable) preallocated buffers: the loop below
+    # performs no heap allocation at steady state.
+    accumulator = _ws_array(
+        workspace, ("acc",), (n_states, n_blocks, batch), np.int32
+    )
+    accumulator[...] = np.arange(low, high + 1, dtype=np.int32)[:, None, None]
+    out_words = _ws_array(
+        workspace, ("outw",), (n_states, n_blocks, batch), np.uint64
+    )
+    out_words[...] = 0
+    bit = _ws_array(workspace, ("bit",), (n_states, n_blocks, batch), np.bool_)
+    shifted = _ws_array(
+        workspace, ("shift",), (n_states, n_blocks, batch), np.uint64
+    )
     threshold = half + 1
     for t in range(WORD_BITS):
         np.add(accumulator, time_major[:, t][None], out=accumulator)
-        bit = accumulator >= threshold
-        out_words |= bit.astype(np.uint64) << np.uint64(t)
+        np.greater_equal(accumulator, threshold, out=bit)
+        np.copyto(shifted, bit, casting="unsafe")
+        np.left_shift(shifted, np.uint64(t), out=shifted)
+        np.bitwise_or(out_words, shifted, out=out_words)
         np.subtract(accumulator, half, out=accumulator)
         np.subtract(accumulator, bit, out=accumulator, casting="unsafe")
-        np.clip(accumulator, low, high, out=accumulator)
+        # Direct ufuncs: np.clip's dispatch wrapper costs more than the
+        # saturation arithmetic at these slab sizes.
+        np.maximum(accumulator, low, out=accumulator)
+        np.minimum(accumulator, high, out=accumulator)
     # Exit states as indices into the state axis for the chaining pass.
     np.subtract(accumulator, low, out=accumulator)
-    result = np.empty((batch, n_blocks), dtype=np.uint64)
+    result = _ws_array(workspace, ("res",), (batch, n_blocks), np.uint64)
     instance = np.arange(batch)
     state = np.full(batch, -low)  # the accumulator starts at zero
     for block in range(n_blocks):
@@ -250,6 +285,7 @@ def _recurrence_per_cycle(
     low: int,
     high: int,
     return_bits: bool = True,
+    workspace=None,
 ) -> np.ndarray:
     """Per-cycle stepper (large-state fallback), emitting ``uint8`` bits.
 
@@ -269,10 +305,11 @@ def _recurrence_per_cycle(
         ones counts when ``return_bits`` is false.
     """
     length, batch = time_major.shape
-    accumulator = np.zeros(batch, dtype=np.int32)
+    accumulator = _ws_array(workspace, ("pc-acc",), (batch,), np.int32)
+    accumulator[...] = 0
     threshold = half + 1
     if return_bits:
-        output = np.empty((length, batch), dtype=np.uint8)
+        output = _ws_array(workspace, ("pc-out",), (length, batch), np.uint8)
     else:
         ones_total = np.zeros(batch, dtype=np.int64)
     for t in range(length):
@@ -284,7 +321,10 @@ def _recurrence_per_cycle(
             np.add(ones_total, bit, out=ones_total, casting="unsafe")
         np.subtract(accumulator, half, out=accumulator)
         np.subtract(accumulator, bit, out=accumulator, casting="unsafe")
-        np.clip(accumulator, low, high, out=accumulator)
+        # Direct ufuncs: np.clip's dispatch wrapper dominates on the
+        # small per-cycle slabs of this loop.
+        np.maximum(accumulator, low, out=accumulator)
+        np.minimum(accumulator, high, out=accumulator)
     if return_bits:
         return output
     return ones_total
@@ -296,6 +336,7 @@ def feature_extraction_recurrence_words(
     low: int,
     high: int,
     strategy: str = "auto",
+    workspace=None,
 ) -> np.ndarray:
     """Word-blocked feature-extraction stepper with packed output.
 
@@ -324,6 +365,14 @@ def feature_extraction_recurrence_words(
         high: accumulator saturation ceiling (``h + 1`` signed, ``M``
             unsigned).
         strategy: ``"auto"``, ``"all-states"`` or ``"per-cycle"``.
+        workspace: optional :class:`repro.workspace.Workspace` that backs
+            every internal buffer (time-major counts, all-states slabs,
+            the output words), making repeated invocations allocation-free
+            at steady state.  The returned array then lives in the
+            workspace and is only valid until the next call that passes
+            the same workspace -- callers must copy it (the packed
+            backend copies each layer's stepper output into its own
+            per-layer buffer).
 
     Returns:
         ``uint64`` array of shape ``(..., ceil(N / 64))``: the packed
@@ -332,12 +381,18 @@ def feature_extraction_recurrence_words(
     shape = _check_recurrence_args(column_ones, low, high, strategy)
     c, length, batch_shape, batch, n_words = shape
     if _resolve_strategy(strategy, high - low + 1, n_words, batch) == "all-states":
-        time_major = _blocked_time_major(c, length, batch, n_words)
-        words = _recurrence_words_all_states(time_major, half, low, high)
+        time_major = _blocked_time_major(c, length, batch, n_words, workspace)
+        words = _recurrence_words_all_states(
+            time_major, half, low, high, workspace
+        )
         words[:, -1] &= tail_mask(length)
     else:
         bits = _recurrence_per_cycle(
-            _time_major_counts(c, length, batch), half, low, high
+            _time_major_counts(c, length, batch, workspace),
+            half,
+            low,
+            high,
+            workspace=workspace,
         )
         words = _pack_time_major_bits(bits, length, batch, n_words)
     return words.reshape(batch_shape + (n_words,))

@@ -334,6 +334,108 @@ class ScNetworkMapper:
         draws = rng.random(value.shape[1:] + (self.stream_length,))
         return (draws[None, ...] < ((value + 1.0) / 2.0)[..., None]).astype(np.uint8)
 
+    #: Target bytes of live SNG comparison draws when streams are packed
+    #: directly (the draws are float64 -- eight bytes per stream cycle --
+    #: so bounding them is what keeps the packed data plane's stream
+    #: generation an order of magnitude below the byte-per-bit paths).
+    _DRAWS_BYTES_BUDGET = 16 * 1024 * 1024
+
+    def _stream_value_chunk(self) -> int:
+        """Values whose full-stream draws fit the draw-bytes budget."""
+        return max(1, self._DRAWS_BYTES_BUDGET // (8 * self.stream_length))
+
+    def _packed_comparator_streams(
+        self, p: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Chunked draw -> compare -> pack core of the word-direct paths.
+
+        One comparison-draw row is consumed per value (last axis of
+        ``p``), in C order, exactly as the byte-per-bit paths consume
+        them -- this single loop is what keeps the RNG-consumption
+        contract of :meth:`input_stream_words` and
+        :meth:`weight_stream_words` in one place.  Leading axes of ``p``
+        share the draws (the batch axis of the input SNG).
+
+        Args:
+            p: ones-probabilities of shape ``(..., V)``.
+            rng: stream-generation random generator.
+
+        Returns:
+            ``uint64`` packed words of shape ``(..., V, ceil(N / 64))``.
+        """
+        from repro.sc.packed import pack_bits, words_for_length
+
+        n = self.stream_length
+        n_values = p.shape[-1]
+        out = np.empty(
+            p.shape + (words_for_length(n),), dtype=np.uint64
+        )
+        # The comparison and packing transients scale with the leading
+        # (draw-sharing) axes, so the chunk shrinks by their size to keep
+        # the *total* live transient near the budget, not just the draws.
+        lead = max(1, int(np.prod(p.shape[:-1], dtype=np.int64)))
+        chunk = max(1, self._stream_value_chunk() // lead)
+        for start in range(0, n_values, chunk):
+            stop = min(n_values, start + chunk)
+            draws = rng.random((stop - start, n))
+            out[..., start:stop, :] = pack_bits(
+                draws < p[..., start:stop, None]
+            )
+        return out
+
+    def input_stream_words(
+        self, images: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Word-packed SNG conversion of a batch of images.
+
+        Bit-identical to ``pack_bits(self.input_stream_bits(images, rng))``
+        -- same quantisation, same RNG consumption order (one draw tensor
+        shared across the batch, values in C order) -- but the comparison
+        draws are generated in bounded chunks along the value axis and
+        packed immediately, so the full-stream ``float64`` draw tensor and
+        the byte-per-bit stream tensor never exist.  This is the packed
+        backend's input preamble.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in
+                ``[0, 1]`` (a single ``(channels, height, width)`` image
+                is also accepted).
+            rng: stream-generation random generator.
+
+        Returns:
+            ``uint64`` array of shape ``(batch, channels, height, width,
+            ceil(N / 64))``.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4:
+            raise ShapeError(
+                f"expected (batch, channels, height, width), got {images.shape}"
+            )
+        value = self._quantize_activations(images * 2.0 - 1.0)
+        p = ((value + 1.0) / 2.0).reshape(value.shape[0], -1)
+        words = self._packed_comparator_streams(p, rng)
+        return words.reshape(value.shape + (words.shape[-1],))
+
+    def weight_stream_words(
+        self, weights: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Word-packed bipolar weight streams (shape + ``(ceil(N/64),)``).
+
+        Bit-identical to ``pack_bits(self.weight_stream_bits(weights,
+        rng))`` with identical RNG consumption, generated in bounded
+        chunks like :meth:`input_stream_words` -- for a wide FC layer at
+        long stream lengths this removes what used to be the single
+        largest allocation of a packed forward pass (the ``float64`` draw
+        tensor over every weight).
+        """
+        q = quantize_weights(weights, self.weight_bits)
+        words = self._packed_comparator_streams(
+            ((q + 1.0) / 2.0).reshape(-1), rng
+        )
+        return words.reshape(np.shape(q) + (words.shape[-1],))
+
     def bit_exact_forward_batch(
         self,
         images: np.ndarray,

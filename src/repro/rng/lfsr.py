@@ -119,7 +119,16 @@ class Lfsr(RandomWordSource):
         u = self._feedback_bits(count)
         weights = (1 << np.arange(n - 1, -1, -1)).astype(np.int64)
         windows = np.lib.stride_tricks.sliding_window_view(u, n)
-        states = windows[1:] @ weights
+        # Blocked window-weight products: the matmul upcasts its uint8
+        # operand to int64, so doing all ``count`` windows at once would
+        # transiently allocate ``8 n`` bytes per word -- an order of
+        # magnitude above the output itself.  Fixed-size blocks keep the
+        # transient bounded while staying fully vectorised.
+        states = np.empty(count, dtype=np.int64)
+        block = 4096
+        for start in range(0, count, block):
+            stop = min(count, start + block)
+            states[start:stop] = windows[1 + start : 1 + stop] @ weights
         self._state = int(states[-1])
         return states.reshape(shape)
 
@@ -143,23 +152,30 @@ class Lfsr(RandomWordSource):
         total = n + count
         u = np.empty(total, dtype=np.uint8)
         u[:n] = (self._state >> np.arange(n - 1, -1, -1)) & 1
-        lags = np.array(self._taps, dtype=np.int64)
+        # Plain-int lag bookkeeping: the loop below runs O(log count)
+        # iterations whose control arithmetic is tiny, so ndarray min/max
+        # dispatch would dominate short draws (the word-direct SNG calls
+        # this once per bounded chunk).
+        lags = [int(t) for t in self._taps]
+        min_lag = min(lags)
+        max_lag = max(lags)
         # The recurrence with the original lags holds from index n onward; a
         # squared recurrence (a polynomial multiple of the original) holds
         # from the previous threshold plus the previous maximum lag.
         valid_from = n
         filled = n
         while filled < total:
-            while int(lags.min()) < total - filled:
-                max_lag = int(lags.max())
+            while min_lag < total - filled:
                 if valid_from + max_lag > filled or 2 * max_lag > filled:
                     break
                 valid_from += max_lag
-                lags = lags * 2
-            block = min(int(lags.min()), total - filled)
-            segment = u[filled - int(lags[0]) : filled - int(lags[0]) + block].copy()
+                lags = [lag * 2 for lag in lags]
+                min_lag *= 2
+                max_lag *= 2
+            block = min(min_lag, total - filled)
+            segment = u[filled - lags[0] : filled - lags[0] + block].copy()
             for lag in lags[1:]:
-                segment ^= u[filled - int(lag) : filled - int(lag) + block]
+                segment ^= u[filled - lag : filled - lag + block]
             u[filled : filled + block] = segment
             filled += block
         return u

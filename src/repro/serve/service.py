@@ -389,6 +389,10 @@ class ScInferenceService:
         self._scheduler.join()
         for worker in self._workers:
             worker.join()
+        # Release backend-held resources (e.g. the process pool of a
+        # ``bit-exact-packed-mp`` replica) once no worker can touch them.
+        for replica in self._replicas:
+            replica.close()
 
     def __enter__(self) -> "ScInferenceService":
         return self

@@ -1,0 +1,84 @@
+"""Reusable buffer arena for allocation-free hot loops.
+
+The packed inference kernels are memory-bandwidth bound: at steady state
+the arrays they need have the same shapes on every ``forward()`` call, so
+re-allocating them per call only adds allocator traffic and page faults on
+the hot path.  :class:`Workspace` is a tiny capacity-based arena that hands
+out NumPy views over cached byte buffers, keyed by the call site: the
+first request under a key allocates, later requests reuse (growing the
+backing buffer only when a larger shape shows up, e.g. a tail chunk being
+followed by a full one).
+
+A workspace is owned by exactly one execution context (one backend
+instance, one kernel invocation) and is **not** thread-safe: two
+concurrent users of the same key would scribble over each other's data.
+Backends therefore hold one workspace per replica, which is also what the
+process-sharded parallel backend gives every worker for free.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Capacity-based reusable buffer arena.
+
+    Buffers are keyed by an arbitrary hashable ``key`` (call sites use
+    string/tuple keys naming the kernel and slot).  :meth:`array` returns
+    a view with the requested shape and dtype over the cached byte buffer
+    for that key, growing it when needed; the contents are
+    **uninitialised** (like ``np.empty``), so callers must fully write
+    the view before reading it.
+    """
+
+    __slots__ = ("_pools",)
+
+    def __init__(self) -> None:
+        self._pools: dict[object, np.ndarray] = {}
+
+    def array(
+        self, key: object, shape: tuple[int, ...], dtype=np.uint64
+    ) -> np.ndarray:
+        """A reusable uninitialised array of the given shape and dtype.
+
+        Args:
+            key: hashable identity of the call site / slot.  Requests under
+                the same key share one backing buffer, so a key must never
+                be live twice at the same time.
+            shape: requested array shape.
+            dtype: requested element type.
+
+        Returns:
+            A C-contiguous view of the cached buffer with exactly
+            ``shape`` and ``dtype``; contents are undefined.
+        """
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = math.prod(shape) * dtype.itemsize
+        raw = self._pools.get(key)
+        if raw is None or raw.nbytes < nbytes:
+            # Fresh allocations are aligned and C-contiguous; slicing from
+            # offset zero preserves both, so the view below is always valid.
+            raw = np.empty(max(nbytes, 1), dtype=np.uint8)
+            self._pools[key] = raw
+        return raw[:nbytes].view(dtype).reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently retained by the arena."""
+        return sum(buf.nbytes for buf in self._pools.values())
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def clear(self) -> None:
+        """Drop every cached buffer (outstanding views keep theirs alive)."""
+        self._pools.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workspace(buffers={len(self)}, nbytes={self.nbytes})"

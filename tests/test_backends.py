@@ -244,3 +244,146 @@ class TestWordBlockedStepper:
         bits = rng.integers(0, 2, (5, 9, 130), dtype=np.uint8)
         counts = packed_column_counts(pack_bits(bits), 130)
         assert np.array_equal(counts, bits.sum(axis=-2))
+
+
+class TestParallelBackend:
+    """Process-sharded execution is bit-identical to the inner backend."""
+
+    def test_registered_with_capabilities(self):
+        cls = backend_class("bit-exact-packed-mp")
+        assert cls.bit_exact
+        assert cls.progressive
+        assert cls.batch_invariant
+        assert backend_class("bit-exact-packed").batch_invariant
+        assert not backend_class("sc-fast").batch_invariant
+
+    def test_forward_matches_packed(self, mapper, images):
+        packed = create_backend("bit-exact-packed", mapper)
+        expected = packed.forward(images)
+        with create_backend(
+            "bit-exact-packed-mp", mapper, workers=2
+        ) as parallel:
+            got = parallel.forward(images)
+            assert np.array_equal(got, expected)
+            # Repeat on the warm pool (worker replicas + arenas reused).
+            assert np.array_equal(parallel.forward(images), expected)
+
+    def test_forward_partial_matches_packed_odd_length(self):
+        odd_mapper = ScNetworkMapper(_tiny_cnn(), stream_length=100, seed=3)
+        images = np.random.default_rng(5).random((4, 1, 28, 28))
+        packed = create_backend("bit-exact-packed", odd_mapper)
+        checkpoints = (13, 50, 100)
+        expected = packed.forward_partial(images, checkpoints)
+        with create_backend(
+            "bit-exact-packed-mp", odd_mapper, workers=2
+        ) as parallel:
+            got = parallel.forward_partial(images, checkpoints)
+            assert np.array_equal(got, expected)
+            assert np.array_equal(got[-1], packed.forward(images))
+
+    def test_single_image_uses_inner_replica(self, mapper, images):
+        packed = create_backend("bit-exact-packed", mapper)
+        with create_backend(
+            "bit-exact-packed-mp", mapper, workers=2
+        ) as parallel:
+            got = parallel.forward(images[:1])
+            assert np.array_equal(got, packed.forward(images[:1]))
+            # One image cannot shard: the in-process replica served it
+            # without ever starting the pool.
+            assert parallel._executor is None
+
+    def test_rejects_non_batch_invariant_inner(self, mapper):
+        with pytest.raises(ConfigurationError):
+            create_backend(
+                "bit-exact-packed-mp", mapper, inner_backend="sc-fast"
+            )
+
+    def test_rejects_bad_workers(self, mapper):
+        with pytest.raises(ConfigurationError):
+            create_backend("bit-exact-packed-mp", mapper, workers=0)
+
+    def test_close_is_idempotent(self, mapper, images):
+        parallel = create_backend("bit-exact-packed-mp", mapper, workers=2)
+        parallel.forward(images)
+        parallel.close()
+        parallel.close()
+        assert parallel._executor is None
+
+
+class TestWorkspaceReuseAcrossForwards:
+    def test_packed_backend_steady_state_reuses_arena(self, mapper, images):
+        backend = create_backend("bit-exact-packed", mapper)
+        first = backend.forward(images)
+        retained = backend.workspace.nbytes
+        assert retained > 0
+        second = backend.forward(images)
+        # Identical scores and no arena growth at steady state.
+        assert np.array_equal(first, second)
+        assert backend.workspace.nbytes == retained
+
+
+class TestDeepNetworkEquivalence:
+    """Multi-conv / wide-FC geometry (the Table 8 SNN) stays bit-exact.
+
+    Regression guard: the tiny test CNN never exercises fan-ins wide
+    enough to reach uint16 column counts with bit planes at exponent
+    >= 9, which is exactly where a narrow-shift bug once made FC-500
+    layers diverge while every small-net test stayed green.
+    """
+
+    def test_snn_packed_equals_batched(self):
+        from repro.nn import build_snn
+
+        network = build_snn(seed=1, training_stream_length=64)
+        snn_mapper = ScNetworkMapper(network, stream_length=100, seed=3)
+        image = np.random.default_rng(0).random((1, 1, 28, 28))
+        packed = create_backend("bit-exact-packed", snn_mapper).forward(image)
+        batched = create_backend("bit-exact-batched", snn_mapper).forward(image)
+        assert np.array_equal(packed, batched)
+
+
+class TestResolveParallelBackend:
+    """The shared --workers CLI mapping policy."""
+
+    def test_no_workers_is_identity(self):
+        from repro.backends import resolve_parallel_backend
+
+        assert resolve_parallel_backend("sc-fast", None) == ("sc-fast", {})
+        assert resolve_parallel_backend("bit-exact-packed", 1) == (
+            "bit-exact-packed",
+            {},
+        )
+
+    def test_shardable_backend_rides_along_as_inner(self):
+        from repro.backends import resolve_parallel_backend
+
+        name, options = resolve_parallel_backend("bit-exact-batched", 4)
+        assert name == "bit-exact-packed-mp"
+        assert options == {"workers": 4, "inner_backend": "bit-exact-batched"}
+
+    def test_non_invariant_and_wrapper_fall_back_to_packed(self):
+        from repro.backends import resolve_parallel_backend
+
+        for chosen in ("sc-fast", "bit-exact-packed-mp"):
+            name, options = resolve_parallel_backend(chosen, 2)
+            assert name == "bit-exact-packed-mp"
+            assert options["inner_backend"] == "bit-exact-packed"
+
+
+class TestParallelCapabilitiesFollowInner:
+    def test_non_progressive_inner_clears_progressive_flag(self, mapper):
+        parallel = create_backend(
+            "bit-exact-packed-mp",
+            mapper,
+            workers=2,
+            inner_backend="bit-exact-batched",
+        )
+        try:
+            # The serving layer's early-exit gate reads this attribute;
+            # advertising progressive support the inner lacks would
+            # route merged batches into forward_partial calls the
+            # replicas cannot answer.
+            assert parallel.progressive is False
+            assert parallel.bit_exact is True
+        finally:
+            parallel.close()

@@ -342,3 +342,276 @@ class TestLfsrVectorizedWords:
         before = lfsr.state
         assert lfsr.words(0).size == 0
         assert lfsr.state == before
+
+
+# -- ISSUE 4: out=-capable kernels, fused reductions, word-direct SNG --------
+
+
+from repro.sc.packed import (  # noqa: E402  (grouped with their tests)
+    _popcount_words_fallback,
+    fused_xnor_column_counts,
+    fused_xnor_majority_chain,
+    majority_chain_words,
+    pack_comparator_words,
+    packed_and,
+    packed_column_counts,
+    packed_mux,
+    packed_or,
+    packed_xnor,
+    popcount_words,
+    unpack_bits_into,
+)
+from repro.workspace import Workspace
+
+#: Stream lengths with non-trivial tail words (and one aligned control).
+TAIL_LENGTHS = [100, 1000, 128]
+
+
+class TestOutKernels:
+    """The out=-capable gate kernels match their allocating forms exactly."""
+
+    @pytest.mark.parametrize("length", TAIL_LENGTHS)
+    def test_xnor_out(self, rng, length):
+        a = pack_bits(random_bits(rng, (5, length)))
+        b = pack_bits(random_bits(rng, (5, length)))
+        expected = packed_xnor(a, b, length)
+        out = np.empty_like(a)
+        result = packed_xnor(a, b, length, out=out)
+        assert result is out
+        assert np.array_equal(out, expected)
+        # Tail bits of the XNOR (which negates) must stay zero.
+        assert not np.any(out[..., -1] & ~tail_mask(length))
+
+    @pytest.mark.parametrize("length", TAIL_LENGTHS)
+    def test_and_or_out(self, rng, length):
+        a = pack_bits(random_bits(rng, (4, length)))
+        b = pack_bits(random_bits(rng, (4, length)))
+        for op in (packed_and, packed_or):
+            out = np.empty_like(a)
+            assert op(a, b, out=out) is out
+            assert np.array_equal(out, op(a, b))
+
+    @pytest.mark.parametrize("length", TAIL_LENGTHS)
+    def test_mux_out(self, rng, length):
+        a = pack_bits(random_bits(rng, (4, length)))
+        b = pack_bits(random_bits(rng, (4, length)))
+        select = pack_bits(random_bits(rng, (4, length)))
+        expected = packed_mux(a, b, select)
+        out = np.empty_like(a)
+        assert packed_mux(a, b, select, out=out) is out
+        assert np.array_equal(out, expected)
+        # Documented aliasing: out may alias b.
+        b2 = b.copy()
+        packed_mux(a, b2, select, out=b2)
+        assert np.array_equal(b2, expected)
+
+    @pytest.mark.parametrize("length", TAIL_LENGTHS)
+    def test_column_counts_out(self, rng, length):
+        words = pack_bits(random_bits(rng, (3, 7, length)))
+        expected = packed_column_counts(words, length)
+        out = np.empty((3, length), dtype=np.uint8)
+        assert packed_column_counts(words, length, out=out) is out
+        assert np.array_equal(out, expected)
+        with pytest.raises(ShapeError):
+            packed_column_counts(
+                words, length, out=np.empty((3, length + 1), dtype=np.uint8)
+            )
+
+
+class TestUnpackBitsInto:
+    @pytest.mark.parametrize("length", TAIL_LENGTHS)
+    def test_matches_unpack_bits(self, rng, length):
+        words = pack_bits(random_bits(rng, (2, 5, length)))
+        padded = words.shape[-1] * 64
+        out = np.empty(words.shape[:-1] + (padded,), dtype=np.uint8)
+        assert unpack_bits_into(words, out) is out
+        assert np.array_equal(out[..., :length], unpack_bits(words, length))
+        # Tail positions beyond the stream are zero (tail-word invariant).
+        assert not out[..., length:].any()
+
+    def test_rejects_bad_out(self, rng):
+        words = pack_bits(random_bits(rng, (3, 100)))
+        with pytest.raises(ShapeError):
+            unpack_bits_into(words, np.empty((3, 100), dtype=np.uint8))
+        with pytest.raises(ShapeError):
+            unpack_bits_into(
+                words, np.empty((3, 2 * 64), dtype=np.uint16)
+            )
+
+
+class TestPopcountPaths:
+    """np.bitwise_count fast path and the byte-LUT fallback agree."""
+
+    def test_fallback_matches_primary(self, rng):
+        words = rng.integers(0, 2**63, (4, 9), dtype=np.uint64)
+        words[0, 0] = 0
+        words[0, 1] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert np.array_equal(
+            popcount_words(words), _popcount_words_fallback(words)
+        )
+
+    def test_fallback_matches_python_bit_count(self, rng):
+        words = rng.integers(0, 2**63, 64, dtype=np.uint64)
+        expected = np.array([int(w).bit_count() for w in words], dtype=np.uint64)
+        assert np.array_equal(_popcount_words_fallback(words), expected)
+
+
+class TestPackComparatorWords:
+    @pytest.mark.parametrize("length", TAIL_LENGTHS)
+    def test_matches_comparator_bits(self, rng, length):
+        draws = rng.integers(0, 1024, (6, length))
+        thresholds = rng.integers(0, 1025, (6,))
+        expected = (draws < thresholds[:, None]).astype(np.uint8)
+        words = pack_comparator_words(draws, thresholds)
+        assert np.array_equal(unpack_bits(words, length), expected)
+        out = np.empty_like(words)
+        assert pack_comparator_words(draws, thresholds, out=out) is out
+        assert np.array_equal(out, words)
+
+    def test_rejects_mismatched_thresholds(self, rng):
+        with pytest.raises(ShapeError):
+            pack_comparator_words(
+                rng.integers(0, 8, (3, 64)), rng.integers(0, 8, (4,))
+            )
+
+
+class TestFusedColumnCounts:
+    """Streaming-CSA fusion is bit-identical to the materialised tree."""
+
+    @pytest.mark.parametrize("length", TAIL_LENGTHS)
+    @pytest.mark.parametrize("m", [1, 2, 3, 9, 10, 17])
+    def test_matches_product_tree(self, rng, length, m):
+        a = pack_bits(random_bits(rng, (4, m, length)))
+        b = pack_bits(random_bits(rng, (4, m, length)))
+        expected = packed_column_counts(packed_xnor(a, b, length), length)
+        assert np.array_equal(
+            fused_xnor_column_counts(a, b, length), expected
+        )
+
+    @pytest.mark.parametrize("length", TAIL_LENGTHS)
+    def test_extra_planes_and_broadcast(self, rng, length):
+        a = pack_bits(random_bits(rng, (3, 5, length)))  # (3, 5, W)
+        b = pack_bits(random_bits(rng, (2, 1, 5, length)))  # (2, 1, 5, W)
+        extra = pack_bits(random_bits(rng, (2, 3, 2, length)))
+        w = a.shape[-1]
+        products = packed_xnor(
+            np.broadcast_to(a, (2, 3, 5, w)).copy(),
+            np.broadcast_to(b, (2, 3, 5, w)).copy(),
+            length,
+        )
+        expected = packed_column_counts(
+            np.concatenate([products, extra], axis=-2), length
+        )
+        got = fused_xnor_column_counts(a, b, length, extra=extra)
+        assert np.array_equal(got, expected)
+
+    def test_out_and_workspace_reuse(self, rng):
+        length = 1000
+        workspace = Workspace()
+        a = pack_bits(random_bits(rng, (4, 9, length)))
+        b = pack_bits(random_bits(rng, (4, 9, length)))
+        expected = packed_column_counts(packed_xnor(a, b, length), length)
+        out = np.empty((4, length), dtype=np.uint8)
+        got = fused_xnor_column_counts(
+            a, b, length, out=out, workspace=workspace
+        )
+        assert got is out
+        assert np.array_equal(out, expected)
+        retained = workspace.nbytes
+        # Steady state: a second identical call allocates nothing new.
+        fused_xnor_column_counts(a, b, length, out=out, workspace=workspace)
+        assert workspace.nbytes == retained
+        assert np.array_equal(out, expected)
+
+    @pytest.mark.parametrize("m", [300, 511, 700, 1568])
+    def test_wide_counts_dtype(self, rng, m):
+        # More than 255 streams forces uint16 counts (the wide-shift
+        # path); m >= 511 exercises bit planes at exponent >= 9, which a
+        # narrow shift would silently wrap (regression: FC-500-sized
+        # layers came out garbage while small test nets passed).
+        length = 100
+        a = pack_bits(random_bits(rng, (2, m, length)))
+        b = pack_bits(random_bits(rng, (2, m, length)))
+        extra = pack_bits(random_bits(rng, (2, 1, length)))
+        expected = packed_column_counts(
+            np.concatenate([packed_xnor(a, b, length), extra], axis=-2),
+            length,
+        )
+        got = fused_xnor_column_counts(a, b, length, extra=extra)
+        assert got.dtype == np.uint16
+        assert np.array_equal(got, expected)
+
+    def test_rejects_mismatched_axes(self, rng):
+        a = pack_bits(random_bits(rng, (2, 3, 128)))
+        b = pack_bits(random_bits(rng, (2, 4, 128)))
+        with pytest.raises(ShapeError):
+            fused_xnor_column_counts(a, b, 128)
+
+    def test_rejects_too_narrow_out(self, rng):
+        # A uint8 out cannot hold counts of 300 streams; silent modular
+        # wrap-around must be a loud error instead.
+        length, m = 100, 300
+        a = pack_bits(random_bits(rng, (1, m, length)))
+        b = pack_bits(random_bits(rng, (1, m, length)))
+        with pytest.raises(ShapeError):
+            fused_xnor_column_counts(
+                a, b, length, out=np.empty((1, length), dtype=np.uint8)
+            )
+        with pytest.raises(ShapeError):
+            packed_column_counts(
+                packed_xnor(a, b, length),
+                length,
+                out=np.empty((1, length), dtype=np.uint8),
+            )
+
+
+class TestFusedMajorityChain:
+    @pytest.mark.parametrize("length", TAIL_LENGTHS)
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 9, 16])
+    def test_matches_chain_over_products(self, rng, length, k):
+        a = pack_bits(random_bits(rng, (3, k, length)))
+        b = pack_bits(random_bits(rng, (2, 1, k, length)))
+        w = a.shape[-1]
+        expected = majority_chain_words(
+            packed_xnor(
+                np.broadcast_to(a, (2, 3, k, w)).copy(),
+                np.broadcast_to(b, (2, 3, k, w)).copy(),
+                length,
+            )
+        )
+        workspace = Workspace()
+        got = fused_xnor_majority_chain(a, b, length, workspace=workspace)
+        assert np.array_equal(got, expected)
+        out = np.empty((2, 3, w), dtype=np.uint64)
+        assert (
+            fused_xnor_majority_chain(
+                a, b, length, out=out, workspace=workspace
+            )
+            is out
+        )
+        assert np.array_equal(out, expected)
+
+
+class TestWorkspace:
+    def test_reuse_and_growth(self):
+        workspace = Workspace()
+        first = workspace.array("k", (4, 8), np.uint64)
+        first[...] = 7
+        again = workspace.array("k", (4, 8), np.uint64)
+        assert again.base is first.base  # same backing buffer
+        smaller = workspace.array("k", (2, 8), np.uint64)
+        assert smaller.base is first.base  # shrinking reuses capacity
+        before = workspace.nbytes
+        workspace.array("k", (8, 8), np.uint64)  # growth reallocates
+        assert workspace.nbytes > before
+        assert len(workspace) == 1
+        workspace.clear()
+        assert workspace.nbytes == 0
+
+    def test_distinct_keys_are_distinct_buffers(self):
+        workspace = Workspace()
+        a = workspace.array(("x", 0), (16,), np.uint8)
+        b = workspace.array(("x", 1), (16,), np.uint8)
+        a[...] = 1
+        b[...] = 2
+        assert a.sum() == 16 and b.sum() == 32

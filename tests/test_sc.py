@@ -250,3 +250,42 @@ class TestCorrelation:
     def test_shape_mismatch(self):
         with pytest.raises(ShapeError):
             stochastic_cross_correlation(np.zeros(4), np.zeros(5))
+
+
+class TestGeneratePacked:
+    """Word-direct SNG: comparator straight to packed words, bit-identical."""
+
+    @pytest.mark.parametrize("length", [100, 1000, 64, 1024])
+    @pytest.mark.parametrize("cycle_chunk", [64, 256, 8192])
+    def test_bit_identical_to_generate(self, length, cycle_chunk):
+        values = np.linspace(-1.0, 1.0, 9).reshape(3, 3)
+        reference = StochasticNumberGenerator(Lfsr(10, seed=17))
+        direct = StochasticNumberGenerator(Lfsr(10, seed=17))
+        expected = reference.generate(values, length).packed()
+        got = direct.generate_packed(values, length, cycle_chunk=cycle_chunk)
+        assert got.length == length
+        assert got.encoding == expected.encoding
+        assert np.array_equal(got.words, expected.words)
+        # Both consumed the same number of source words.
+        assert direct.source.state == reference.source.state
+
+    def test_unipolar_and_scalar_values(self):
+        reference = StochasticNumberGenerator(Lfsr(8, seed=3), "unipolar")
+        direct = StochasticNumberGenerator(Lfsr(8, seed=3), "unipolar")
+        expected = reference.generate(0.3, 130).packed()
+        got = direct.generate_packed(0.3, 130, cycle_chunk=64)
+        assert np.array_equal(got.words, expected.words)
+
+    def test_trng_source(self):
+        reference = StochasticNumberGenerator(AqfpTrueRng(8, seed=11))
+        direct = StochasticNumberGenerator(AqfpTrueRng(8, seed=11))
+        expected = reference.generate(np.linspace(-1, 1, 5), 200).packed()
+        got = direct.generate_packed(np.linspace(-1, 1, 5), 200, cycle_chunk=128)
+        assert np.array_equal(got.words, expected.words)
+
+    def test_rejects_bad_args(self):
+        sng = StochasticNumberGenerator(Lfsr(10, seed=17))
+        with pytest.raises(ShapeError):
+            sng.generate_packed(0.5, 0)
+        with pytest.raises(ShapeError):
+            sng.generate_packed(0.5, 128, cycle_chunk=32)

@@ -492,3 +492,50 @@ class TestBenchServe:
         assert on_disk["load_sweep"][0]["latency_ms"]["p50"] > 0
         assert on_disk["cache"]["hit_rate"] == pytest.approx(2 / 3)
         assert report["early_exit"]["cycle_reduction"] >= 1.5
+
+
+class TestParallelBackendServing:
+    """The process-sharded backend slots into the service unchanged."""
+
+    def test_service_on_parallel_backend(self, mapper, images):
+        direct = create_backend("bit-exact-packed", mapper).forward(images)
+        config = ServiceConfig(
+            backend="bit-exact-packed-mp",
+            num_workers=1,  # one service thread whose replica owns the pool
+            max_batch_size=8,
+            max_wait_ms=20.0,
+            early_exit=False,
+            cache_capacity=0,
+        )
+        with ScInferenceService(mapper, config, workers=2) as service:
+            response = service.infer(images, timeout=300)
+        assert np.array_equal(response.scores, direct)
+        # close() released every replica (the pool is shut down).
+        assert all(
+            getattr(replica, "_executor", None) is None
+            for replica in service._replicas
+        )
+
+    def test_progressive_early_exit_through_parallel_backend(
+        self, mapper, images
+    ):
+        reference = create_backend("bit-exact-packed", mapper)
+        config = ServiceConfig(
+            backend="bit-exact-packed-mp",
+            num_workers=1,
+            max_batch_size=8,
+            max_wait_ms=20.0,
+            early_exit=True,
+            cache_capacity=0,
+        )
+        with ScInferenceService(mapper, config, workers=2) as service:
+            response = service.infer(images, timeout=300)
+        # Early exits are exact prefixes: every prediction matches the
+        # full-stream forward (stability + margin policy only fires when
+        # the prefix decision already agrees with later checkpoints; the
+        # fallback checkpoint is the exact full stream).
+        checkpoints = service.checkpoints
+        partial = reference.forward_partial(images, checkpoints)
+        for row, exit_point in enumerate(response.exit_checkpoints):
+            k = checkpoints.index(int(exit_point))
+            assert np.array_equal(response.scores[row], partial[k, row])
