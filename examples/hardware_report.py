@@ -11,7 +11,7 @@ Run with:  python examples/hardware_report.py [--backend bit-exact-packed]
 
 import argparse
 
-from repro.backends import backend_names
+from repro.cli import add_backend_arguments, backend_epilog, backend_selection
 from repro.eval.hardware_report import (
     table4_sng,
     table5_feature_extraction,
@@ -31,10 +31,11 @@ HEADERS = [
 ]
 
 
-def backend_sanity_check(backend: str) -> None:
+def backend_sanity_check(backend: str, **backend_options: object) -> None:
     """Train a small SNN briefly and evaluate it via the named backend."""
+    from repro.api import Session
     from repro.datasets import generate_digit_dataset
-    from repro.nn import ScInferenceEngine, Trainer, TrainingConfig, build_snn
+    from repro.nn import Trainer, TrainingConfig, build_snn
 
     print()
     print(f"backend sanity check ({backend!r}):")
@@ -44,13 +45,14 @@ def backend_sanity_check(backend: str) -> None:
     network = build_snn(seed=1, training_stream_length=512)
     trainer = Trainer(network, TrainingConfig(epochs=3, seed=1))
     trainer.fit(dataset.train_images[:, None] * 2 - 1, dataset.train_labels)
-    engine = ScInferenceEngine(network, stream_length=512, seed=3)
-    result = engine.evaluate(
-        dataset.test_images[:, None],
-        dataset.test_labels,
-        backend=backend,
-        max_images=16 if backend.startswith("bit-exact") else None,
-    )
+    with Session.from_network(network, stream_length=512, seed=3) as session:
+        result = session.evaluate(
+            dataset.test_images[:, None],
+            dataset.test_labels,
+            backend=backend,
+            max_images=16 if backend.startswith("bit-exact") else None,
+            **backend_options,
+        )
     print(
         f"  {result.mode}: accuracy {result.accuracy:.2f} on "
         f"{result.n_images} images (N = {result.stream_length})"
@@ -58,12 +60,15 @@ def backend_sanity_check(backend: str) -> None:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--backend",
-        choices=backend_names(),
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        epilog=backend_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_backend_arguments(
+        parser,
         default=None,
-        help="also run a quick network accuracy check through this backend",
+        backend_help="also run a quick network accuracy check through this backend",
     )
     args = parser.parse_args()
     tables = [
@@ -78,7 +83,8 @@ def main() -> None:
         best = max(row.energy_ratio for row in rows)
         print(f"best energy-efficiency gain in this table: {best:.2e}x")
     if args.backend:
-        backend_sanity_check(args.backend)
+        name, options = backend_selection(args)
+        backend_sanity_check(name, **options)
 
 
 if __name__ == "__main__":

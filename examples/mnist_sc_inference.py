@@ -2,7 +2,8 @@
 
 Trains the paper's SNN (Table 8) on the synthetic MNIST-like digit dataset
 with SC-aware training (hardware transfer-curve activations, stream-noise
-injection, weight clipping), then evaluates:
+injection, weight clipping), then evaluates through the unified Session
+facade (:mod:`repro.api`):
 
 * floating-point (software) accuracy,
 * the fast statistical SC model with stream noise,
@@ -11,38 +12,38 @@ injection, weight clipping), then evaluates:
   word-packed data plane simulates 16 images comfortably),
 * the Table 9 style hardware roll-up (energy per image, throughput).
 
+``--save-model PATH`` additionally exports the trained network as a
+versioned model artifact, ready for ``python -m repro predict/serve`` or
+``Session.from_artifact`` -- train once, deploy forever.
+
 Run with:  python examples/mnist_sc_inference.py [--quick] [--backend NAME]
 """
 
 import argparse
 import time
 
-from repro.backends import (
-    backend_class,
-    backend_names,
-    describe_backends,
-    resolve_parallel_backend,
-)
+from repro.api import Session
+from repro.cli import add_backend_arguments, backend_epilog, backend_selection
 from repro.datasets import generate_digit_dataset
 from repro.eval.network_report import network_hardware_rollup
 from repro.eval.tables import format_table
-from repro.nn import ScInferenceEngine, Trainer, TrainingConfig, build_snn
+from repro.nn import Trainer, TrainingConfig, build_snn
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(
         description=__doc__,
-        epilog="available backends:\n" + describe_backends(),
+        epilog=backend_epilog(),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--quick", action="store_true", help="use a tiny training budget")
-    parser.add_argument("--stream-length", type=int, default=1024)
     parser.add_argument("--epochs", type=int, default=None)
-    parser.add_argument(
-        "--backend",
-        choices=[n for n in backend_names() if backend_class(n).bit_exact],
+    add_backend_arguments(
+        parser,
         default="bit-exact-packed",
-        help="execution backend for the bit-exact validation rows",
+        capability="bit_exact",
+        include_stream_length=True,
+        backend_help="execution backend for the bit-exact validation rows",
     )
     parser.add_argument(
         "--bit-exact-images",
@@ -51,19 +52,14 @@ def main() -> None:
         help="images simulated bit-exactly (default: 2 legacy-sized, 16 packed/batched)",
     )
     parser.add_argument(
-        "--workers",
-        type=int,
+        "--save-model",
         default=None,
-        help="shard the bit-exact evaluation across this many worker "
-        "processes (selects the 'bit-exact-packed-mp' backend from the "
-        "registry; scores stay bit-identical)",
+        help="export the trained network as a model artifact directory",
     )
     args = parser.parse_args()
     # With --workers > 1 the chosen backend rides along as the parallel
     # wrapper's inner backend (shared policy in repro.backends).
-    backend_name, backend_options = resolve_parallel_backend(
-        args.backend, args.workers
-    )
+    backend_name, backend_options = backend_selection(args)
 
     n_train, n_test = (800, 200) if args.quick else (3000, 600)
     epochs = args.epochs or (2 if args.quick else 5)
@@ -84,16 +80,26 @@ def main() -> None:
     )
     print(f"training took {time.time() - start:.1f} s")
 
-    engine = ScInferenceEngine(network, stream_length=args.stream_length, seed=3)
+    session = Session.from_network(
+        network,
+        stream_length=args.stream_length,
+        seed=3,
+        metadata={
+            "arch": "snn",
+            "dataset": {"n_train": n_train, "n_test": n_test, "seed": 2019},
+        },
+    )
+    if args.save_model:
+        print(f"saving model artifact to {session.save(args.save_model)}")
     test_images = dataset.test_images[:, None]
     # Every evaluation selects its execution backend through the registry.
-    float_result = engine.evaluate(test_images, dataset.test_labels, backend="float")
-    fast_result = engine.evaluate(test_images, dataset.test_labels, backend="sc-fast")
+    float_result = session.evaluate(test_images, dataset.test_labels, backend="float")
+    fast_result = session.evaluate(test_images, dataset.test_labels, backend="sc-fast")
     if args.bit_exact_images is not None:
         n_bit_exact = args.bit_exact_images
     else:
         n_bit_exact = 2 if args.backend == "bit-exact-legacy" else 16
-    bit_exact = engine.evaluate(
+    bit_exact = session.evaluate(
         test_images,
         dataset.test_labels,
         backend=backend_name,
@@ -102,7 +108,7 @@ def main() -> None:
     )
 
     aqfp, cmos = network_hardware_rollup(
-        engine.layer_inventories(), stream_length=args.stream_length
+        session.mapper.layer_inventories(), stream_length=args.stream_length
     )
     print()
     print(

@@ -1,74 +1,53 @@
-"""Serving walkthrough: micro-batching, early exit, and the result cache.
+"""Serving walkthrough: artifacts, micro-batching, early exit, deadlines.
 
-Trains a small CNN on the synthetic digit dataset, stands up the
-micro-batching inference service (:mod:`repro.serve`), and pushes a burst
-of single-image requests through it:
+Loads a small CNN from a saved model artifact (training it once and
+saving it on the first run -- delete the artifact directory to retrain),
+stands up the micro-batching inference service through the Session facade
+(:mod:`repro.api`), and pushes a burst of single-image requests through
+it:
 
 * requests submitted together are coalesced into merged batches by the
   scheduler (watch the mean batch size),
 * confidently classified images early-exit at a fraction of the stream
   length (watch the exit checkpoints and the cycle reduction),
 * repeated images are answered from the LRU cache without spending a
-  single stream cycle (watch the hit rate).
+  single stream cycle (watch the hit rate),
+* a final request carries a per-request deadline
+  (:class:`repro.api.PredictOptions`) tight enough to force the earliest
+  checkpoint -- the deadline-aware exit path.
 
-Run with:  python examples/serve_demo.py [--backend NAME] [--stream-length N]
+Run with:  python examples/serve_demo.py [--backend NAME] [--model PATH]
 """
 
 import argparse
+from pathlib import Path
 
-import numpy as np
-
-from repro.backends import (
-    backend_class,
-    backend_names,
-    describe_backends,
-    resolve_parallel_backend,
+from repro.api import PredictOptions, ScModel, Session
+from repro.cli import (
+    QUICK_DATASET,
+    add_backend_arguments,
+    backend_epilog,
+    backend_selection,
+    tiny_serving_specs,
 )
 from repro.config import ServiceConfig
 from repro.datasets import generate_digit_dataset
 from repro.eval.tables import format_table
 from repro.nn import Trainer, TrainingConfig
-from repro.nn.architectures import LayerSpec, build_network
-from repro.nn.sc_layers import ScNetworkMapper
-from repro.serve import ScInferenceService
+from repro.nn.architectures import build_network
+
+DEFAULT_MODEL = Path(__file__).resolve().parent.parent / "artifacts" / "serve_demo_model"
+
+#: Shared with the CLI's --quick training runs (see repro.cli).
+DATASET = QUICK_DATASET
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(
-        description=__doc__,
-        epilog="available backends:\n" + describe_backends(),
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
-    parser.add_argument(
-        "--backend",
-        choices=[n for n in backend_names() if backend_class(n).progressive],
-        default="sc-fast",
-        help="progressive execution backend the worker replicas run",
-    )
-    parser.add_argument("--stream-length", type=int, default=1024)
-    parser.add_argument(
-        "--requests", type=int, default=32, help="single-image requests to submit"
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="serve through the process-sharded packed backend "
-        "('bit-exact-packed-mp' from the registry) with this many worker "
-        "processes behind a single service worker thread",
-    )
-    args = parser.parse_args()
-
-    print("training a small CNN on the synthetic digit dataset...")
-    dataset = generate_digit_dataset(800, 128, seed=2019)
-    specs = [
-        LayerSpec(kind="conv", name="Conv3_x", kernel=3, channels=8),
-        LayerSpec(kind="pool", name="AvgPool", kernel=4, stride=4),
-        LayerSpec(kind="fc", name="FC64", units=64),
-        LayerSpec(kind="output", name="OutLayer", units=10),
-    ]
+def train_and_save(path: Path, stream_length: int) -> None:
+    """One-time training run producing the demo's model artifact."""
+    print("no artifact found -- training the demo CNN once...")
+    dataset = generate_digit_dataset(**DATASET)
     network = build_network(
-        specs, activation="hardware", seed=5, training_stream_length=256
+        tiny_serving_specs(), activation="hardware", seed=5, training_stream_length=256
     )
     Trainer(network, TrainingConfig(epochs=4, seed=1)).fit(
         dataset.train_images[:, None] * 2 - 1,
@@ -77,16 +56,47 @@ def main() -> None:
         dataset.test_labels,
         verbose=False,
     )
+    ScModel(
+        network,
+        stream_length=stream_length,
+        seed=7,
+        metadata={"arch": "tiny", "dataset": DATASET},
+    ).save(path)
+    print(f"saved model artifact to {path}")
 
-    mapper = ScNetworkMapper(network, stream_length=args.stream_length, seed=7)
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        epilog=backend_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_backend_arguments(
+        parser,
+        default="sc-fast",
+        capability="progressive",
+        include_stream_length=True,
+        backend_help="progressive execution backend the worker replicas run",
+    )
+    parser.add_argument(
+        "--model",
+        type=Path,
+        default=DEFAULT_MODEL,
+        help="model artifact directory (trained and saved on first run)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=32, help="single-image requests to submit"
+    )
+    args = parser.parse_args()
+
+    if not args.model.exists():
+        train_and_save(args.model, args.stream_length)
+
     # With --workers > 1: one service worker thread whose replica shards
     # each merged batch across a process pool (identical scores, more
-    # cores).  The chosen backend rides along as the inner backend when
-    # it can shard; sc-fast is not batch-invariant, so the shared policy
-    # falls back to the packed plane.
-    backend, backend_options = resolve_parallel_backend(
-        args.backend, args.workers
-    )
+    # cores); the artifact path rides along so worker processes rehydrate
+    # replicas from the shared file instead of unpickling mappers.
+    backend, backend_options = backend_selection(args)
     num_workers = 1 if backend_options else 2
     config = ServiceConfig(
         backend=backend,
@@ -95,21 +105,41 @@ def main() -> None:
         num_workers=num_workers,
         cache_capacity=256,
     )
+    session = Session.from_artifact(args.model, backend=backend, **backend_options)
+    if session.stream_length != args.stream_length:
+        print(
+            f"note: serving at the artifact's stream length "
+            f"N={session.stream_length} (--stream-length {args.stream_length} "
+            f"only applies when training a new artifact; delete "
+            f"{args.model} to retrain)"
+        )
+    dataset = generate_digit_dataset(
+        **{**DATASET, **(session.model.metadata.get("dataset") or {})}
+    )
     test_images = dataset.test_images[:, None]
     n = args.requests
+    stream_length = session.stream_length
     print(
         f"serving {n} requests + {n // 4} repeats through "
         f"{config.num_workers} worker thread(s) ({backend}"
         + (f", {args.workers} processes" if backend_options else "")
-        + f", N={args.stream_length})..."
+        + f", N={stream_length}) from {args.model.name}..."
     )
-    with ScInferenceService(mapper, config, **backend_options) as service:
+    with session, session.serve(config) as service:
         futures = [service.submit(test_images[i]) for i in range(n)]
         responses = [future.result(timeout=300) for future in futures]
         # A second wave repeating earlier images exercises the cache
         # (submitted after the first wave resolved, so the results are in).
         repeats = [service.submit(test_images[i]) for i in range(n // 4)]
         responses += [future.result(timeout=300) for future in repeats]
+        # One deadline-budgeted request: an (effectively) expired budget
+        # forces the earliest checkpoint instead of the full stream.
+        hurried_index = min(n, test_images.shape[0] - 1)
+        hurried = service.infer(
+            test_images[hurried_index],
+            PredictOptions(deadline_ms=1e-3),
+            timeout=300,
+        )
         snapshot = service.metrics.snapshot()
 
     rows = []
@@ -119,7 +149,7 @@ def main() -> None:
                 f"request {i}",
                 int(response.predictions[0]),
                 int(dataset.test_labels[i]),
-                f"{int(response.exit_checkpoints[0])}/{args.stream_length}",
+                f"{int(response.exit_checkpoints[0])}/{stream_length}",
                 "hit" if bool(response.cached[0]) else "miss",
                 f"{response.latency_seconds * 1e3:.1f} ms",
             ]
@@ -141,7 +171,7 @@ def main() -> None:
     if snapshot["mean_exit_checkpoint"] is not None:
         print(
             f"mean exit checkpoint:          "
-            f"{snapshot['mean_exit_checkpoint']:.0f} / {args.stream_length} "
+            f"{snapshot['mean_exit_checkpoint']:.0f} / {stream_length} "
             f"({snapshot['cycle_reduction']:.2f}x stream-cycle reduction)"
         )
     print(f"cache hit rate:                {snapshot['cache_hit_rate']:.3f}")
@@ -150,6 +180,11 @@ def main() -> None:
         f"{snapshot['latency_ms']['p50']:.1f} / "
         f"{snapshot['latency_ms']['p95']:.1f} / "
         f"{snapshot['latency_ms']['p99']:.1f} ms"
+    )
+    print(
+        f"deadline-budgeted request:     exited at "
+        f"{int(hurried.exit_checkpoints[0])}/{stream_length} cycles "
+        f"(deadline 0.001 ms)"
     )
 
 

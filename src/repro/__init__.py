@@ -20,7 +20,14 @@ Superconducting Technology" (Cai et al., ISCA 2019).  It contains:
   statistical, and the bit-exact legacy / batched / word-packed data
   planes) behind a string-keyed registry.
 * ``repro.serve`` -- the serving layer: micro-batching inference service
-  with progressive-precision early exit, result caching and metrics.
+  with progressive-precision early exit, per-request options, result
+  caching and metrics.
+* ``repro.api`` -- the public API: versioned model artifacts
+  (``ScModel``), the unified ``Session`` facade
+  (``from_artifact(...).predict() / .evaluate() / .serve()``) and typed
+  per-request ``PredictOptions``.
+* ``repro.cli`` -- the ``python -m repro`` command line
+  (``train`` / ``predict`` / ``evaluate`` / ``serve`` / ``backends``).
 * ``repro.datasets`` -- the synthetic MNIST-like digit dataset.
 * ``repro.eval`` -- reproduction harness for every table and figure in the
   paper's evaluation.

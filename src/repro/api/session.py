@@ -1,0 +1,375 @@
+"""`Session`: the unified load-and-serve facade of the public API.
+
+One object, three verbs::
+
+    session = Session.from_artifact("artifacts/snn", backend="bit-exact-packed")
+    result  = session.predict(images, PredictOptions(early_exit=True))
+    report  = session.evaluate(images, labels)
+    with session.serve() as service:
+        future = service.submit(image, PredictOptions(deadline_ms=5.0))
+
+A session wraps one :class:`~repro.api.artifact.ScModel` (loaded from an
+artifact or built from a freshly trained network), owns the
+:class:`~repro.nn.sc_layers.ScNetworkMapper` and a cache of constructed
+execution backends, resolves per-request
+:class:`~repro.config.PredictOptions` against the model's stream length,
+and hands the micro-batching service everything it needs -- including the
+artifact path, so process-sharded replicas rehydrate from the shared file
+instead of pickling mappers per worker.
+
+`ScInferenceEngine`, ``repro.serve``, the evaluation reports, the examples
+and the ``python -m repro`` CLI are all rewired through this facade; new
+entry points should not talk to mapper internals directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.api.artifact import ScModel
+from repro.backends import backend_class, create_backend, resolve_parallel_backend
+from repro.backends.parallel import ParallelBackend
+from repro.config import PredictOptions, ServiceConfig
+from repro.errors import ConfigurationError
+from repro.serve import ScInferenceService, progressive_forward
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.backends.base import Backend
+    from repro.nn.layers import Network
+    from repro.nn.sc_layers import ScNetworkMapper
+
+__all__ = ["PredictResult", "Session"]
+
+
+@dataclass(frozen=True)
+class PredictResult:
+    """Outcome of one :meth:`Session.predict` call.
+
+    Attributes:
+        scores: ``(batch, n_classes)`` class scores at each image's exit
+            checkpoint (the full effective stream when no early exit
+            fired).
+        predictions: ``(batch,)`` predicted class indices.
+        exit_checkpoints: ``(batch,)`` stream cycles each image consumed.
+        stream_length: effective stream length the request ran at.
+        checkpoints: the evaluated checkpoint schedule (``(N,)`` for a
+            plain full-stream forward pass).
+        checkpoint_scores: ``(n_checkpoints, batch, n_classes)`` scores at
+            every checkpoint when a progressive schedule was evaluated,
+            else ``None``.
+        backend: registry name of the backend that produced the scores.
+    """
+
+    scores: np.ndarray
+    predictions: np.ndarray
+    exit_checkpoints: np.ndarray
+    stream_length: int
+    checkpoints: tuple[int, ...]
+    checkpoint_scores: np.ndarray | None
+    backend: str
+
+
+class Session:
+    """Load-and-serve facade over one trained SC model.
+
+    Args:
+        model: the model to execute.
+        backend: default registry backend name (validated eagerly so a
+            typo fails at construction, not at first predict).
+        artifact_path: artifact directory this session was loaded from
+            (``None`` for in-memory models); forwarded to process-sharded
+            backends so worker replicas rehydrate from the shared file.
+        **backend_options: default constructor options for every backend
+            this session builds (e.g. ``position_chunk``).
+    """
+
+    def __init__(
+        self,
+        model: ScModel,
+        backend: str = "bit-exact-packed",
+        artifact_path: str | Path | None = None,
+        **backend_options: object,
+    ) -> None:
+        backend_class(backend)  # fail fast on unknown names
+        self.model = model
+        self.backend_name = backend
+        self.artifact_path = Path(artifact_path) if artifact_path else None
+        self.backend_options = dict(backend_options)
+        self._backends: dict[tuple, "Backend"] = {}
+        self._closed = False
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_artifact(
+        cls,
+        path: str | Path,
+        backend: str = "bit-exact-packed",
+        **backend_options: object,
+    ) -> "Session":
+        """Open a session on a saved model artifact.
+
+        Args:
+            path: artifact directory written by
+                :meth:`~repro.api.artifact.ScModel.save`.
+            backend: default execution backend for this session.
+            **backend_options: default backend constructor options.
+        """
+        model = ScModel.load(path)
+        return cls(model, backend=backend, artifact_path=path, **backend_options)
+
+    @classmethod
+    def from_network(
+        cls,
+        network: "Network",
+        weight_bits: int = 10,
+        stream_length: int = 1024,
+        seed: int = 2019,
+        backend: str = "bit-exact-packed",
+        metadata: dict | None = None,
+        **backend_options: object,
+    ) -> "Session":
+        """Open a session on a freshly trained in-memory network."""
+        model = ScModel(
+            network,
+            weight_bits=weight_bits,
+            stream_length=stream_length,
+            seed=seed,
+            metadata=metadata,
+        )
+        return cls(model, backend=backend, **backend_options)
+
+    # -- model plumbing --------------------------------------------------------
+
+    @property
+    def mapper(self) -> "ScNetworkMapper":
+        """The SC network mapper executing this session's model."""
+        return self.model.mapper()
+
+    @property
+    def stream_length(self) -> int:
+        """Full stochastic stream length ``N`` of the model."""
+        return self.model.stream_length
+
+    def save(self, path: str | Path) -> Path:
+        """Export the session's model as an artifact (see :class:`ScModel`)."""
+        saved = self.model.save(path)
+        if self.artifact_path is None:
+            self.artifact_path = saved
+        return saved
+
+    def backend(self, name: str | None = None, **options: object) -> "Backend":
+        """A backend executing this session's model (cached per options).
+
+        Args:
+            name: registry name; ``None`` uses the session default.
+            **options: backend constructor options, merged over the
+                session-level defaults.  Process-sharded backends of a
+                session loaded from an artifact automatically receive the
+                artifact path so their worker replicas rehydrate from the
+                shared file.
+        """
+        if self._closed:
+            raise ConfigurationError("session is closed")
+        name = name or self.backend_name
+        merged = {**self.backend_options, **options}
+        if (
+            self.artifact_path is not None
+            and issubclass(backend_class(name), ParallelBackend)
+        ):
+            merged.setdefault("artifact_path", str(self.artifact_path))
+        try:
+            key = (name, tuple(sorted(merged.items())))
+            cached = self._backends.get(key)
+        except TypeError:
+            # Unhashable option values (the lookup hashes the key):
+            # construct without caching.
+            return create_backend(name, self.mapper, **merged)
+        if cached is None:
+            cached = self._backends[key] = create_backend(
+                name, self.mapper, **merged
+            )
+        return cached
+
+    # -- inference -------------------------------------------------------------
+
+    def predict(
+        self,
+        images: np.ndarray,
+        options: PredictOptions | None = None,
+        backend: str | None = None,
+    ) -> PredictResult:
+        """Class scores and predictions under per-request options.
+
+        Resolution: ``options.workers`` selects the process-sharded
+        wrapper via the shared :func:`resolve_parallel_backend` policy; an
+        explicit per-request ``stream_length`` / ``checkpoints`` schedule
+        is read from stream prefixes (requires a progressive backend);
+        ``early_exit`` applies the serving layer's stability + margin
+        policy.  ``deadline_ms`` only has meaning under the queueing
+        service and is ignored here.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in
+                ``[0, 1]`` (one ``(channels, height, width)`` image is
+                promoted to a batch of one).
+            options: per-request options; ``None`` is a plain full-stream
+                forward pass.
+            backend: registry name overriding the session default.
+        """
+        resolved = (options or PredictOptions()).resolve(self.stream_length)
+        name, parallel_options = resolve_parallel_backend(
+            backend or self.backend_name, resolved.workers
+        )
+        executor = self.backend(name, **parallel_options)
+        if resolved.explicit_schedule and not executor.progressive:
+            raise ConfigurationError(
+                f"backend {executor.name!r} is not progressive: per-request "
+                "stream lengths / checkpoint schedules need stream-prefix "
+                "evaluation (pick a backend whose 'progressive' flag is set)"
+            )
+        if resolved.early_exit:
+            result = progressive_forward(
+                executor, images, checkpoints=resolved.checkpoints
+            )
+            return PredictResult(
+                scores=result.scores,
+                predictions=result.predictions,
+                exit_checkpoints=result.exit_checkpoints,
+                stream_length=resolved.stream_length,
+                checkpoints=result.checkpoints,
+                checkpoint_scores=result.checkpoint_scores,
+                backend=executor.name,
+            )
+        if resolved.explicit_schedule:
+            checkpoint_scores = np.asarray(
+                executor.forward_partial(images, resolved.checkpoints)
+            )
+            scores = checkpoint_scores[-1]
+            exits = np.full(scores.shape[0], resolved.checkpoints[-1])
+            return PredictResult(
+                scores=scores,
+                predictions=np.argmax(scores, axis=-1),
+                exit_checkpoints=exits,
+                stream_length=resolved.stream_length,
+                checkpoints=resolved.checkpoints,
+                checkpoint_scores=checkpoint_scores,
+                backend=executor.name,
+            )
+        scores = np.asarray(executor.forward(images))
+        return PredictResult(
+            scores=scores,
+            predictions=np.argmax(scores, axis=-1),
+            exit_checkpoints=np.full(scores.shape[0], resolved.stream_length),
+            stream_length=resolved.stream_length,
+            checkpoints=(resolved.stream_length,),
+            checkpoint_scores=None,
+            backend=executor.name,
+        )
+
+    def evaluate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        backend: str | None = None,
+        max_images: int | None = None,
+        workers: int | None = None,
+        **options: object,
+    ):
+        """Accuracy of the model under the named execution backend.
+
+        Args:
+            images: ``(batch, channels, height, width)`` images in
+                ``[0, 1]``.
+            labels: integer class labels.
+            backend: registry name; ``None`` uses the session default.
+            max_images: optional cap on the number of images evaluated
+                (bounds the memory of the bit-exact backends).
+            workers: shard the evaluation across this many processes
+                (shared :func:`resolve_parallel_backend` policy).
+            **options: forwarded to the backend constructor.
+
+        Returns:
+            An :class:`~repro.nn.inference.InferenceResult` whose ``mode``
+            is the executing backend's name.
+        """
+        # Imported lazily: repro.nn.inference imports this module's
+        # Session (also lazily), so a module-level import would be
+        # circular at first load.
+        from repro.nn.inference import InferenceResult
+
+        if max_images is not None and max_images < 1:
+            raise ConfigurationError("max_images must be >= 1")
+        images = np.asarray(images)[:max_images]
+        labels = np.asarray(labels)[:max_images]
+        name, parallel_options = resolve_parallel_backend(
+            backend or self.backend_name, workers
+        )
+        # Explicit caller options win over the resolved sharding defaults
+        # (e.g. a caller-provided inner_backend).
+        executor = self.backend(name, **{**parallel_options, **options})
+        accuracy = executor.accuracy(images, labels)
+        return InferenceResult(
+            accuracy, len(labels), self.stream_length, executor.name
+        )
+
+    def serve(
+        self,
+        config: ServiceConfig | None = None,
+        **backend_options: object,
+    ) -> ScInferenceService:
+        """Stand up the micro-batching inference service on this model.
+
+        Args:
+            config: service knobs; ``None`` serves the session's default
+                backend with the :class:`~repro.config.ServiceConfig`
+                defaults.
+            **backend_options: forwarded to every worker replica's
+                constructor.
+
+        Returns:
+            A running :class:`~repro.serve.ScInferenceService` (use as a
+            context manager or call ``close()``).
+        """
+        if self._closed:
+            raise ConfigurationError("session is closed")
+        config = config or ServiceConfig(backend=self.backend_name)
+        return ScInferenceService(
+            self.mapper,
+            config,
+            artifact_path=self.artifact_path,
+            **{**self.backend_options, **backend_options},
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every cached backend (process pools, arenas)."""
+        if self._closed:
+            return
+        self._closed = True
+        for executor in self._backends.values():
+            executor.close()
+        self._backends.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        source = (
+            f"artifact={str(self.artifact_path)!r}"
+            if self.artifact_path
+            else "in-memory"
+        )
+        return (
+            f"Session(network={self.model.network.name!r}, "
+            f"backend={self.backend_name!r}, "
+            f"stream_length={self.stream_length}, {source})"
+        )

@@ -12,8 +12,8 @@ name                   bit-exact stochastic packed  progressive what it runs
 ====================== ========= ========== ======= =========== =====================
 ``float``              no        no         --      no          trained float network
 ``sc-fast``            no        yes        --      yes         fast statistical model
-``bit-exact-legacy``     yes     yes        no      no          per-image oracle
-``bit-exact-batched``    yes     yes        no      no          batched uint8 path
+``bit-exact-legacy``     yes     yes        no      yes         per-image oracle
+``bit-exact-batched``    yes     yes        no      yes         batched uint8 path
 ``bit-exact-packed``     yes     yes        yes     yes         packed data plane
 ``bit-exact-packed-mp``  yes     yes        yes     yes         packed plane, process-sharded
 ====================== ========= ========== ======= =========== =====================

@@ -137,11 +137,13 @@ class Backend(abc.ABC):
     def _check_checkpoints(self, checkpoints) -> tuple[int, ...]:
         """Validate a stream-length checkpoint schedule.
 
-        Checkpoints must be strictly increasing, lie inside ``[1, N]``,
-        and end at the full stream length ``N`` -- the last checkpoint is
-        the fallback when no earlier one satisfies the early-exit policy,
-        and anchoring it at ``N`` is what guarantees
-        ``forward_partial(...)[-1]`` equals :meth:`forward` exactly.
+        Checkpoints must be strictly increasing and lie inside ``[1, N]``.
+        The schedule may stop *short* of the full stream length -- that is
+        how per-request reduced stream lengths
+        (:class:`repro.config.PredictOptions`) are evaluated -- but the
+        exact-equality guarantee ``forward_partial(...)[-1] == forward()``
+        only holds when the final checkpoint equals ``N`` (which the
+        serving-layer schedules always arrange for full-length requests).
         """
         points = tuple(int(p) for p in checkpoints)
         n = self.stream_length
@@ -154,11 +156,6 @@ class Backend(abc.ABC):
         if any(b <= a for a, b in zip(points, points[1:])):
             raise ConfigurationError(
                 f"checkpoints must be strictly increasing, got {points}"
-            )
-        if points[-1] != n:
-            raise ConfigurationError(
-                f"the final checkpoint must equal the stream length {n}, "
-                f"got {points[-1]}"
             )
         return points
 
@@ -185,14 +182,17 @@ class Backend(abc.ABC):
         primitive behind the early-exit serving path
         (:func:`repro.serve.progressive_forward`).  The contract:
         checkpoints are validated by :meth:`_check_checkpoints` (strictly
-        increasing, ending at ``N``), and the scores at the final
-        checkpoint equal :meth:`forward` exactly.
+        increasing, inside ``[1, N]``), and whenever the final checkpoint
+        is the full stream length ``N`` its scores equal :meth:`forward`
+        exactly.  Schedules stopping short of ``N`` evaluate a request at
+        a reduced effective stream length
+        (:class:`repro.config.PredictOptions`).
 
         Args:
             images: ``(batch, channels, height, width)`` images in
                 ``[0, 1]``.
-            checkpoints: increasing stream-length checkpoints ending at
-                ``N`` (e.g. ``(N // 8, N // 4, N // 2, N)``).
+            checkpoints: increasing stream-length checkpoints (e.g.
+                ``(N // 8, N // 4, N // 2, N)``).
 
         Returns:
             ``(n_checkpoints, batch, n_classes)`` class scores.

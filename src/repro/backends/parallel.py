@@ -87,9 +87,20 @@ _WORKER_BACKEND: Backend | None = None
 
 
 def _init_worker(payload: bytes) -> None:
-    """Pool initializer: build this worker's backend replica once."""
+    """Pool initializer: build this worker's backend replica once.
+
+    With an artifact path in the payload, the replica's mapper is
+    rehydrated from the shared on-disk artifact (one file read per
+    worker) instead of from a pickled mapper embedded in the payload --
+    the train-once / deploy-forever path of :mod:`repro.api`.
+    """
     global _WORKER_BACKEND
-    mapper, backend_name, options = pickle.loads(payload)
+    artifact_path, mapper, backend_name, options = pickle.loads(payload)
+    if artifact_path is not None:
+        # Imported lazily: repro.api sits above the backend layer.
+        from repro.api.artifact import ScModel
+
+        mapper = ScModel.load(artifact_path).mapper()
     _WORKER_BACKEND = create_backend(backend_name, mapper, **options)
 
 
@@ -153,6 +164,13 @@ class ParallelBackend(Backend):
         start_method: optional :mod:`multiprocessing` start method
             (default: ``"fork"`` where available, the platform default
             otherwise).
+        artifact_path: optional :class:`~repro.api.artifact.ScModel`
+            artifact directory the worker replicas rehydrate their
+            mappers from (instead of each unpickling a mapper shipped in
+            the pool-initializer payload).  The artifact's stream
+            configuration must match ``mapper``; sessions opened with
+            :meth:`repro.api.Session.from_artifact` wire this up
+            automatically.
         **backend_options: forwarded to every inner-replica constructor
             (e.g. ``position_chunk``).
 
@@ -179,6 +197,7 @@ class ParallelBackend(Backend):
         inner_backend: str = "bit-exact-packed",
         min_shard_images: int = 1,
         start_method: str | None = None,
+        artifact_path: str | None = None,
         **backend_options: object,
     ) -> None:
         super().__init__(mapper)
@@ -210,6 +229,9 @@ class ParallelBackend(Backend):
         self.inner_backend = inner_backend
         self.min_shard_images = int(min_shard_images)
         self.start_method = start_method
+        self.artifact_path = str(artifact_path) if artifact_path else None
+        if self.artifact_path is not None:
+            self._validate_artifact(self.artifact_path)
         self.backend_options = dict(backend_options)
         #: In-process replica: serves small batches and the 1-worker case.
         self.inner = create_backend(inner_backend, mapper, **backend_options)
@@ -226,6 +248,30 @@ class ParallelBackend(Backend):
         self._n_classes = int(n_classes)
 
     # -- pool / shard plumbing -------------------------------------------------
+
+    def _validate_artifact(self, artifact_path: str) -> None:
+        """Cross-check the artifact's stream configuration at construction.
+
+        Worker replicas built from an artifact whose quantisation / stream
+        configuration differs from this backend's mapper would silently
+        produce different scores than the in-process replica; the cheap
+        manifest read catches the mismatch before any pool exists.
+        """
+        from repro.api.artifact import ScModel
+
+        manifest = ScModel.read_manifest(artifact_path)
+        for field, mine in (
+            ("stream_length", self.mapper.stream_length),
+            ("weight_bits", self.mapper.weight_bits),
+            ("seed", self.mapper.seed),
+        ):
+            theirs = manifest.get(field)
+            if theirs != mine:
+                raise ConfigurationError(
+                    f"artifact at {artifact_path} has {field}={theirs}, but "
+                    f"the backend's mapper uses {field}={mine}; worker "
+                    "replicas rehydrated from it would not be bit-identical"
+                )
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -247,7 +293,12 @@ class ParallelBackend(Backend):
                 else multiprocessing.get_context()
             )
             payload = pickle.dumps(
-                (self.mapper, self.inner_backend, self.backend_options)
+                (
+                    self.artifact_path,
+                    None if self.artifact_path else self.mapper,
+                    self.inner_backend,
+                    self.backend_options,
+                )
             )
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,

@@ -24,8 +24,10 @@ import numpy as np
 
 from repro.backends.base import Backend
 from repro.backends.registry import register_backend
+from repro.blocks.categorization import prefix_chain_scores
 from repro.errors import ConfigurationError
 from repro.nn.sc_layers import ScNetworkMapper
+from repro.sc.packed import pack_bits
 
 __all__ = [
     "FloatBackend",
@@ -143,6 +145,7 @@ class BitExactLegacyBackend(Backend):
     description = "per-image byte-per-bit block simulation (reference oracle)"
     bit_exact = True
     stochastic = True
+    progressive = True
     batch_invariant = True
 
     #: Historical positions-per-product-tensor default of the legacy path.
@@ -169,6 +172,29 @@ class BitExactLegacyBackend(Backend):
             ]
         )
 
+    def forward_partial(self, images: np.ndarray, checkpoints) -> np.ndarray:
+        """Checkpoint scores via prefix popcounts of the output streams.
+
+        Same causality argument as the packed backend: the ``P``-bit
+        prefix of the categorization-output stream is exactly what the
+        hardware would have produced had it stopped after ``P`` cycles.
+        """
+        points = self._check_checkpoints(checkpoints)
+        images = self._check_images(images)
+        streams = np.stack(
+            [
+                self.mapper.bit_exact_forward_legacy(
+                    image,
+                    position_chunk=self.position_chunk,
+                    return_streams=True,
+                )
+                for image in images
+            ]
+        )
+        return prefix_chain_scores(
+            pack_bits(streams), points, self.stream_length
+        )
+
 
 @register_backend
 class BitExactBatchedBackend(Backend):
@@ -184,6 +210,7 @@ class BitExactBatchedBackend(Backend):
     description = "batched byte-per-bit block simulation (whole layers per call)"
     bit_exact = True
     stochastic = True
+    progressive = True
     batch_invariant = True
 
     def __init__(
@@ -197,4 +224,24 @@ class BitExactBatchedBackend(Backend):
     def forward(self, images: np.ndarray) -> np.ndarray:
         return self.mapper.bit_exact_forward_batch(
             self._check_images(images), position_chunk=self.position_chunk
+        )
+
+    def forward_partial(self, images: np.ndarray, checkpoints) -> np.ndarray:
+        """Checkpoint scores via prefix popcounts of the output streams.
+
+        One batched simulation produces the raw categorization-output
+        streams; every checkpoint is then a prefix popcount over their
+        packed words -- the same path the packed backend takes, so the
+        checkpoint scores are bit-identical across all bit-exact backends
+        and the final checkpoint (when it equals ``N``) reproduces
+        :meth:`forward` exactly.
+        """
+        points = self._check_checkpoints(checkpoints)
+        streams = self.mapper.bit_exact_forward_batch(
+            self._check_images(images),
+            position_chunk=self.position_chunk,
+            return_streams=True,
+        )
+        return prefix_chain_scores(
+            pack_bits(streams), points, self.stream_length
         )

@@ -1,0 +1,509 @@
+"""``python -m repro``: train, predict, evaluate and serve SC models.
+
+The command-line face of the public API (:mod:`repro.api`) -- every
+subcommand is a thin wrapper over :class:`~repro.api.ScModel` and
+:class:`~repro.api.Session`, so anything the CLI does is reproducible
+in-process with three lines of Python:
+
+* ``train``     -- SC-aware training on the synthetic digit dataset,
+  exported as a versioned model artifact.
+* ``predict``   -- load an artifact and score test images (optionally as
+  JSON, for the CI bit-exactness cross-check).
+* ``evaluate``  -- accuracy of an artifact under any registered backend.
+* ``serve``     -- stand up the micro-batching service on an artifact and
+  push a demo burst through it.
+* ``backends``  -- list the execution-backend registry.
+
+This module also hosts the **shared backend argparse wiring**
+(:func:`add_backend_arguments` / :func:`backend_selection` /
+:func:`backend_epilog`), used by every example script and the CLI alike
+so the ``--backend`` / ``--workers`` / ``--stream-length`` flags cannot
+drift between entry points.  Heavy imports happen inside the subcommand
+handlers to keep ``python -m repro backends --help`` instant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = [
+    "add_backend_arguments",
+    "backend_selection",
+    "backend_epilog",
+    "tiny_serving_specs",
+    "QUICK_DATASET",
+    "main",
+]
+
+
+# -- shared backend argparse wiring (examples + CLI) ---------------------------
+
+
+def add_backend_arguments(
+    parser: argparse.ArgumentParser,
+    default: str | None = "bit-exact-packed",
+    capability: str | None = None,
+    include_workers: bool = True,
+    include_stream_length: bool = False,
+    stream_length_default: int = 1024,
+    backend_help: str | None = None,
+) -> None:
+    """Add the standard ``--backend`` / ``--workers`` / ``--stream-length``
+    flags to a parser.
+
+    One helper instead of the near-identical wiring formerly copied
+    across every example: choices come from the live registry (optionally
+    filtered by a capability flag such as ``"bit_exact"`` or
+    ``"progressive"``) and the ``--workers`` semantics are the shared
+    :func:`repro.backends.resolve_parallel_backend` policy, resolved by
+    :func:`backend_selection`.
+
+    Args:
+        parser: the parser (or subparser) to extend.
+        default: default backend name (``None`` makes the flag optional
+            with no default).
+        capability: only offer backends whose class sets this capability
+            flag (e.g. ``"bit_exact"``, ``"progressive"``).
+        include_workers: add ``--workers`` (process sharding).
+        include_stream_length: add ``--stream-length``.
+        stream_length_default: default for ``--stream-length``.
+        backend_help: override the ``--backend`` help text.
+    """
+    from repro.backends import backend_class, backend_names
+
+    names = [
+        n
+        for n in backend_names()
+        if capability is None or getattr(backend_class(n), capability, False)
+    ]
+    parser.add_argument(
+        "--backend",
+        choices=names,
+        default=default,
+        help=backend_help
+        or "execution backend from the registry (see the epilog)",
+    )
+    if include_stream_length:
+        parser.add_argument(
+            "--stream-length",
+            type=int,
+            default=stream_length_default,
+            help="stochastic stream length N",
+        )
+    if include_workers:
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="shard batches across this many worker processes (selects "
+            "the process-sharded 'bit-exact-packed-mp' wrapper; scores stay "
+            "bit-identical)",
+        )
+
+
+def backend_selection(args: argparse.Namespace) -> tuple[str, dict]:
+    """Resolve parsed ``--backend`` / ``--workers`` flags.
+
+    Returns:
+        ``(backend_name, backend_options)`` ready for
+        :func:`repro.backends.create_backend`,
+        :meth:`repro.api.Session.backend`, or any ``backend=`` /
+        ``**options`` forwarding call site.
+    """
+    from repro.backends import resolve_parallel_backend
+
+    return resolve_parallel_backend(
+        args.backend, getattr(args, "workers", None)
+    )
+
+
+def backend_epilog() -> str:
+    """Standard ``--help`` epilog listing every registered backend."""
+    from repro.backends import describe_backends
+
+    return "available backends:\n" + describe_backends()
+
+
+# -- dataset / architecture plumbing shared by the subcommands -----------------
+
+#: Default synthetic-dataset parameters recorded into trained artifacts
+#: (predict/evaluate/serve regenerate the *same* held-out split from the
+#: artifact's metadata, so every entry point scores identical images).
+_DEFAULT_DATASET = {"n_train": 3000, "n_test": 600, "seed": 2019}
+
+#: The reduced dataset of ``--quick`` training runs -- shared with
+#: ``examples/serve_demo.py`` so the CLI- and demo-trained artifacts
+#: score the same held-out split.
+QUICK_DATASET = {"n_train": 800, "n_test": 128, "seed": 2019}
+
+
+def tiny_serving_specs():
+    """The small serving CNN used by the CLI, demos and benchmarks.
+
+    One definition instead of per-script copies: the ``train --arch
+    tiny`` subcommand, ``examples/serve_demo.py`` and
+    ``benchmarks/bench_serve.py`` all build this exact architecture, so
+    their artifacts stay interchangeable.
+    """
+    from repro.nn.architectures import LayerSpec
+
+    return [
+        LayerSpec(kind="conv", name="Conv3_x", kernel=3, channels=8),
+        LayerSpec(kind="pool", name="AvgPool", kernel=4, stride=4),
+        LayerSpec(kind="fc", name="FC64", units=64),
+        LayerSpec(kind="output", name="OutLayer", units=10),
+    ]
+
+
+def _build_architecture(arch: str, seed: int, training_stream_length: int):
+    from repro.nn.architectures import build_dnn, build_network, build_snn
+
+    if arch == "tiny":
+        return build_network(
+            tiny_serving_specs(),
+            activation="hardware",
+            seed=seed,
+            name="tiny",
+            training_stream_length=training_stream_length,
+        )
+    if arch == "snn":
+        return build_snn(seed=seed, training_stream_length=training_stream_length)
+    if arch == "dnn":
+        return build_dnn(seed=seed, training_stream_length=training_stream_length)
+    raise ValueError(arch)  # pragma: no cover - argparse choices guard this
+
+
+def _dataset_from_metadata(metadata: dict):
+    """Regenerate the dataset an artifact was trained against."""
+    from repro.datasets import generate_digit_dataset
+
+    params = dict(_DEFAULT_DATASET)
+    params.update(metadata.get("dataset") or {})
+    return generate_digit_dataset(
+        params["n_train"], params["n_test"], seed=params["seed"]
+    )
+
+
+def _test_images(session, count: int | None):
+    """Held-out test images/labels for a session's model."""
+    dataset = _dataset_from_metadata(session.model.metadata)
+    images = dataset.test_images[:count, None]
+    labels = dataset.test_labels[: images.shape[0]]
+    return images, labels
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.api import ScModel
+    from repro.datasets import generate_digit_dataset
+    from repro.nn import Trainer, TrainingConfig
+
+    dataset_params = dict(QUICK_DATASET if args.quick else _DEFAULT_DATASET)
+    if args.train_images is not None:
+        dataset_params["n_train"] = args.train_images
+    if args.test_images is not None:
+        dataset_params["n_test"] = args.test_images
+    dataset_params["seed"] = args.data_seed
+    epochs = args.epochs or (2 if args.quick else 6)
+
+    print(
+        f"training {args.arch} on {dataset_params['n_train']} synthetic "
+        f"digits ({epochs} epochs, SC-aware)..."
+    )
+    dataset = generate_digit_dataset(**dataset_params)
+    network = _build_architecture(args.arch, args.seed, args.stream_length)
+    trainer = Trainer(network, TrainingConfig(epochs=epochs, seed=args.seed))
+    started = time.perf_counter()
+    history = trainer.fit(
+        dataset.train_images[:, None] * 2 - 1,
+        dataset.train_labels,
+        dataset.test_images[:, None] * 2 - 1,
+        dataset.test_labels,
+        verbose=not args.quiet,
+    )
+    elapsed = time.perf_counter() - started
+
+    model = ScModel(
+        network,
+        weight_bits=args.weight_bits,
+        stream_length=args.stream_length,
+        seed=args.seed,
+        metadata={
+            "arch": args.arch,
+            "dataset": dataset_params,
+            "training": {
+                "epochs": epochs,
+                "seconds": round(elapsed, 2),
+                "final_test_accuracy": history.final_test_accuracy,
+            },
+        },
+    )
+    path = model.save(args.output)
+    print(
+        f"trained to {history.final_test_accuracy:.4f} held-out accuracy "
+        f"in {elapsed:.1f} s"
+    )
+    print(f"saved model artifact to {path}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.api import PredictOptions, Session
+
+    backend, backend_options = backend_selection(args)
+    options = PredictOptions(
+        stream_length=args.stream_length,
+        checkpoints=tuple(args.checkpoints) if args.checkpoints else None,
+        early_exit=True if args.early_exit else None,
+    )
+    with Session.from_artifact(
+        args.model, backend=backend, **backend_options
+    ) as session:
+        images, labels = _test_images(session, args.images)
+        result = session.predict(images, options)
+    correct = int((result.predictions == labels).sum())
+    for i, (prediction, label) in enumerate(zip(result.predictions, labels)):
+        mark = "ok " if prediction == label else "MISS"
+        print(
+            f"image {i:3d}: predicted {int(prediction)} (label {int(label)}) "
+            f"{mark} exit {int(result.exit_checkpoints[i])}/"
+            f"{session.stream_length}"
+        )
+    print(
+        f"{correct}/{images.shape[0]} correct under {result.backend} "
+        f"(N = {result.stream_length})"
+    )
+    if args.json:
+        payload = {
+            "backend": result.backend,
+            "stream_length": result.stream_length,
+            "checkpoints": list(result.checkpoints),
+            "scores": np.asarray(result.scores).tolist(),
+            "predictions": np.asarray(result.predictions).tolist(),
+            "exit_checkpoints": np.asarray(result.exit_checkpoints).tolist(),
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.api import Session
+
+    backend, backend_options = backend_selection(args)
+    with Session.from_artifact(
+        args.model, backend=backend, **backend_options
+    ) as session:
+        images, labels = _test_images(session, args.max_images)
+        result = session.evaluate(images, labels)
+    print(
+        f"accuracy {result.accuracy:.4f} over {result.n_images} images "
+        f"under {result.mode} (N = {result.stream_length})"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import PredictOptions, Session
+    from repro.config import ServiceConfig
+
+    backend, backend_options = backend_selection(args)
+    config = ServiceConfig(
+        backend=backend,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        num_workers=1 if backend_options else args.service_workers,
+        cache_capacity=args.cache_capacity,
+    )
+    # `is not None` (not truthiness): a zero deadline must reach the
+    # PredictOptions validator and raise, not silently mean "no deadline".
+    options = (
+        PredictOptions(deadline_ms=args.deadline_ms)
+        if args.deadline_ms is not None
+        else None
+    )
+    with Session.from_artifact(
+        args.model, backend=backend, **backend_options
+    ) as session:
+        images, labels = _test_images(session, args.requests)
+        n = images.shape[0]
+        print(
+            f"serving {n} single-image requests through {backend} "
+            f"(N = {session.stream_length})..."
+        )
+        with session.serve(config) as service:
+            futures = [
+                service.submit(images[i], options) for i in range(n)
+            ]
+            responses = [f.result(timeout=600) for f in futures]
+            snapshot = service.metrics.snapshot()
+    correct = sum(
+        int(r.predictions[0]) == int(labels[i])
+        for i, r in enumerate(responses)
+    )
+    print(f"accuracy over served requests: {correct / n:.3f}")
+    print(f"mean micro-batch size:         {snapshot['mean_batch_size']:.1f}")
+    if snapshot["mean_exit_checkpoint"] is not None:
+        print(
+            f"mean exit checkpoint:          "
+            f"{snapshot['mean_exit_checkpoint']:.0f} / "
+            f"{session.stream_length} "
+            f"({snapshot['cycle_reduction']:.2f}x stream-cycle reduction)"
+        )
+    print(
+        f"latency p50 / p95 / p99:       "
+        f"{snapshot['latency_ms']['p50']:.1f} / "
+        f"{snapshot['latency_ms']['p95']:.1f} / "
+        f"{snapshot['latency_ms']['p99']:.1f} ms"
+    )
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.backends import describe_backends
+
+    print(describe_backends())
+    return 0
+
+
+# -- parser --------------------------------------------------------------------
+
+
+def _csv_ints(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser(
+        "train",
+        help="train on the synthetic digit dataset and save a model artifact",
+    )
+    train.add_argument(
+        "--output",
+        default="artifacts/model",
+        help="artifact directory to write (default: artifacts/model)",
+    )
+    train.add_argument(
+        "--arch",
+        choices=("tiny", "snn", "dnn"),
+        default="tiny",
+        help="architecture: the small serving CNN or the paper's Table 8 nets",
+    )
+    train.add_argument(
+        "--quick", action="store_true", help="small dataset and epoch budget"
+    )
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--train-images", type=int, default=None)
+    train.add_argument("--test-images", type=int, default=None)
+    train.add_argument("--stream-length", type=int, default=1024)
+    train.add_argument("--weight-bits", type=int, default=10)
+    train.add_argument("--seed", type=int, default=2019)
+    train.add_argument("--data-seed", type=int, default=2019)
+    train.add_argument(
+        "--quiet", action="store_true", help="suppress per-epoch output"
+    )
+    train.set_defaults(func=_cmd_train)
+
+    predict = commands.add_parser(
+        "predict",
+        help="score held-out images with a saved model artifact",
+        epilog=None,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    predict.add_argument("--model", required=True, help="artifact directory")
+    predict.add_argument(
+        "--images", type=int, default=8, help="test images to score"
+    )
+    add_backend_arguments(predict)
+    predict.add_argument(
+        "--stream-length",
+        type=int,
+        default=None,
+        help="per-request reduced stream length (prefix evaluation)",
+    )
+    predict.add_argument(
+        "--checkpoints",
+        type=_csv_ints,
+        default=None,
+        help="comma-separated checkpoint schedule (e.g. 128,256,512)",
+    )
+    predict.add_argument(
+        "--early-exit",
+        action="store_true",
+        help="apply the stability+margin early-exit policy",
+    )
+    predict.add_argument(
+        "--json", default=None, help="also write scores/predictions as JSON"
+    )
+    predict.set_defaults(func=_cmd_predict)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="accuracy of a saved model artifact"
+    )
+    evaluate.add_argument("--model", required=True, help="artifact directory")
+    evaluate.add_argument(
+        "--max-images", type=int, default=None, help="cap on evaluated images"
+    )
+    add_backend_arguments(evaluate)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run a demo burst through the micro-batching service",
+    )
+    serve.add_argument("--model", required=True, help="artifact directory")
+    serve.add_argument(
+        "--requests", type=int, default=32, help="single-image requests"
+    )
+    add_backend_arguments(serve, capability="progressive")
+    serve.add_argument("--max-batch-size", type=int, default=16)
+    serve.add_argument("--max-wait-ms", type=float, default=5.0)
+    serve.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        help="service worker threads (forced to 1 when --workers shards "
+        "across processes instead)",
+    )
+    serve.add_argument("--cache-capacity", type=int, default=256)
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request latency budget (deadline-aware exits)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    backends = commands.add_parser(
+        "backends", help="list the execution-backend registry"
+    )
+    backends.set_defaults(func=_cmd_backends)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (also invoked by ``python -m repro``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI convenience
+    sys.exit(main())

@@ -1,10 +1,14 @@
-"""Global experiment configuration.
+"""Global experiment configuration and typed request options.
 
-The configuration object gathers the handful of knobs that recur across the
-reproduction: default bit-stream length, random seed, and the technology
-constants used by the AQFP and CMOS cost models.  Individual modules accept
-explicit arguments everywhere; the config only provides well-documented
-defaults so scripts and benchmarks stay short.
+The configuration objects gather the handful of knobs that recur across
+the reproduction: default bit-stream length, random seed, the technology
+constants used by the AQFP and CMOS cost models, the serving-layer knobs
+(:class:`ServiceConfig`), and the per-request inference options
+(:class:`PredictOptions`).  Individual modules accept explicit arguments
+everywhere; the config only provides well-documented defaults so scripts
+and benchmarks stay short.  This module stays import-light (errors only)
+so every layer -- backends, serving, the public API -- can depend on it
+without cycles.
 """
 
 from __future__ import annotations
@@ -13,7 +17,14 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ExperimentConfig", "ServiceConfig", "default_config"]
+__all__ = [
+    "ExperimentConfig",
+    "ServiceConfig",
+    "PredictOptions",
+    "ResolvedPredictOptions",
+    "resolve_checkpoints",
+    "default_config",
+]
 
 #: Bit-stream lengths used throughout the paper's accuracy tables.
 PAPER_STREAM_LENGTHS = (128, 256, 512, 1024, 2048)
@@ -176,6 +187,212 @@ class ServiceConfig:
         if isinstance(self.backend, str):
             return (self.backend,)
         return tuple(self.backend)
+
+
+def resolve_checkpoints(
+    stream_length: int, fractions=DEFAULT_CHECKPOINT_FRACTIONS
+) -> tuple[int, ...]:
+    """Concrete checkpoint schedule for a stream length.
+
+    Fractions are rounded to whole cycles, clamped to ``[1, N]``,
+    deduplicated, and a final full-length checkpoint is appended when the
+    schedule does not already end at ``N`` (the early-exit fallback must
+    always be the exact full-stream evaluation).
+
+    Args:
+        stream_length: stochastic stream length ``N``.
+        fractions: increasing fractions of ``N`` in ``(0, 1]``.
+
+    Returns:
+        Strictly increasing checkpoint cycle counts ending at ``N``.
+    """
+    if stream_length <= 0:
+        raise ConfigurationError(
+            f"stream_length must be positive, got {stream_length}"
+        )
+    if not fractions:
+        raise ConfigurationError("at least one checkpoint fraction is required")
+    points: list[int] = []
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"checkpoint fractions must lie in (0, 1], got {fraction}"
+            )
+        p = min(stream_length, max(1, int(round(fraction * stream_length))))
+        if not points or p > points[-1]:
+            points.append(p)
+    if points[-1] != stream_length:
+        points.append(stream_length)
+    return tuple(points)
+
+
+@dataclass(frozen=True)
+class PredictOptions:
+    """Typed per-request inference options.
+
+    One validated bundle carried from the public API (`repro.api`) through
+    the execution backends and the serving layer, replacing the ad-hoc
+    keyword threading that used to stop at the service boundary.  Every
+    field defaults to ``None`` = "use the model / service default", so
+    ``PredictOptions()`` is always a no-op.
+
+    Attributes:
+        stream_length: evaluate the request at this stream length instead
+            of the model's full ``N`` (must be ``<= N``; prefixes of the
+            packed output streams make this exact for progressive
+            bit-exact backends).
+        checkpoints: explicit stream-length checkpoint schedule (strictly
+            increasing cycles); the effective stream length is appended
+            when the schedule stops short of it.
+        early_exit: override the service's early-exit flag for this
+            request.
+        deadline_ms: total latency budget of the request in milliseconds.
+            The serving layer converts the remaining budget at evaluation
+            time into a cap on the exit checkpoint (an expired deadline
+            exits at the *first* checkpoint), trading precision for
+            punctuality per request.  Results evaluated under a deadline
+            are never stored in the result cache.
+        workers: process-shard the evaluation across this many worker
+            processes (`repro.backends.parallel`); honoured by
+            :meth:`repro.api.Session.predict` at backend selection time
+            and ignored by :class:`~repro.serve.ScInferenceService`,
+            whose replica pool is fixed at construction.
+
+    Raises:
+        ConfigurationError: on any out-of-domain field (non-positive
+            stream length or deadline, unsorted checkpoints, ...);
+            validation happens once, at construction.
+    """
+
+    stream_length: int | None = None
+    checkpoints: tuple[int, ...] | None = None
+    early_exit: bool | None = None
+    deadline_ms: float | None = None
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.stream_length is not None and self.stream_length < 1:
+            raise ConfigurationError(
+                f"stream_length must be >= 1, got {self.stream_length}"
+            )
+        if self.checkpoints is not None:
+            points = tuple(int(p) for p in self.checkpoints)
+            if not points:
+                raise ConfigurationError(
+                    "checkpoints must name at least one cycle count"
+                )
+            if any(p < 1 for p in points):
+                raise ConfigurationError(
+                    f"checkpoints must be >= 1, got {points}"
+                )
+            if any(b <= a for a, b in zip(points, points[1:])):
+                raise ConfigurationError(
+                    f"checkpoints must be strictly increasing, got {points}"
+                )
+            object.__setattr__(self, "checkpoints", points)
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise ConfigurationError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+
+    def resolve(
+        self,
+        stream_length: int,
+        checkpoint_fractions: tuple[float, ...] = DEFAULT_CHECKPOINT_FRACTIONS,
+        early_exit: bool = False,
+    ) -> "ResolvedPredictOptions":
+        """Resolve against a model's stream length and serving defaults.
+
+        Args:
+            stream_length: the model's full stream length ``N``.
+            checkpoint_fractions: default schedule fractions used when the
+                request names no explicit checkpoints.
+            early_exit: default early-exit behaviour when the request
+                leaves :attr:`early_exit` unset.
+
+        Returns:
+            The concrete evaluation plan: an effective stream length
+            ``<= N``, a checkpoint schedule ending at it, and the resolved
+            early-exit / deadline / workers fields.
+
+        Raises:
+            ConfigurationError: when the requested stream length exceeds
+                ``N`` or the checkpoints overrun the effective stream
+                length.
+        """
+        effective_n = self.stream_length or int(stream_length)
+        if effective_n > stream_length:
+            raise ConfigurationError(
+                f"requested stream_length {effective_n} exceeds the model's "
+                f"stream length {stream_length}"
+            )
+        if self.checkpoints is not None:
+            points = self.checkpoints
+            if points[-1] > effective_n:
+                raise ConfigurationError(
+                    f"checkpoints {points} overrun the effective stream "
+                    f"length {effective_n}"
+                )
+            if points[-1] != effective_n:
+                points = points + (effective_n,)
+        else:
+            points = resolve_checkpoints(effective_n, checkpoint_fractions)
+        return ResolvedPredictOptions(
+            stream_length=effective_n,
+            checkpoints=points,
+            early_exit=(
+                early_exit if self.early_exit is None else bool(self.early_exit)
+            ),
+            deadline_ms=self.deadline_ms,
+            workers=self.workers,
+            explicit_schedule=(
+                self.stream_length is not None or self.checkpoints is not None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedPredictOptions:
+    """A :class:`PredictOptions` resolved against one model / service.
+
+    Attributes:
+        stream_length: effective stream length of the request (``<= N``).
+        checkpoints: strictly increasing schedule ending at
+            :attr:`stream_length`.
+        early_exit: whether the stability + margin policy may exit early.
+        deadline_ms: request latency budget (``None`` = none).
+        workers: requested process shards (``None`` = backend default).
+        explicit_schedule: the request named its own stream length or
+            checkpoints (and therefore *requires* a progressive backend
+            rather than degrading to a full forward pass).
+    """
+
+    stream_length: int
+    checkpoints: tuple[int, ...]
+    early_exit: bool
+    deadline_ms: float | None
+    workers: int | None
+    explicit_schedule: bool = False
+
+    @property
+    def cache_token(self) -> tuple:
+        """The effective-options part of the serve result-cache key.
+
+        Two requests whose tokens differ must never share a cache entry:
+        the scores stored for one schedule (say an early exit at ``N/8``)
+        are stale for a request demanding another -- the stale-hit hazard
+        the options-aware cache key exists to close.
+        """
+        return (self.stream_length, self.checkpoints, self.early_exit)
+
+    @property
+    def cacheable(self) -> bool:
+        """Deadline-budgeted results are wall-clock dependent: never cached."""
+        return self.deadline_ms is None
 
 
 def default_config() -> ExperimentConfig:

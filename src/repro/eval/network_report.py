@@ -31,10 +31,10 @@ from repro.cmos.sc_blocks import (
     cmos_mux_pooling_cost,
     cmos_sng_cost,
 )
+from repro.api.session import Session
 from repro.datasets import DigitDataset, generate_digit_dataset
 from repro.errors import ConfigurationError
 from repro.nn.architectures import build_dnn, build_snn, dnn_layer_specs, snn_layer_specs
-from repro.nn.inference import ScInferenceEngine
 from repro.nn.sc_layers import LayerInventory
 from repro.nn.training import Trainer, TrainingConfig
 
@@ -208,16 +208,23 @@ def evaluate_network(
     trainer = Trainer(network, TrainingConfig(epochs=epochs, seed=seed))
     trainer.fit(x_train, dataset.train_labels)
 
-    engine = ScInferenceEngine(network, weight_bits, stream_length, seed)
+    # Evaluation goes through the Session facade (the same API the CLI
+    # and the serving layer use); both accuracy columns select their
+    # execution backend through the registry.
+    session = Session.from_network(
+        network,
+        weight_bits=weight_bits,
+        stream_length=stream_length,
+        seed=seed,
+        backend=backend,
+    )
     test_images = dataset.test_images[:, None, :, :]
-    # Both accuracy columns go through the backend registry; the SC column
-    # accepts any registered execution backend.
-    software = engine.evaluate(test_images, dataset.test_labels, backend="float").accuracy
-    sc_accuracy = engine.evaluate(
-        test_images, dataset.test_labels, backend=backend
+    software = session.evaluate(
+        test_images, dataset.test_labels, backend="float"
     ).accuracy
+    sc_accuracy = session.evaluate(test_images, dataset.test_labels).accuracy
 
-    inventories = engine.layer_inventories()
+    inventories = session.mapper.layer_inventories()
     aqfp_summary, cmos_summary = network_hardware_rollup(
         inventories, stream_length, weight_bits
     )

@@ -1,13 +1,18 @@
-"""High-level SC inference engine (a thin facade over execution backends).
+"""High-level SC inference engine (a thin wrapper over `repro.api.Session`).
 
-:class:`ScInferenceEngine` is the user-facing entry point: give it a
-trained float network and evaluate it under any registered execution
-backend -- ``engine.evaluate(images, labels, backend="bit-exact-packed")``
--- or construct backends directly with :meth:`ScInferenceEngine.backend`.
-The historical mode-specific methods (``evaluate_float``,
-``evaluate_sc_fast``, ``evaluate_sc_bit_exact``) remain as thin wrappers
-over the corresponding backends, and the engine still exposes the block
-inventory used for the network-level hardware roll-up (Table 9).
+:class:`ScInferenceEngine` is the historical training-side entry point:
+give it a trained float network and evaluate it under any registered
+execution backend -- ``engine.evaluate(images, labels,
+backend="bit-exact-packed")``.  Since the public API landed it delegates
+everything to a :class:`~repro.api.Session` (the load-and-serve facade);
+new code should use sessions directly -- ``Session.from_network`` for
+freshly trained networks, ``Session.from_artifact`` for saved models --
+and :meth:`ScInferenceEngine.session` / :meth:`ScInferenceEngine.save`
+bridge existing engine users onto that path.  The historical
+mode-specific methods (``evaluate_float``, ``evaluate_sc_fast``,
+``evaluate_sc_bit_exact``) remain as thin wrappers, and the engine still
+exposes the block inventory used for the network-level hardware roll-up
+(Table 9).
 """
 
 from __future__ import annotations
@@ -23,6 +28,9 @@ from repro.nn.layers import Network
 from repro.nn.sc_layers import LayerInventory, ScNetworkMapper
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from pathlib import Path
+
+    from repro.api.session import Session
     from repro.backends.base import Backend
 
 __all__ = ["InferenceResult", "ScInferenceEngine"]
@@ -71,30 +79,49 @@ class ScInferenceEngine:
     ) -> None:
         if stream_length <= 0:
             raise ConfigurationError("stream_length must be positive")
-        self.network = network
-        self.mapper = ScNetworkMapper(network, weight_bits, stream_length, seed)
-        self.stream_length = int(stream_length)
-        # Imported lazily: repro.backends imports the mapper layer, so a
-        # module-level import here would be circular.
-        from repro.backends import backend_class
+        # Imported lazily: repro.api sits above the nn layer (its Session
+        # imports the backends and serving packages, which import this
+        # package), so a module-level import here would be circular.
+        from repro.api.session import Session
 
         name = default_backend or default_config().default_backend
-        backend_class(name)  # fail fast on unknown names
+        self._session = Session.from_network(
+            network,
+            weight_bits=weight_bits,
+            stream_length=stream_length,
+            seed=seed,
+            backend=name,  # fails fast on unknown names
+        )
+        self.network = network
+        self.mapper = self._session.mapper
+        self.stream_length = int(stream_length)
         self.default_backend = name
 
-    # -- backend facade --------------------------------------------------------
+    # -- session facade --------------------------------------------------------
+
+    @property
+    def session(self) -> "Session":
+        """The :class:`~repro.api.Session` this engine delegates to."""
+        return self._session
+
+    def save(self, path: "str | Path") -> "Path":
+        """Export the engine's model as a versioned artifact directory.
+
+        The bridge from training-side code onto the train-once /
+        deploy-forever path: the artifact reloads (in any process) into a
+        bit-identical mapper via :meth:`repro.api.Session.from_artifact`.
+        """
+        return self._session.save(path)
 
     def backend(self, name: str | None = None, **options: object) -> Backend:
-        """Construct an execution backend for this engine's mapper.
+        """An execution backend for this engine's mapper (session-cached).
 
         Args:
             name: registry name; ``None`` uses :attr:`default_backend`.
             **options: backend-specific constructor options (e.g.
                 ``inject_noise``, ``position_chunk``).
         """
-        from repro.backends import create_backend
-
-        return create_backend(name or self.default_backend, self.mapper, **options)
+        return self._session.backend(name or self.default_backend, **options)
 
     def evaluate(
         self,
@@ -117,14 +144,12 @@ class ScInferenceEngine:
         Returns:
             The accuracy summary; ``mode`` is the backend name.
         """
-        if max_images is not None and max_images < 1:
-            raise ConfigurationError("max_images must be >= 1")
-        images = np.asarray(images)[:max_images]
-        labels = np.asarray(labels)[:max_images]
-        executor = self.backend(backend, **options)
-        accuracy = executor.accuracy(images, labels)
-        return InferenceResult(
-            accuracy, len(labels), self.stream_length, executor.name
+        return self._session.evaluate(
+            images,
+            labels,
+            backend=backend or self.default_backend,
+            max_images=max_images,
+            **options,
         )
 
     # -- historical mode-specific wrappers --------------------------------------

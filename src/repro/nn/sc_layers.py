@@ -441,6 +441,7 @@ class ScNetworkMapper:
         images: np.ndarray,
         rng: np.random.Generator | None = None,
         position_chunk: int | None = None,
+        return_streams: bool = False,
     ) -> np.ndarray:
         """Run a batch of images through actual bit streams and the blocks.
 
@@ -460,9 +461,17 @@ class ScNetworkMapper:
             position_chunk: optional cap on CONV output positions / FC
                 neurons processed per product tensor; defaults to an
                 automatic choice fitting the memory budget.
+            return_streams: return the raw categorization-output bit
+                streams instead of their decoded means.  Any prefix of
+                these streams is exactly what the hardware would have
+                produced had it stopped that many cycles in (every block
+                is causal in the stream axis), which is what the
+                progressive checkpoints of the batched backend decode.
 
         Returns:
-            ``(batch, n_classes)`` decoded class scores.
+            ``(batch, n_classes)`` decoded class scores, or -- with
+            ``return_streams`` -- the 0/1 ``uint8`` output streams of
+            shape ``(batch, n_classes, N)``.
         """
         rng = rng or np.random.default_rng(self.seed)
         n = self.stream_length
@@ -486,6 +495,8 @@ class ScNetworkMapper:
                 raise ConfigurationError(
                     f"cannot map layer {type(layer).__name__} to SC hardware"
                 )
+        if return_streams:
+            return bits
         return 2.0 * bits.mean(axis=-1) - 1.0
 
     def bit_exact_forward(
@@ -629,7 +640,7 @@ class ScNetworkMapper:
 
     def bit_exact_forward_legacy(
         self, image: np.ndarray, rng: np.random.Generator | None = None,
-        position_chunk: int = 32,
+        position_chunk: int = 32, return_streams: bool = False,
     ) -> np.ndarray:
         """Per-image, small-chunk bit-exact simulation (legacy reference).
 
@@ -641,9 +652,12 @@ class ScNetworkMapper:
             image: ``(channels, height, width)`` image in ``[0, 1]``.
             rng: stream-generation random generator.
             position_chunk: how many output positions to process at a time.
+            return_streams: return the raw ``(n_classes, N)`` output bit
+                streams instead of the decoded scores (see
+                :meth:`bit_exact_forward_batch`).
 
         Returns:
-            ``(n_classes,)`` decoded class scores.
+            ``(n_classes,)`` decoded class scores (or the output streams).
         """
         rng = rng or np.random.default_rng(self.seed)
         image = np.asarray(image, dtype=np.float64)
@@ -674,6 +688,8 @@ class ScNetworkMapper:
                 raise ConfigurationError(
                     f"cannot map layer {type(layer).__name__} to SC hardware"
                 )
+        if return_streams:
+            return bits
         return 2.0 * bits.mean(axis=-1) - 1.0
 
     def weight_stream_bits(

@@ -2,11 +2,16 @@
 
 Serving traffic is repetitive -- the same image recurs (retries, popular
 inputs, idempotent clients), and every SC evaluation of a given image is
-deterministic given the backend and stream length (all randomness is
-seeded per forward pass).  Results are therefore cached under the key
-``(image digest, backend name, stream length)``: a hit returns the stored
-scores without spending a single stream cycle, which the service metrics
-report as cache hit rate alongside the early-exit savings.
+deterministic given the backend, the stream length and the effective
+request options (all randomness is seeded per forward pass).  Results are
+therefore cached under the key ``(image digest, backend name, stream
+length, effective options)``: a hit returns the stored scores without
+spending a single stream cycle, which the service metrics report as cache
+hit rate alongside the early-exit savings.  The options component
+(:attr:`repro.config.ResolvedPredictOptions.cache_token`) is what keeps
+two requests that differ only in checkpoint schedule or per-request
+stream length from ever sharing an entry -- the scores stored for one
+schedule are stale for the other.
 """
 
 from __future__ import annotations
@@ -60,19 +65,25 @@ class LruResultCache:
                 f"cache capacity must be >= 0, got {capacity}"
             )
         self.capacity = int(capacity)
-        self._entries: OrderedDict[tuple[str, str, int], CachedResult] = (
-            OrderedDict()
-        )
+        self._entries: OrderedDict[tuple, CachedResult] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
 
     @staticmethod
-    def key(digest: str, backend: str, stream_length: int) -> tuple[str, str, int]:
-        """The cache key convention: (image digest, backend name, N)."""
-        return (digest, backend, int(stream_length))
+    def key(
+        digest: str, backend: str, stream_length: int, options: tuple = ()
+    ) -> tuple:
+        """The cache key convention: (digest, backend, N, effective options).
 
-    def get(self, key: tuple[str, str, int]) -> CachedResult | None:
+        ``options`` is the request's effective-options token
+        (:attr:`repro.config.ResolvedPredictOptions.cache_token`); the
+        empty default keeps option-less callers (tests, ad-hoc tooling)
+        on a distinct, stable key.
+        """
+        return (digest, backend, int(stream_length), tuple(options))
+
+    def get(self, key: tuple) -> CachedResult | None:
         """Look up a result, refreshing its recency on a hit."""
         with self._lock:
             entry = self._entries.get(key)
@@ -83,7 +94,7 @@ class LruResultCache:
             self._hits += 1
             return entry
 
-    def put(self, key: tuple[str, str, int], result: CachedResult) -> None:
+    def put(self, key: tuple, result: CachedResult) -> None:
         """Store a result, evicting the least recently used beyond capacity."""
         if self.capacity == 0:
             return

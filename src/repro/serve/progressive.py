@@ -32,7 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.backends.base import Backend
-from repro.config import DEFAULT_CHECKPOINT_FRACTIONS
+from repro.config import DEFAULT_CHECKPOINT_FRACTIONS, resolve_checkpoints
 from repro.errors import ConfigurationError, ShapeError
 
 __all__ = [
@@ -41,43 +41,6 @@ __all__ = [
     "early_exit_from_scores",
     "progressive_forward",
 ]
-
-
-def resolve_checkpoints(
-    stream_length: int, fractions=DEFAULT_CHECKPOINT_FRACTIONS
-) -> tuple[int, ...]:
-    """Concrete checkpoint schedule for a stream length.
-
-    Fractions are rounded to whole cycles, clamped to ``[1, N]``,
-    deduplicated, and a final full-length checkpoint is appended when the
-    schedule does not already end at ``N`` (the early-exit fallback must
-    always be the exact full-stream evaluation).
-
-    Args:
-        stream_length: stochastic stream length ``N``.
-        fractions: increasing fractions of ``N`` in ``(0, 1]``.
-
-    Returns:
-        Strictly increasing checkpoint cycle counts ending at ``N``.
-    """
-    if stream_length <= 0:
-        raise ConfigurationError(
-            f"stream_length must be positive, got {stream_length}"
-        )
-    if not fractions:
-        raise ConfigurationError("at least one checkpoint fraction is required")
-    points: list[int] = []
-    for fraction in fractions:
-        if not 0.0 < fraction <= 1.0:
-            raise ConfigurationError(
-                f"checkpoint fractions must lie in (0, 1], got {fraction}"
-            )
-        p = min(stream_length, max(1, int(round(fraction * stream_length))))
-        if not points or p > points[-1]:
-            points.append(p)
-    if points[-1] != stream_length:
-        points.append(stream_length)
-    return tuple(points)
 
 
 @dataclass(frozen=True)

@@ -12,10 +12,23 @@ backends, answers through the early-exit engine
 (:mod:`repro.serve.progressive`) so confidently classified images stop
 streaming at an early checkpoint.
 
+Requests carry typed per-request options
+(:class:`~repro.config.PredictOptions`): a reduced stream length or an
+explicit checkpoint schedule is read from stream prefixes, ``early_exit``
+overrides the service default per request, and ``deadline_ms`` caps the
+exit checkpoint by the request's remaining latency budget at evaluation
+time (an expired deadline answers from the *first* checkpoint).  Options
+are validated at :meth:`~ScInferenceService.submit` -- malformed images
+or schedules raise in the caller, never as a worker-side future error --
+and the result-cache key incorporates the effective options, so requests
+that differ only in schedule never share an entry.
+
 Micro-batching is *transparent* for the bit-exact backends: every image's
 streams are generated from draw tensors shared across the batch, so its
 scores are bit-identical no matter which requests it was coalesced with
--- the property ``tests/test_serve.py`` pins down.
+-- the property ``tests/test_serve.py`` pins down.  Merged batches may
+mix requests with different effective options; the worker buckets them by
+evaluation plan, which preserves that transparency per bucket.
 """
 
 from __future__ import annotations
@@ -25,17 +38,19 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
-from repro.backends import create_backend
+from repro.backends import backend_class, create_backend
 from repro.backends.base import Backend
-from repro.config import ServiceConfig
+from repro.backends.parallel import ParallelBackend
+from repro.config import PredictOptions, ResolvedPredictOptions, ServiceConfig
 from repro.errors import ConfigurationError
 from repro.nn.sc_layers import ScNetworkMapper
 from repro.serve.cache import CachedResult, LruResultCache, image_digest
 from repro.serve.metrics import ServiceMetrics
-from repro.serve.progressive import progressive_forward, resolve_checkpoints
+from repro.serve.progressive import early_exit_from_scores, resolve_checkpoints
 
 __all__ = ["InferenceResponse", "ScInferenceService"]
 
@@ -79,6 +94,8 @@ class _PendingRequest:
         "digests",
         "rows",
         "submitted_at",
+        "resolved",
+        "deadline_at",
     )
 
     def __init__(
@@ -86,6 +103,7 @@ class _PendingRequest:
         images: np.ndarray,
         digests: list[str],
         rows: list[CachedResult | None],
+        resolved: ResolvedPredictOptions,
     ) -> None:
         self.future: Future = Future()
         self.n_images = images.shape[0]
@@ -94,6 +112,12 @@ class _PendingRequest:
         self.digests = digests
         self.rows = rows
         self.submitted_at = time.perf_counter()
+        self.resolved = resolved
+        self.deadline_at = (
+            None
+            if resolved.deadline_ms is None
+            else self.submitted_at + resolved.deadline_ms / 1e3
+        )
 
     @property
     def n_compute(self) -> int:
@@ -124,6 +148,11 @@ class ScInferenceService:
             (trained network, stream length, weight precision, seed).
         config: service knobs (:class:`repro.config.ServiceConfig`);
             ``None`` uses the defaults.
+        artifact_path: optional model-artifact directory; forwarded to
+            process-sharded replicas (``bit-exact-packed-mp``) so their
+            worker processes rehydrate mappers from the shared file
+            instead of unpickling per-replica payloads (sessions opened
+            via :meth:`repro.api.Session.from_artifact` wire this up).
         **backend_options: forwarded to every backend replica's
             constructor (e.g. ``position_chunk`` for the bit-exact
             backends).
@@ -137,6 +166,7 @@ class ScInferenceService:
         self,
         mapper: ScNetworkMapper,
         config: ServiceConfig | None = None,
+        artifact_path: str | Path | None = None,
         **backend_options: object,
     ) -> None:
         self.config = config or ServiceConfig()
@@ -145,15 +175,39 @@ class ScInferenceService:
         # Worker i runs a replica of shard i % len(names): a homogeneous
         # pool by default, round-robin sharding across several registry
         # backends when the config names more than one.
-        self._replicas = [
-            create_backend(names[i % len(names)], mapper, **backend_options)
-            for i in range(self.config.num_workers)
-        ]
+        self._replicas = []
+        for i in range(self.config.num_workers):
+            name = names[i % len(names)]
+            options = dict(backend_options)
+            if artifact_path is not None and issubclass(
+                backend_class(name), ParallelBackend
+            ):
+                options.setdefault("artifact_path", str(artifact_path))
+            self._replicas.append(create_backend(name, mapper, **options))
         self._shard_names = tuple(dict.fromkeys(names))
+        # Per-request reduced stream lengths / explicit schedules need
+        # stream-prefix evaluation on every shard; checked at submit().
+        # Read off the built replicas, not the registry classes --
+        # wrappers like ParallelBackend override the flag per instance
+        # to mirror their inner backend.
+        self._all_progressive = all(
+            getattr(replica, "progressive", False)
+            for replica in self._replicas
+        )
         self.stream_length = mapper.stream_length
         self.checkpoints = resolve_checkpoints(
             self.stream_length, self.config.checkpoint_fractions
         )
+        #: Evaluation plan of an option-less request, resolved once.
+        self._default_resolved = PredictOptions().resolve(
+            self.stream_length,
+            self.config.checkpoint_fractions,
+            self.config.early_exit,
+        )
+        #: EWMA of observed streaming throughput (stream cycles per
+        #: second per request batch), the deadline policy's clock.  None
+        #: until the first computed batch lands.
+        self._cycles_per_second: float | None = None
         self.cache = LruResultCache(self.config.cache_capacity)
         self.metrics = ServiceMetrics()
         self._pending: queue.Queue = queue.Queue()
@@ -178,23 +232,36 @@ class ScInferenceService:
 
     # -- request path ----------------------------------------------------------
 
-    def submit(self, images: np.ndarray) -> Future:
+    def submit(
+        self, images: np.ndarray, options: PredictOptions | None = None
+    ) -> Future:
         """Enqueue a request; the future resolves to an
         :class:`InferenceResponse`.
+
+        Validation is *fail-fast*: malformed images
+        (:class:`~repro.errors.ShapeError` /
+        :class:`~repro.errors.EncodingError`) and invalid or unsupported
+        options (:class:`~repro.errors.ConfigurationError`) raise here,
+        in the caller, never as a worker-side future error.
 
         Args:
             images: one ``(channels, height, width)`` image or a small
                 ``(batch, channels, height, width)`` batch in ``[0, 1]``.
+            options: per-request inference options
+                (:class:`~repro.config.PredictOptions`); ``None`` uses
+                the service defaults.
         """
         if self._closed:
             raise ConfigurationError("service is closed")
         arr = Backend._check_images(images)
         if arr.shape[0] == 0:
             raise ConfigurationError("a request needs at least one image")
+        resolved = self._resolve_options(options)
         if self.cache.capacity:
             digests = [image_digest(image) for image in arr]
             rows: list[CachedResult | None] = [
-                self._cache_lookup(digest) for digest in digests
+                self._cache_lookup(digest, resolved.cache_token)
+                for digest in digests
             ]
         else:
             # Cache disabled: skip the per-image digests and lookups
@@ -202,7 +269,7 @@ class ScInferenceService:
             # latency hot path for guaranteed misses).
             digests = [""] * arr.shape[0]
             rows = [None] * arr.shape[0]
-        request = _PendingRequest(arr, digests, rows)
+        request = _PendingRequest(arr, digests, rows, resolved)
         if request.n_compute == 0:
             self._finish(request, cache_hits=request.n_images, exits=())
             return request.future
@@ -217,15 +284,45 @@ class ScInferenceService:
         return request.future
 
     def infer(
-        self, images: np.ndarray, timeout: float | None = None
+        self,
+        images: np.ndarray,
+        options: PredictOptions | None = None,
+        timeout: float | None = None,
     ) -> InferenceResponse:
         """Synchronous convenience wrapper: submit and wait."""
-        return self.submit(images).result(timeout=timeout)
+        return self.submit(images, options).result(timeout=timeout)
 
-    def _cache_lookup(self, digest: str) -> CachedResult | None:
+    def _resolve_options(
+        self, options: PredictOptions | None
+    ) -> ResolvedPredictOptions:
+        """Resolve request options against this service's configuration.
+
+        Raises in the submitting caller when the request demands
+        stream-prefix evaluation (reduced stream length / explicit
+        checkpoints) but a configured shard backend cannot provide it.
+        """
+        if options is None:
+            return self._default_resolved
+        resolved = options.resolve(
+            self.stream_length,
+            self.config.checkpoint_fractions,
+            self.config.early_exit,
+        )
+        if resolved.explicit_schedule and not self._all_progressive:
+            raise ConfigurationError(
+                "per-request stream lengths / checkpoint schedules need "
+                "progressive backends, but this service is configured with "
+                f"{self._shard_names} (pick backends whose 'progressive' "
+                "capability flag is set)"
+            )
+        return resolved
+
+    def _cache_lookup(
+        self, digest: str, token: tuple
+    ) -> CachedResult | None:
         for name in self._shard_names:
             entry = self.cache.get(
-                LruResultCache.key(digest, name, self.stream_length)
+                LruResultCache.key(digest, name, self.stream_length, token)
             )
             if entry is not None:
                 return entry
@@ -294,36 +391,117 @@ class ScInferenceService:
     def _process_group(
         self, group: list[_PendingRequest], replica: Backend
     ) -> None:
-        images = np.concatenate(
-            [request.compute_images for request in group], axis=0
-        )
-        if self.config.early_exit and replica.progressive:
-            result = progressive_forward(
-                replica,
-                images,
-                checkpoints=self.checkpoints,
-                margin=self.config.margin,
-                stable_checkpoints=self.config.stable_checkpoints,
-            )
-            scores = result.scores
-            predictions = result.predictions
-            exits = result.exit_checkpoints
-        else:
-            scores = np.asarray(replica.forward(images))
-            predictions = np.argmax(scores, axis=-1)
-            exits = np.full(images.shape[0], self.stream_length)
-        offset = 0
+        # A merged batch may mix requests with different effective
+        # options; bucketing by evaluation plan keeps each sub-batch on
+        # one schedule (micro-batching stays transparent per bucket).
+        buckets: dict[tuple, list[_PendingRequest]] = {}
         for request in group:
+            buckets.setdefault(request.resolved.cache_token, []).append(request)
+        for bucket in buckets.values():
+            self._process_bucket(bucket, replica)
+
+    def _process_bucket(
+        self, bucket: list[_PendingRequest], replica: Backend
+    ) -> None:
+        resolved = bucket[0].resolved
+        points = resolved.checkpoints
+        images = np.concatenate(
+            [request.compute_images for request in bucket], axis=0
+        )
+        has_deadline = any(r.deadline_at is not None for r in bucket)
+        # Deadline-budgeted requests force the checkpoint path even with
+        # early exit off: the cap needs per-checkpoint scores to fall
+        # back on.  Non-progressive replicas degrade to a full forward
+        # pass (explicit schedules were already rejected at submit()).
+        use_checkpoints = replica.progressive and (
+            resolved.early_exit or resolved.explicit_schedule or has_deadline
+        )
+        started = time.perf_counter()
+        if use_checkpoints:
+            checkpoint_scores = np.asarray(
+                replica.forward_partial(images, points)
+            )
+            if resolved.early_exit:
+                policy = early_exit_from_scores(
+                    checkpoint_scores,
+                    points,
+                    margin=self.config.margin,
+                    stable_checkpoints=self.config.stable_checkpoints,
+                )
+                exit_index = np.searchsorted(
+                    np.asarray(points), policy.exit_checkpoints
+                )
+            else:
+                exit_index = np.full(images.shape[0], len(points) - 1)
+        else:
+            scores_full = np.asarray(replica.forward(images))
+            checkpoint_scores = scores_full[None]
+            points = (resolved.stream_length,)
+            exit_index = np.zeros(images.shape[0], dtype=int)
+        # The work done is always a full-stream simulation (progressive
+        # backends read checkpoints as prefixes of the complete streams),
+        # so the rate is priced in full-N cycles regardless of the
+        # bucket's schedule.
+        self._observe_rate(self.stream_length, time.perf_counter() - started)
+        now = time.perf_counter()
+        cycles = np.asarray(points)
+        offset = 0
+        for request in bucket:
             k = request.n_compute
-            window = slice(offset, offset + k)
+            index = exit_index[offset : offset + k]
+            cap = self._deadline_cap(request, points, now)
+            if cap is not None:
+                index = np.minimum(index, cap)
+            rows = np.arange(offset, offset + k)
+            scores = checkpoint_scores[index, rows]
             self._fulfill(
                 request,
                 replica,
-                scores[window],
-                predictions[window],
-                exits[window],
+                scores,
+                np.argmax(scores, axis=-1),
+                cycles[index],
             )
             offset += k
+
+    def _observe_rate(self, full_cycles: int, duration: float) -> None:
+        """Fold one batch evaluation into the streaming-rate estimate.
+
+        The deadline policy's clock: "an evaluation to ``C`` cycles
+        recently took ``T`` seconds" becomes ``C / T`` cycles per second,
+        smoothed exponentially.  Racy float updates between worker
+        threads are benign (any recent observation is a fine estimate).
+        """
+        if duration <= 0:
+            return
+        observed = full_cycles / duration
+        current = self._cycles_per_second
+        self._cycles_per_second = (
+            observed if current is None else 0.5 * current + 0.5 * observed
+        )
+
+    def _deadline_cap(
+        self,
+        request: _PendingRequest,
+        points: tuple[int, ...],
+        now: float,
+    ) -> int | None:
+        """Largest checkpoint index the request's remaining budget affords.
+
+        An expired deadline caps at the *first* checkpoint (the cheapest
+        answer the schedule offers); with no throughput estimate yet the
+        budget cannot be priced and the request runs uncapped.
+        """
+        if request.deadline_at is None:
+            return None
+        remaining = request.deadline_at - now
+        if remaining <= 0:
+            return 0
+        rate = self._cycles_per_second
+        if rate is None:
+            return None
+        budget_cycles = remaining * rate
+        cap = int(np.searchsorted(points, budget_cycles, side="right")) - 1
+        return max(0, cap)
 
     def _fulfill(
         self,
@@ -340,10 +518,15 @@ class ScInferenceService:
                 exit_checkpoint=int(exits[j]),
             )
             request.rows[index] = row
-            if self.cache.capacity:
+            # Deadline-truncated results are wall-clock artefacts: they
+            # must never satisfy a later request (resolved.cacheable).
+            if self.cache.capacity and request.resolved.cacheable:
                 self.cache.put(
                     LruResultCache.key(
-                        request.digests[index], replica.name, self.stream_length
+                        request.digests[index],
+                        replica.name,
+                        self.stream_length,
+                        request.resolved.cache_token,
                     ),
                     row,
                 )

@@ -25,7 +25,7 @@ import pytest
 
 from repro.backends import Backend, backend_names, create_backend, describe_backends
 from repro.backends.registry import backend_class
-from repro.config import ServiceConfig
+from repro.config import PredictOptions, ServiceConfig
 from repro.errors import ConfigurationError, EncodingError, ShapeError
 from repro.nn.architectures import LayerSpec, build_network
 from repro.nn.sc_layers import ScNetworkMapper
@@ -175,19 +175,27 @@ class TestForwardPartial:
 
     def test_checkpoint_validation(self, mapper, images):
         backend = create_backend("bit-exact-packed", mapper)
-        for bad in [(32, 64), (64, 32, 128), (0, 128), (32, 200), ()]:
+        for bad in [(64, 32, 128), (0, 128), (32, 200), ()]:
             with pytest.raises(ConfigurationError):
                 backend.forward_partial(images, bad)
 
+    def test_sub_full_schedule_matches_prefix_planes(self, mapper, images):
+        """Schedules stopping short of N are valid: per-request reduced
+        stream lengths read exactly the same prefixes."""
+        backend = create_backend("bit-exact-packed", mapper)
+        short = backend.forward_partial(images, (32, 64))
+        full = backend.forward_partial(images, (32, 64, 128))
+        assert np.array_equal(short, full[:2])
+
     def test_non_progressive_backend_raises(self, mapper, images):
-        backend = create_backend("bit-exact-batched", mapper)
+        backend = create_backend("float", mapper)
         assert backend.progressive is False
         with pytest.raises(ConfigurationError, match="progressive"):
             backend.forward_partial(images, (64, 128))
 
     def test_progressive_forward_degrades_gracefully(self, mapper, images):
         """Non-progressive backends run one full pass, exiting at N."""
-        backend = create_backend("bit-exact-batched", mapper)
+        backend = create_backend("float", mapper)
         result = progressive_forward(backend, images)
         assert np.array_equal(result.scores, backend.forward(images))
         assert np.all(result.exit_checkpoints == mapper.stream_length)
@@ -222,7 +230,30 @@ class TestForwardPartial:
         assert backend_class("sc-fast").progressive is True
         assert backend_class("bit-exact-packed").progressive is True
         assert backend_class("float").progressive is False
-        assert backend_class("bit-exact-legacy").progressive is False
+        # Since the batched/legacy prefix-popcount path landed, every
+        # bit-exact backend is progressive.
+        assert backend_class("bit-exact-batched").progressive is True
+        assert backend_class("bit-exact-legacy").progressive is True
+
+    def test_batched_and_legacy_prefixes_match_packed(self, mapper, images):
+        """All bit-exact backends decode identical checkpoint scores."""
+        checkpoints = (13, 64, 128)
+        packed = create_backend("bit-exact-packed", mapper).forward_partial(
+            images, checkpoints
+        )
+        batched = create_backend("bit-exact-batched", mapper).forward_partial(
+            images, checkpoints
+        )
+        legacy = create_backend("bit-exact-legacy", mapper).forward_partial(
+            images[:2], checkpoints
+        )
+        assert np.array_equal(batched, packed)
+        assert np.array_equal(legacy, packed[:, :2])
+
+    def test_batched_final_checkpoint_is_bit_exact(self, mapper, images):
+        backend = create_backend("bit-exact-batched", mapper)
+        partial = backend.forward_partial(images, (64, 128))
+        assert np.array_equal(partial[-1], backend.forward(images))
 
 
 class TestImageValidation:
@@ -423,12 +454,175 @@ class TestService:
             service.submit(images[0])
 
     def test_rejects_malformed_requests(self, mapper):
+        """Fail-fast: malformed requests raise in the submitting caller,
+        never as a worker-side future error."""
         config = ServiceConfig(backend="sc-fast", num_workers=1)
         with ScInferenceService(mapper, config) as service:
             with pytest.raises(ShapeError):
                 service.submit(np.zeros((28, 28)))
+            with pytest.raises(EncodingError):
+                service.submit(np.full((1, 1, 28, 28), 2.0))
+            with pytest.raises(EncodingError):
+                service.submit(np.zeros((1, 1, 28, 28), dtype="U1"))
             with pytest.raises(ConfigurationError):
                 service.submit(np.zeros((0, 1, 28, 28)))
+
+    def test_rejects_invalid_options_in_caller(self, mapper, images):
+        config = ServiceConfig(backend="bit-exact-packed", num_workers=1)
+        with ScInferenceService(mapper, config) as service:
+            with pytest.raises(ConfigurationError, match="exceeds"):
+                service.submit(
+                    images[:1],
+                    PredictOptions(stream_length=mapper.stream_length * 2),
+                )
+            with pytest.raises(ConfigurationError):
+                service.submit(images[:1], PredictOptions(deadline_ms=0.0))
+
+    def test_explicit_schedule_needs_progressive_shards(self, mapper, images):
+        config = ServiceConfig(backend="float", num_workers=1)
+        with ScInferenceService(mapper, config) as service:
+            with pytest.raises(ConfigurationError, match="progressive"):
+                service.submit(images[:1], PredictOptions(stream_length=64))
+
+    def test_progressive_gate_reads_replica_instances(self, mapper, images):
+        """ParallelBackend mirrors its inner backend's flags per instance;
+        the submit-time gate must read the replica, not the class."""
+        config = ServiceConfig(backend="bit-exact-packed-mp", num_workers=1)
+        with ScInferenceService(
+            mapper, config, workers=2, inner_backend="float"
+        ) as service:
+            with pytest.raises(ConfigurationError, match="progressive"):
+                service.submit(images[:1], PredictOptions(stream_length=64))
+
+
+class TestPerRequestOptions:
+    """PredictOptions reach the serving layer (the PR's acceptance bar)."""
+
+    def _service(self, mapper, **overrides):
+        settings = dict(
+            backend="bit-exact-packed",
+            num_workers=1,
+            max_batch_size=8,
+            max_wait_ms=1.0,
+            cache_capacity=64,
+            early_exit=False,
+        )
+        settings.update(overrides)
+        return ScInferenceService(mapper, ServiceConfig(**settings))
+
+    def test_reduced_stream_length_reads_exact_prefix(self, mapper, images):
+        reference = create_backend("bit-exact-packed", mapper)
+        with self._service(mapper, cache_capacity=0) as service:
+            response = service.infer(
+                images[:2], PredictOptions(stream_length=64), timeout=300
+            )
+        assert np.all(response.exit_checkpoints == 64)
+        assert np.array_equal(
+            response.scores,
+            reference.forward_partial(images[:2], (64,))[-1],
+        )
+
+    def test_different_schedules_never_share_a_cache_entry(
+        self, mapper, images
+    ):
+        with self._service(mapper) as service:
+            first = service.infer(images[:1], timeout=300)
+            assert not first.cached[0]
+            # Same image, different stream length: a must-miss.
+            shorter = service.infer(
+                images[:1], PredictOptions(stream_length=64), timeout=300
+            )
+            assert not shorter.cached[0]
+            assert shorter.exit_checkpoints[0] == 64
+            # Same image, different checkpoint schedule: a must-miss too.
+            rescheduled = service.infer(
+                images[:1],
+                PredictOptions(checkpoints=(32, 96), early_exit=True),
+                timeout=300,
+            )
+            assert not rescheduled.cached[0]
+            # Identical options do hit their own entries.
+            assert service.infer(images[:1], timeout=300).cached[0]
+            assert service.infer(
+                images[:1], PredictOptions(stream_length=64), timeout=300
+            ).cached[0]
+
+    def test_expired_deadline_lowers_exit_checkpoints(self, mapper, images):
+        """A tight per-request deadline measurably lowers exit checkpoints."""
+        with self._service(mapper, cache_capacity=0) as service:
+            unhurried = service.infer(images[:2], timeout=300)
+            hurried = service.infer(
+                images[2:4], PredictOptions(deadline_ms=1e-6), timeout=300
+            )
+        first_checkpoint = service.checkpoints[0]
+        assert np.all(unhurried.exit_checkpoints == mapper.stream_length)
+        assert np.all(hurried.exit_checkpoints == first_checkpoint)
+        assert hurried.exit_checkpoints.max() < unhurried.exit_checkpoints.min()
+        # The truncated scores are the exact stream prefix at the exit.
+        reference = create_backend("bit-exact-packed", mapper)
+        prefix = reference.forward_partial(images[2:4], (first_checkpoint,))
+        assert np.array_equal(hurried.scores, prefix[-1])
+
+    def test_deadline_results_never_enter_the_cache(self, mapper, images):
+        with self._service(mapper) as service:
+            hurried = service.infer(
+                images[4:5], PredictOptions(deadline_ms=1e-6), timeout=300
+            )
+            assert hurried.exit_checkpoints[0] == service.checkpoints[0]
+            # A later default request must recompute at full length, not
+            # inherit the wall-clock-truncated scores.
+            follow_up = service.infer(images[4:5], timeout=300)
+            assert not follow_up.cached[0]
+            assert follow_up.exit_checkpoints[0] == mapper.stream_length
+
+    def test_deadline_requests_may_read_cached_full_results(
+        self, mapper, images
+    ):
+        with self._service(mapper) as service:
+            service.infer(images[:1], timeout=300)
+            hurried = service.infer(
+                images[:1], PredictOptions(deadline_ms=1e-6), timeout=300
+            )
+            # A cached full-quality answer is instantaneous: better than
+            # any truncation the deadline could buy.
+            assert hurried.cached[0]
+            assert hurried.exit_checkpoints[0] == mapper.stream_length
+
+    def test_mixed_option_batches_stay_bit_identical(self, mapper, images):
+        """One merged batch, three different schedules: every request is
+        answered as if it ran alone (bucketed evaluation)."""
+        reference = create_backend("bit-exact-packed", mapper)
+        with self._service(
+            mapper, cache_capacity=0, max_wait_ms=50.0
+        ) as service:
+            futures = [
+                service.submit(images[:2]),
+                service.submit(images[2:4], PredictOptions(stream_length=64)),
+                service.submit(images[4:6], PredictOptions(early_exit=True)),
+            ]
+            default, shorter, exiting = [
+                f.result(timeout=300) for f in futures
+            ]
+        assert np.array_equal(default.scores, reference.forward(images[:2]))
+        assert np.array_equal(
+            shorter.scores, reference.forward_partial(images[2:4], (64,))[-1]
+        )
+        partial = reference.forward_partial(
+            images[4:6], service.checkpoints
+        )
+        for row, exit_point in enumerate(exiting.exit_checkpoints):
+            k = service.checkpoints.index(int(exit_point))
+            assert np.array_equal(exiting.scores[row], partial[k, row])
+
+    def test_per_request_early_exit_override(self, mapper, images):
+        """early_exit=True on a default-off service takes the policy path."""
+        with self._service(mapper, cache_capacity=0) as service:
+            response = service.infer(
+                images, PredictOptions(early_exit=True), timeout=300
+            )
+        assert set(np.unique(response.exit_checkpoints)) <= set(
+            service.checkpoints
+        )
 
     def test_unknown_backend_fails_at_construction(self, mapper):
         with pytest.raises(ConfigurationError, match="unknown backend"):
