@@ -24,13 +24,21 @@ relocate it, delete the directory to retrain).  Sections:
 * **cache** -- repeated traffic against the LRU result cache, reporting
   the hit rate.
 
+* **fault sweep** (``--faults``) -- a fault-free baseline burst asserting
+  *zero SLO violations* (no request shed, failed or unresolved), then a
+  burst under an injected replica crash, straggler and poisoned batch
+  (:mod:`repro.serve.faults`) asserting the supervision accounting:
+  every future resolves, the crash restarts the replica and the retried
+  batch succeeds, the poison surfaces as typed failures.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--output PATH]
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--faults]
+        [--output PATH]
 
-``--smoke`` shrinks the training budget and the load burst (used by the
-CI smoke job and ``tests/test_serve.py``); the early-exit acceptance
-thresholds are asserted in both modes.
+``--smoke`` (alias ``--quick``) shrinks the training budget and the load
+burst (used by the CI smoke jobs and ``tests/test_serve.py``); the
+early-exit acceptance thresholds are asserted in both modes.
 """
 
 from __future__ import annotations
@@ -314,7 +322,131 @@ def bench_cache(mapper, images, n_unique: int, repeats: int) -> dict:
     return entry
 
 
-def run(smoke: bool, output: Path, artifact: Path | None = None) -> dict:
+def bench_faults(mapper, images, smoke: bool) -> dict:
+    """Fault sweep: baseline SLO guard, then an injected-fault run.
+
+    The baseline burst runs fault-free and asserts **zero SLO
+    violations** (a violation is a request that was shed, failed, or
+    never resolved) -- the CI guard that the robustness machinery is
+    inert when nothing is failing.  The faulted burst injects a replica
+    crash, a straggler and a poisoned batch through a deterministic
+    :class:`~repro.serve.FaultPlan` and asserts the supervision
+    accounting: every submitted future resolves (result or typed error),
+    the crash produced a restart + retry, and the poisoned batch
+    produced typed failures -- never a hung client.
+    """
+    from repro.errors import InferenceError, ServiceOverloadError
+    from repro.serve import (
+        FaultPlan,
+        PoisonedBatch,
+        ReplicaCrash,
+        SlowReplica,
+    )
+
+    n_requests = 32 if smoke else 96
+
+    def _drive(config: ServiceConfig) -> tuple[dict, dict]:
+        answered = failed = shed = 0
+        with ScInferenceService(mapper, config) as service:
+            futures = []
+            for i in range(n_requests):
+                try:
+                    futures.append(service.submit(images[i % images.shape[0]]))
+                except ServiceOverloadError:
+                    shed += 1
+                # Pace the burst so the scheduler forms several small
+                # batches instead of two max-size ones -- the fault plan
+                # targets batch sequence numbers, so enough execution
+                # attempts must happen for every injector to fire.
+                if i % 4 == 3:
+                    time.sleep(0.005)
+            for future in futures:
+                try:
+                    future.result(timeout=120)
+                    answered += 1
+                except InferenceError:
+                    failed += 1
+            snapshot = service.metrics.snapshot()
+        accounting = {
+            "requests": n_requests,
+            "answered": answered,
+            "failed": failed,
+            "shed_at_submit": shed,
+            "unresolved": n_requests - answered - failed - shed,
+        }
+        return accounting, snapshot
+
+    def _config(plan=None) -> ServiceConfig:
+        return ServiceConfig(
+            backend="sc-fast",
+            max_batch_size=16,
+            max_wait_ms=2.0,
+            num_workers=2,
+            cache_capacity=0,
+            early_exit=True,
+            margin=MARGIN,
+            stable_checkpoints=STABLE_CHECKPOINTS,
+            fault_plan=plan,
+        )
+
+    baseline_accounting, baseline_snapshot = _drive(_config())
+    baseline_violations = (
+        baseline_accounting["failed"]
+        + baseline_accounting["shed_at_submit"]
+        + baseline_accounting["unresolved"]
+    )
+    print(
+        f"  baseline: {baseline_accounting['answered']}/{n_requests} "
+        f"answered, {baseline_violations} SLO violations"
+    )
+    assert baseline_violations == 0, (
+        f"fault-free baseline violated its SLO {baseline_violations} "
+        f"time(s): {baseline_accounting}"
+    )
+
+    plan = FaultPlan(
+        ReplicaCrash(at_batch=0),
+        SlowReplica(at_batch=2, delay_s=0.02),
+        PoisonedBatch(at_batch=4),
+        seed=0,
+    )
+    fault_accounting, fault_snapshot = _drive(_config(plan))
+    counters = fault_snapshot["faults"]
+    print(
+        f"  faulted:  {fault_accounting['answered']}/{n_requests} answered, "
+        f"{fault_accounting['failed']} typed failures, "
+        f"{counters['restarts']} restart(s), {counters['retries']} retry(ies)"
+    )
+    assert fault_accounting["unresolved"] == 0, (
+        f"futures left unresolved under injected faults: {fault_accounting}"
+    )
+    assert counters["restarts"] >= 1, "injected crash produced no restart"
+    assert counters["retries"] >= 1, "injected crash produced no retry"
+    assert fault_accounting["failed"] >= 1, (
+        "injected poisoned batch produced no typed failure"
+    )
+    return {
+        "requests_per_run": n_requests,
+        "baseline": {
+            **baseline_accounting,
+            "slo_violations": baseline_violations,
+            "latency_ms": baseline_snapshot["latency_ms"],
+        },
+        "faulted": {
+            **fault_accounting,
+            "injected": plan.fired,
+            "counters": counters,
+            "latency_ms": fault_snapshot["latency_ms"],
+        },
+    }
+
+
+def run(
+    smoke: bool,
+    output: Path,
+    artifact: Path | None = None,
+    faults: bool = False,
+) -> dict:
     if artifact is None:
         artifact = output.parent / (output.stem + "_model")
     model, images, labels, artifact_reused = _load_served_model(smoke, artifact)
@@ -339,6 +471,9 @@ def run(smoke: bool, output: Path, artifact: Path | None = None) -> dict:
         "load_sweep": sweep,
         "cache": cache,
     }
+    if faults:
+        print("fault sweep (SLO-violation accounting):")
+        report["fault_sweep"] = bench_faults(mapper, images, smoke)
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {output}")
     print(
@@ -357,6 +492,19 @@ def main(argv: list[str] | None = None) -> int:
         help="small training budget and load burst (CI smoke run)",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        dest="smoke",
+        help="alias for --smoke",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the fault sweep: a fault-free baseline asserting zero "
+        "SLO violations, then an injected crash/straggler/poison burst "
+        "with supervision accounting",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_serve.json",
@@ -372,7 +520,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.touch()
-    run(args.smoke, args.output, args.artifact)
+    run(args.smoke, args.output, args.artifact, faults=args.faults)
     return 0
 
 

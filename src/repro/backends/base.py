@@ -209,10 +209,25 @@ class Backend(abc.ABC):
     def close(self) -> None:
         """Release backend-held resources (process pools, arenas).
 
-        The default is a no-op; backends that own operating-system
-        resources (e.g. the process pool of
-        :class:`~repro.backends.parallel.ParallelBackend`) override it.
-        The serving layer closes every worker replica on shutdown.
+        The contract every backend must honour:
+
+        * **Idempotent** -- calling ``close()`` any number of times is
+          safe and cheap; a second close is a no-op.
+        * **Use-after-close** -- backends that own operating-system
+          resources (e.g. the process pool of
+          :class:`~repro.backends.parallel.ParallelBackend`) must reject
+          ``forward`` / ``forward_partial`` after ``close()`` with a
+          :class:`~repro.errors.ConfigurationError` rather than silently
+          resurrecting the resource.  Pure in-process backends (whose
+          default ``close()`` is this no-op) remain usable.
+        * **Never raises** on resources that are already gone -- close
+          is called from ``__exit__`` paths, GC finalizers and the
+          serving layer's shutdown, where a secondary failure would mask
+          the primary one.
+
+        The serving layer closes every worker replica on shutdown, and
+        its replica supervision closes a failed replica before building
+        its replacement.
         """
 
     def predict(self, images: np.ndarray) -> np.ndarray:

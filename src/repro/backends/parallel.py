@@ -24,6 +24,19 @@ The backend registers as ``bit-exact-packed-mp`` and implements both
 unchanged wherever ``bit-exact-packed`` fits (a typical serving
 configuration runs **one** service worker thread whose replica is a
 parallel backend, instead of many single-core replicas).
+
+**Fault tolerance.**  A worker process dying mid-call (OOM kill, signal,
+crash in a native library) breaks the whole pool -- every in-flight and
+future submit raises ``BrokenProcessPool``.  Instead of surfacing that to
+the caller, the backend runs a **circuit breaker**: the broken pool is
+torn down, the call is answered by the in-process inner replica
+(bit-identical by construction -- the shards were only a placement
+decision), and the breaker stays *open* for an exponentially growing
+cooldown during which every call short-circuits to the inner replica.
+Once the cooldown expires, the next sharded call rebuilds the pool from
+the pickled payload -- or, when ``artifact_path`` is set, by rehydrating
+worker replicas from the shared on-disk artifact.  Chaos tests inject the
+failure with :meth:`ParallelBackend.break_pool`.
 """
 
 from __future__ import annotations
@@ -32,8 +45,10 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -143,6 +158,47 @@ def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
     executor.shutdown(wait=False, cancel_futures=True)
 
 
+def _reap_executor(executor: ProcessPoolExecutor, patience: float = 5.0) -> None:
+    """Shut a discarded pool down and see its manager thread all the way out.
+
+    The executor manager thread is non-daemon; if it is still alive when
+    the interpreter exits, ``threading._shutdown`` joins it forever.  For a
+    healthy pool ``shutdown`` winds it down promptly, but a *broken* pool
+    (workers killed mid-call) can wedge it inside its internal cleanup:
+    joining a worker process that ignored ``SIGTERM``, or joining the
+    call-queue feeder thread stuck writing to a pipe no process reads any
+    more.  After ``patience`` seconds both obstructions are removed by
+    force -- leftover workers are killed and the feeder's pipe writer is
+    closed -- and the join is retried, so a stuck manager thread always
+    finishes instead of hanging process exit.
+    """
+    manager = getattr(executor, "_executor_manager_thread", None)
+    executor.shutdown(wait=False, cancel_futures=True)
+    if manager is None:
+        return
+    manager.join(patience)
+    if not manager.is_alive():
+        return
+    for process in list(getattr(manager, "processes", {}).values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - process already gone
+            pass
+    call_queue = getattr(manager, "call_queue", None)
+    writer = getattr(call_queue, "_writer", None)
+    if writer is not None:
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+    manager.join(patience)
+
+
+def _worker_pid() -> int:
+    """Trivial pool task: ensure at least one worker process is spawned."""
+    return os.getpid()
+
+
 @register_backend
 class ParallelBackend(Backend):
     """Process-sharded wrapper around a batch-invariant inner backend.
@@ -171,12 +227,19 @@ class ParallelBackend(Backend):
             configuration must match ``mapper``; sessions opened with
             :meth:`repro.api.Session.from_artifact` wire this up
             automatically.
+        breaker_cooldown_s: base circuit-breaker cooldown after a
+            ``BrokenProcessPool``; while the breaker is open every call
+            is served by the in-process inner replica (bit-identical),
+            and the cooldown doubles with each consecutive break.
         **backend_options: forwarded to every inner-replica constructor
             (e.g. ``position_chunk``).
 
     The worker pool is created lazily on the first sharded call and
     reused across calls; :meth:`close` (also invoked by the serving
-    layer on shutdown, and as a GC finalizer) tears it down.
+    layer on shutdown, and as a GC finalizer) tears it down.  ``close``
+    is idempotent, and any ``forward`` / ``forward_partial`` after it
+    raises :class:`~repro.errors.ConfigurationError` (the
+    :meth:`Backend.close` contract).
     """
 
     name = "bit-exact-packed-mp"
@@ -198,9 +261,14 @@ class ParallelBackend(Backend):
         min_shard_images: int = 1,
         start_method: str | None = None,
         artifact_path: str | None = None,
+        breaker_cooldown_s: float = 5.0,
         **backend_options: object,
     ) -> None:
         super().__init__(mapper)
+        if breaker_cooldown_s < 0:
+            raise ConfigurationError(
+                f"breaker_cooldown_s must be >= 0, got {breaker_cooldown_s}"
+            )
         inner_cls = backend_class(inner_backend)
         if not getattr(inner_cls, "batch_invariant", False):
             raise ConfigurationError(
@@ -237,6 +305,17 @@ class ParallelBackend(Backend):
         self.inner = create_backend(inner_backend, mapper, **backend_options)
         self._executor: ProcessPoolExecutor | None = None
         self._finalizer = None
+        self._closed = False
+        # Circuit-breaker state: consecutive pool breaks and the
+        # monotonic instant until which the breaker stays open (calls
+        # short-circuit to the in-process inner replica).
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self._breaker_lock = threading.Lock()
+        self._pool_breaks = 0
+        self._breaker_open_until = 0.0
+        # Reaper threads escorting discarded (broken) pools out; joined
+        # in close() so no executor manager thread outlives the backend.
+        self._reapers: list[threading.Thread] = []
         n_classes = None
         for layer in mapper.network.layers:
             if isinstance(layer, Dense):
@@ -361,6 +440,90 @@ class ParallelBackend(Backend):
             shm_out.close()
             shm_out.unlink()
 
+    # -- circuit breaker -------------------------------------------------------
+
+    @property
+    def pool_breaks(self) -> int:
+        """Number of ``BrokenProcessPool`` failures absorbed so far."""
+        return self._pool_breaks
+
+    @property
+    def breaker_open(self) -> bool:
+        """True while calls short-circuit to the in-process replica."""
+        with self._breaker_lock:
+            return time.monotonic() < self._breaker_open_until
+
+    def _trip_breaker(self) -> None:
+        """Absorb one pool break: discard the pool, open the breaker.
+
+        The cooldown doubles with every consecutive break (capped at
+        ``64 x`` the base) so a persistently failing environment settles
+        into the in-process fallback instead of thrashing pool rebuilds.
+        """
+        with self._breaker_lock:
+            self._pool_breaks += 1
+            cooldown = self.breaker_cooldown_s * min(
+                64, 2 ** (self._pool_breaks - 1)
+            )
+            self._breaker_open_until = time.monotonic() + cooldown
+            self._teardown_executor(wait=False)
+
+    def _teardown_executor(self, wait: bool) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        if wait:
+            _reap_executor(executor)
+            return
+        # Called from a serving thread mid-request (breaker trip): don't
+        # block on the broken pool's wind-down, but don't abandon it
+        # either -- an executor manager thread left stuck (killed workers
+        # that never reap, a queue feeder wedged on a dead pipe) is
+        # non-daemon and would hang interpreter shutdown at the
+        # concurrent.futures atexit join.  A daemon reaper escorts it out
+        # and close() joins the reaper.
+        reaper = threading.Thread(
+            target=_reap_executor,
+            args=(executor,),
+            name="repro-pool-reaper",
+            daemon=True,
+        )
+        reaper.start()
+        self._reapers.append(reaper)
+
+    def break_pool(self) -> bool:
+        """Kill the live worker processes (fault injection / chaos tests).
+
+        Sabotages the pool for real -- the next sharded call observes a
+        genuine ``BrokenProcessPool`` and the circuit breaker engages.
+        Spawns a worker first if the lazy pool has none yet; returns
+        False when the backend is closed (nothing to break).
+        """
+        if self._closed:
+            return False
+        executor = self._ensure_executor()
+        try:
+            # Touch the pool so at least one worker process exists to kill.
+            executor.submit(_worker_pid).result()
+        except BrokenProcessPool:
+            # Already broken (e.g. workers failed to spawn): the sabotage
+            # this method exists to inflict has happened on its own.
+            return True
+        processes = list(getattr(executor, "_processes", {}).values())
+        for process in processes:
+            process.kill()
+        return bool(processes)
+
+    def _ensure_usable(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                f"backend {self.name!r} is closed; build a new instance "
+                "instead of reusing a closed one"
+            )
+
     # -- Backend interface -----------------------------------------------------
 
     def forward(self, images: np.ndarray) -> np.ndarray:
@@ -373,12 +536,17 @@ class ParallelBackend(Backend):
         Returns:
             ``(batch, n_classes)`` class scores.
         """
+        self._ensure_usable()
         images = self._check_images(images)
         shards = self._plan_shards(images.shape[0])
-        if len(shards) <= 1:
+        if len(shards) <= 1 or self.breaker_open:
             return self.inner.forward(images)
         out_shape = (images.shape[0], self._n_classes)
-        return self._run_sharded(images, shards, out_shape, None)
+        try:
+            return self._run_sharded(images, shards, out_shape, None)
+        except BrokenProcessPool:
+            self._trip_breaker()
+            return self.inner.forward(images)
 
     def forward_partial(self, images: np.ndarray, checkpoints) -> np.ndarray:
         """Checkpoint scores, bit-identical to the inner backend's.
@@ -388,22 +556,27 @@ class ParallelBackend(Backend):
         inner backend; the checkpoint axis leads in the shared output
         buffer so shard writes stay disjoint.
         """
+        self._ensure_usable()
         points = self._check_checkpoints(checkpoints)
         images = self._check_images(images)
         shards = self._plan_shards(images.shape[0])
-        if len(shards) <= 1:
+        if len(shards) <= 1 or self.breaker_open:
             return self.inner.forward_partial(images, points)
         out_shape = (len(points), images.shape[0], self._n_classes)
-        return self._run_sharded(images, shards, out_shape, points)
+        try:
+            return self._run_sharded(images, shards, out_shape, points)
+        except BrokenProcessPool:
+            self._trip_breaker()
+            return self.inner.forward_partial(images, points)
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._finalizer is not None:
-            self._finalizer.detach()
-            self._finalizer = None
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        """Shut the worker pool down (idempotent; use-after-close raises)."""
+        self._closed = True
+        self._teardown_executor(wait=True)
+        reapers, self._reapers = self._reapers, []
+        for reaper in reapers:
+            reaper.join(timeout=15.0)
+        self.inner.close()
 
     def __enter__(self) -> "ParallelBackend":
         return self

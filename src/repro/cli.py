@@ -315,6 +315,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import PredictOptions, Session
     from repro.config import ServiceConfig
+    from repro.errors import ServiceOverloadError
 
     backend, backend_options = backend_selection(args)
     config = ServiceConfig(
@@ -323,6 +324,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         num_workers=1 if backend_options else args.service_workers,
         cache_capacity=args.cache_capacity,
+        max_queue_depth=args.max_queue_depth,
+        shed_unmeetable_deadlines=args.shed_unmeetable_deadlines,
+        degrade_queue_depth=args.degrade_queue_depth,
+        degraded_max_fraction=args.degraded_max_fraction,
     )
     # `is not None` (not truthiness): a zero deadline must reach the
     # PredictOptions validator and raise, not silently mean "no deadline".
@@ -341,16 +346,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"(N = {session.stream_length})..."
         )
         with session.serve(config) as service:
-            futures = [
-                service.submit(images[i], options) for i in range(n)
-            ]
-            responses = [f.result(timeout=600) for f in futures]
+            # With bounded admission configured, the burst of submits may
+            # be shed; a shed request is simply not answered (the point
+            # of fast rejection is that callers decide how to retry).
+            futures = {}
+            for i in range(n):
+                try:
+                    futures[i] = service.submit(images[i], options)
+                except ServiceOverloadError:
+                    pass
+            responses = {
+                i: f.result(timeout=600) for i, f in futures.items()
+            }
             snapshot = service.metrics.snapshot()
+    answered = len(responses)
     correct = sum(
         int(r.predictions[0]) == int(labels[i])
-        for i, r in enumerate(responses)
+        for i, r in responses.items()
     )
-    print(f"accuracy over served requests: {correct / n:.3f}")
+    if answered:
+        print(
+            f"accuracy over served requests: {correct / answered:.3f} "
+            f"({answered}/{n} answered)"
+        )
+    faults = snapshot["faults"]
+    if faults["shed"]["total"] or faults["degraded_requests"]:
+        print(
+            f"overload behaviour:            "
+            f"{faults['shed']['total']} shed, "
+            f"{faults['degraded_requests']} degraded"
+        )
     print(f"mean micro-batch size:         {snapshot['mean_batch_size']:.1f}")
     if snapshot["mean_exit_checkpoint"] is not None:
         print(
@@ -488,6 +513,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-request latency budget (deadline-aware exits)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="bounded admission: shed submits past this many in-flight "
+        "requests (default: unbounded)",
+    )
+    serve.add_argument(
+        "--shed-unmeetable-deadlines",
+        action="store_true",
+        help="reject requests whose --deadline-ms cannot buy the first "
+        "checkpoint at the observed streaming rate",
+    )
+    serve.add_argument(
+        "--degrade-queue-depth",
+        type=int,
+        default=None,
+        help="overload degradation: past this queue depth, answer from "
+        "a truncated checkpoint schedule",
+    )
+    serve.add_argument(
+        "--degraded-max-fraction",
+        type=float,
+        default=0.5,
+        help="largest checkpoint fraction of N served while degraded",
     )
     serve.set_defaults(func=_cmd_serve)
 

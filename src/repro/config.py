@@ -120,6 +120,36 @@ class ServiceConfig:
             an early exit to fire.
         stable_checkpoints: number of consecutive checkpoints whose
             predicted class must agree (ending at the exit checkpoint).
+        max_queue_depth: bounded admission -- maximum number of admitted,
+            unfinished requests; a submit beyond it raises
+            :class:`~repro.errors.ServiceOverloadError` in the caller
+            (``None`` = unbounded, the pre-fault-tolerance behaviour).
+        shed_unmeetable_deadlines: reject (rather than queue) requests
+            whose ``deadline_ms`` cannot even afford the first checkpoint
+            under the service's EWMA cycles/sec estimate.
+        max_replica_restarts: per-replica budget of automatic restarts
+            after unexpected backend exceptions (``0`` disables
+            supervision restarts).
+        restart_backoff_ms: base of the exponential backoff slept before
+            restart ``k`` of a replica (``base * 2**k``, capped at 1 s).
+        max_batch_retries: times a failed merged-batch bucket is retried
+            (on the restarted replica) before its requests' futures fail
+            with a typed :class:`~repro.errors.InferenceError`.
+        degrade_queue_depth: overload controller trigger -- when more
+            than this many admitted requests are unfinished, progressive
+            replicas answer at reduced checkpoint schedules
+            (``None`` = queue depth never triggers degradation).
+        degrade_p99_ms: ... or when the recent p99 latency exceeds this
+            many milliseconds (``None`` = latency never triggers it).
+        degraded_max_fraction: under degradation, checkpoint schedules
+            are capped at this fraction of the stream length (default
+            ``0.5``: answers come from the ``N/8 .. N/2`` prefixes).
+            Degraded results are never stored in the result cache.
+        fault_plan: optional fault-injection hook
+            (:class:`repro.serve.faults.FaultPlan`, or any object with a
+            compatible ``before_batch(worker, replica)`` method) invoked
+            before every bucket execution attempt -- the chaos-testing
+            seam; ``None`` in production.
     """
 
     backend: str | tuple[str, ...] = DEFAULT_BACKEND
@@ -131,6 +161,15 @@ class ServiceConfig:
     checkpoint_fractions: tuple[float, ...] = DEFAULT_CHECKPOINT_FRACTIONS
     margin: float = 0.1
     stable_checkpoints: int = 2
+    max_queue_depth: int | None = None
+    shed_unmeetable_deadlines: bool = False
+    max_replica_restarts: int = 3
+    restart_backoff_ms: float = 10.0
+    max_batch_retries: int = 1
+    degrade_queue_depth: int | None = None
+    degrade_p99_ms: float | None = None
+    degraded_max_fraction: float = 0.5
+    fault_plan: object | None = None
 
     def __post_init__(self) -> None:
         names = (
@@ -179,6 +218,48 @@ class ServiceConfig:
         if self.stable_checkpoints < 1:
             raise ConfigurationError(
                 f"stable_checkpoints must be >= 1, got {self.stable_checkpoints}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_replica_restarts < 0:
+            raise ConfigurationError(
+                f"max_replica_restarts must be >= 0, got "
+                f"{self.max_replica_restarts}"
+            )
+        if self.restart_backoff_ms < 0:
+            raise ConfigurationError(
+                f"restart_backoff_ms must be >= 0, got "
+                f"{self.restart_backoff_ms}"
+            )
+        if self.max_batch_retries < 0:
+            raise ConfigurationError(
+                f"max_batch_retries must be >= 0, got {self.max_batch_retries}"
+            )
+        if self.degrade_queue_depth is not None and self.degrade_queue_depth < 1:
+            raise ConfigurationError(
+                f"degrade_queue_depth must be >= 1, got "
+                f"{self.degrade_queue_depth}"
+            )
+        if self.degrade_p99_ms is not None and not self.degrade_p99_ms > 0:
+            raise ConfigurationError(
+                f"degrade_p99_ms must be > 0, got {self.degrade_p99_ms}"
+            )
+        if not 0.0 < self.degraded_max_fraction <= 1.0:
+            raise ConfigurationError(
+                f"degraded_max_fraction must lie in (0, 1], got "
+                f"{self.degraded_max_fraction}"
+            )
+        # Duck-typed so this module stays import-light (the concrete
+        # FaultPlan lives above the config layer, in repro.serve.faults).
+        if self.fault_plan is not None and not callable(
+            getattr(self.fault_plan, "before_batch", None)
+        ):
+            raise ConfigurationError(
+                "fault_plan must expose a before_batch(worker, replica) "
+                f"method (see repro.serve.faults.FaultPlan), got "
+                f"{self.fault_plan!r}"
             )
 
     @property

@@ -16,6 +16,8 @@ __all__ = [
     "SimulationError",
     "TrainingError",
     "DatasetError",
+    "InferenceError",
+    "ServiceOverloadError",
 ]
 
 
@@ -49,3 +51,31 @@ class TrainingError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset could not be generated or loaded."""
+
+
+class InferenceError(ReproError):
+    """A submitted request failed during execution.
+
+    The serving layer's typed per-request failure: when a backend replica
+    raises while evaluating a merged batch (and retries are exhausted),
+    the affected requests' futures resolve with this error instead of the
+    raw backend exception -- and *only* those requests fail; the worker
+    thread and every other queued request keep running.  The original
+    backend exception is chained as ``__cause__``.
+    """
+
+
+class ServiceOverloadError(ReproError):
+    """A request was shed by admission control before it was queued.
+
+    Raised in the submitting caller (never as a future error) when the
+    service's pending queue is at ``max_queue_depth``, or when the
+    request's ``deadline_ms`` is already unmeetable under the current
+    throughput estimate.  The :attr:`reason` attribute carries the
+    shedding category (``"queue_full"`` or ``"deadline"``) so callers can
+    implement category-specific backoff.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full") -> None:
+        super().__init__(message)
+        self.reason = reason

@@ -17,7 +17,12 @@ stream cycles can each request get away with*.  It contains:
 * :mod:`~repro.serve.cache` -- an LRU result cache keyed on
   ``(image digest, backend name, stream length)``.
 * :mod:`~repro.serve.metrics` -- latency percentiles, throughput,
-  micro-batch sizes, cache hit rate and mean exit checkpoint.
+  micro-batch sizes, cache hit rate, mean exit checkpoint, and the
+  fault-tolerance counters (sheds, retries, restarts, degradations).
+* :mod:`~repro.serve.faults` -- deterministic, seedable fault injection
+  (:class:`~repro.serve.faults.FaultPlan`) wired in via
+  :attr:`~repro.config.ServiceConfig.fault_plan`, so chaos tests of the
+  supervision / admission / degradation paths are ordinary pytest tests.
 
 ``benchmarks/bench_serve.py`` drives the whole stack with a load
 generator and records the latency/throughput curves and early-exit
@@ -26,7 +31,16 @@ is the minimal end-to-end walkthrough.
 """
 
 from repro.config import ServiceConfig
+from repro.errors import InferenceError, ServiceOverloadError
 from repro.serve.cache import CachedResult, LruResultCache, image_digest
+from repro.serve.faults import (
+    FaultPlan,
+    InjectedCrashError,
+    PoisonedBatch,
+    PoolBreak,
+    ReplicaCrash,
+    SlowReplica,
+)
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.progressive import (
     ProgressiveResult,
@@ -48,4 +62,12 @@ __all__ = [
     "CachedResult",
     "image_digest",
     "ServiceMetrics",
+    "InferenceError",
+    "ServiceOverloadError",
+    "FaultPlan",
+    "ReplicaCrash",
+    "SlowReplica",
+    "PoisonedBatch",
+    "PoolBreak",
+    "InjectedCrashError",
 ]

@@ -12,6 +12,15 @@ hit rate alongside the early-exit savings.  The options component
 two requests that differ only in checkpoint schedule or per-request
 stream length from ever sharing an entry -- the scores stored for one
 schedule are stale for the other.
+
+Only *nominal* results enter the cache.  Deadline-truncated answers
+(wall-clock artefacts of one request's latency budget) and
+overload-degraded answers (truncated schedules served while the
+service's degradation controller is engaged, see
+:mod:`repro.serve.service`) are never stored: a later request at the
+same key expects full-precision scores, and a cache poisoned with an
+early-checkpoint answer would silently serve it long after the overload
+has passed.
 """
 
 from __future__ import annotations

@@ -53,6 +53,13 @@ class ServiceMetrics:
         self._started = time.perf_counter()
         self._first_completion: float | None = None
         self._last_completion: float | None = None
+        # Fault-tolerance counters (exact running totals).
+        self._sheds: dict[str, int] = {}
+        self._degraded_requests = 0
+        self._retries = 0
+        self._restarts = 0
+        self._failed_requests = 0
+        self._cancelled_requests = 0
 
     def record_batch(self, n_images: int) -> None:
         """One merged batch dispatched to a worker."""
@@ -95,6 +102,49 @@ class ServiceMetrics:
                 self._first_completion = now
             self._last_completion = now
 
+    def record_shed(self, reason: str) -> None:
+        """One request rejected by admission control (never queued)."""
+        with self._lock:
+            self._sheds[reason] = self._sheds.get(reason, 0) + 1
+
+    def record_degraded(self, n_requests: int = 1) -> None:
+        """Requests answered at an overload-capped checkpoint schedule."""
+        with self._lock:
+            self._degraded_requests += int(n_requests)
+
+    def record_retry(self) -> None:
+        """One merged-batch bucket re-executed after a replica failure."""
+        with self._lock:
+            self._retries += 1
+
+    def record_restart(self) -> None:
+        """One backend replica rebuilt by the supervision path."""
+        with self._lock:
+            self._restarts += 1
+
+    def record_failure(self, n_requests: int = 1) -> None:
+        """Requests whose futures resolved with a typed InferenceError."""
+        with self._lock:
+            self._failed_requests += int(n_requests)
+
+    def record_cancelled(self) -> None:
+        """One request cancelled (e.g. timeout abandonment) before compute."""
+        with self._lock:
+            self._cancelled_requests += 1
+
+    def recent_p99_ms(self) -> float | None:
+        """p99 latency over the sliding window, in milliseconds.
+
+        The overload controller's latency trigger; ``None`` until the
+        first request completes.
+        """
+        with self._lock:
+            if not self._latencies:
+                return None
+            return float(
+                np.percentile(np.asarray(self._latencies), 99) * 1e3
+            )
+
     def snapshot(self) -> dict:
         """Current aggregate view (all quantities are cheap to recompute).
 
@@ -136,6 +186,17 @@ class ServiceMetrics:
                     if self._spent_cycles
                     else None
                 ),
+                "faults": {
+                    "shed": {
+                        **self._sheds,
+                        "total": sum(self._sheds.values()),
+                    },
+                    "degraded_requests": self._degraded_requests,
+                    "retries": self._retries,
+                    "restarts": self._restarts,
+                    "failed_requests": self._failed_requests,
+                    "cancelled_requests": self._cancelled_requests,
+                },
             }
             if (
                 self._first_completion is not None

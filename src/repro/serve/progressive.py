@@ -38,9 +38,26 @@ from repro.errors import ConfigurationError, ShapeError
 __all__ = [
     "ProgressiveResult",
     "resolve_checkpoints",
+    "cap_checkpoints",
     "early_exit_from_scores",
     "progressive_forward",
 ]
+
+
+def cap_checkpoints(
+    checkpoints: tuple[int, ...], cap: int
+) -> tuple[int, ...]:
+    """Truncate a checkpoint schedule to the points at or below ``cap``.
+
+    The degradation lever behind overload control: because checkpoint
+    scores are exact stream prefixes, a schedule cut short still yields
+    *correct* (reduced-precision) answers — the service answers at
+    ``N/8..cap`` instead of shedding.  When every point exceeds ``cap``
+    the first point alone survives: an early answer is the whole point
+    of degrading, so the schedule never becomes empty.
+    """
+    capped = tuple(p for p in checkpoints if p <= cap)
+    return capped if capped else checkpoints[:1]
 
 
 @dataclass(frozen=True)

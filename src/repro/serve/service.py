@@ -29,6 +29,25 @@ scores are bit-identical no matter which requests it was coalesced with
 -- the property ``tests/test_serve.py`` pins down.  Merged batches may
 mix requests with different effective options; the worker buckets them by
 evaluation plan, which preserves that transparency per bucket.
+
+**Fault tolerance.**  A worker thread never dies with its batch: failures
+are classified by exception type.  :class:`~repro.errors.InferenceError`
+is *request-scoped* -- the affected futures fail with it, the replica is
+presumed healthy, no retry.  Any other exception is *replica-scoped*:
+the worker closes and rebuilds its replica (exponential backoff, bounded
+by ``max_replica_restarts``) and re-executes the bucket up to
+``max_batch_retries`` times before failing the futures with a typed
+:class:`~repro.errors.InferenceError` chaining the original cause.
+Bounded admission (``max_queue_depth``) fast-rejects submits with
+:class:`~repro.errors.ServiceOverloadError` instead of queueing without
+bound, and ``shed_unmeetable_deadlines`` rejects requests whose
+``deadline_ms`` cannot buy even the first checkpoint at the observed
+streaming rate.  Under overload (queue depth or recent p99 latency past
+the ``degrade_*`` thresholds) the service answers progressive requests
+from a truncated checkpoint schedule (``degraded_max_fraction`` of the
+stream); degraded answers are flagged on the response and never enter
+the result cache.  Deterministic fault injection for all of this lives
+in :mod:`repro.serve.faults`.
 """
 
 from __future__ import annotations
@@ -36,7 +55,8 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -46,11 +66,19 @@ from repro.backends import backend_class, create_backend
 from repro.backends.base import Backend
 from repro.backends.parallel import ParallelBackend
 from repro.config import PredictOptions, ResolvedPredictOptions, ServiceConfig
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    InferenceError,
+    ServiceOverloadError,
+)
 from repro.nn.sc_layers import ScNetworkMapper
 from repro.serve.cache import CachedResult, LruResultCache, image_digest
 from repro.serve.metrics import ServiceMetrics
-from repro.serve.progressive import early_exit_from_scores, resolve_checkpoints
+from repro.serve.progressive import (
+    cap_checkpoints,
+    early_exit_from_scores,
+    resolve_checkpoints,
+)
 
 __all__ = ["InferenceResponse", "ScInferenceService"]
 
@@ -73,6 +101,10 @@ class InferenceResponse:
         cached: ``(batch,)`` boolean mask of images served from the cache.
         stream_length: full stream length ``N`` of the service.
         latency_seconds: submit-to-response wall time.
+        degraded: True when overload shedding answered this request from
+            a truncated checkpoint schedule (the scores are exact prefix
+            evaluations, just earlier ones than the request asked for);
+            degraded results never enter the result cache.
     """
 
     scores: np.ndarray
@@ -81,6 +113,7 @@ class InferenceResponse:
     cached: np.ndarray
     stream_length: int
     latency_seconds: float
+    degraded: bool = False
 
 
 class _PendingRequest:
@@ -96,6 +129,7 @@ class _PendingRequest:
         "submitted_at",
         "resolved",
         "deadline_at",
+        "counted",
     )
 
     def __init__(
@@ -106,7 +140,14 @@ class _PendingRequest:
         resolved: ResolvedPredictOptions,
     ) -> None:
         self.future: Future = Future()
+        # Back-pointer for ScInferenceService.cancel(): given only the
+        # future a caller holds, find the request to release its
+        # admission slot.  (Cycle future <-> request; the GC copes.)
+        self.future.sc_request = self
         self.n_images = images.shape[0]
+        #: True while the request occupies an admission slot
+        #: (``_inflight``); cleared exactly once on finish/fail/cancel.
+        self.counted = False
         self.compute_indices = [i for i, row in enumerate(rows) if row is None]
         self.compute_images = images[self.compute_indices]
         self.digests = digests
@@ -176,6 +217,10 @@ class ScInferenceService:
         # pool by default, round-robin sharding across several registry
         # backends when the config names more than one.
         self._replicas = []
+        # Construction recipe per worker slot, kept so the supervision
+        # path can rebuild a crashed replica from scratch (a replica
+        # built from an artifact path is rebuilt from the same path).
+        self._replica_specs: list[tuple[str, dict]] = []
         for i in range(self.config.num_workers):
             name = names[i % len(names)]
             options = dict(backend_options)
@@ -183,6 +228,7 @@ class ScInferenceService:
                 backend_class(name), ParallelBackend
             ):
                 options.setdefault("artifact_path", str(artifact_path))
+            self._replica_specs.append((name, options))
             self._replicas.append(create_backend(name, mapper, **options))
         self._shard_names = tuple(dict.fromkeys(names))
         # Per-request reduced stream lengths / explicit schedules need
@@ -214,17 +260,29 @@ class ScInferenceService:
         self._dispatch: queue.Queue = queue.Queue()
         self._closed = False
         self._close_lock = threading.Lock()
+        #: Requests admitted but not yet resolved; bounded by
+        #: ``max_queue_depth`` and read by the degradation controller.
+        #: Guarded by ``_close_lock`` (same lock that serialises admission
+        #: with close()).
+        self._inflight = 0
+        #: Replica restarts consumed per worker slot (the restart budget
+        #: ``max_replica_restarts`` is per slot, not service-wide).
+        self._restart_counts = [0] * self.config.num_workers
+        self._fault_plan = self.config.fault_plan
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="sc-serve-scheduler", daemon=True
         )
+        # Workers are handed their slot *index*, not the replica object:
+        # the supervision path swaps ``_replicas[index]`` on restart and
+        # the worker must pick up the replacement on the next attempt.
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
-                args=(replica,),
+                args=(i,),
                 name=f"sc-serve-worker-{i}",
                 daemon=True,
             )
-            for i, replica in enumerate(self._replicas)
+            for i in range(len(self._replicas))
         ]
         self._scheduler.start()
         for worker in self._workers:
@@ -243,6 +301,15 @@ class ScInferenceService:
         :class:`~repro.errors.EncodingError`) and invalid or unsupported
         options (:class:`~repro.errors.ConfigurationError`) raise here,
         in the caller, never as a worker-side future error.
+
+        Admission is *bounded*: with ``max_queue_depth`` configured, a
+        request arriving while that many are already in flight is shed
+        with :class:`~repro.errors.ServiceOverloadError` (reason
+        ``"queue_full"``) instead of queueing without bound; with
+        ``shed_unmeetable_deadlines`` on, a request whose ``deadline_ms``
+        cannot buy even the first checkpoint at the observed streaming
+        rate is shed with reason ``"deadline"``.  Requests fully served
+        from the cache bypass admission (they never queue).
 
         Args:
             images: one ``(channels, height, width)`` image or a small
@@ -273,15 +340,61 @@ class ScInferenceService:
         if request.n_compute == 0:
             self._finish(request, cache_hits=request.n_images, exits=())
             return request.future
+        self._shed_unmeetable_deadline(resolved)
         # Enqueueing is serialised with close(): the closed re-check and
         # the put happen under the lock close() uses to enqueue its
         # shutdown sentinel, so a request can never land behind the
-        # sentinel drain and leave its future unresolved.
+        # sentinel drain and leave its future unresolved.  The same lock
+        # makes the depth check and the in-flight increment atomic.
         with self._close_lock:
             if self._closed:
                 raise ConfigurationError("service is closed")
+            depth = self.config.max_queue_depth
+            if depth is not None and self._inflight >= depth:
+                self.metrics.record_shed("queue_full")
+                raise ServiceOverloadError(
+                    f"admission queue is full ({self._inflight} requests "
+                    f"in flight, max_queue_depth={depth}); retry later "
+                    "or raise max_queue_depth",
+                    reason="queue_full",
+                )
+            self._inflight += 1
+            request.counted = True
             self._pending.put(request)
         return request.future
+
+    def _shed_unmeetable_deadline(
+        self, resolved: ResolvedPredictOptions
+    ) -> None:
+        """Reject a deadline the observed streaming rate cannot meet.
+
+        Off by default (``shed_unmeetable_deadlines``): the compatible
+        behaviour is to answer an expired deadline from the first
+        checkpoint.  When on, a request whose latency budget prices to
+        fewer cycles than its *first* checkpoint is shed at submit --
+        before it occupies an admission slot -- since the cheapest answer
+        the service could give would already blow the deadline.  Until
+        the first batch lands there is no rate estimate and nothing is
+        shed.
+        """
+        if (
+            not self.config.shed_unmeetable_deadlines
+            or resolved.deadline_ms is None
+        ):
+            return
+        rate = self._cycles_per_second
+        if rate is None:
+            return
+        budget_cycles = resolved.deadline_ms / 1e3 * rate
+        first = resolved.checkpoints[0]
+        if budget_cycles < first:
+            self.metrics.record_shed("deadline")
+            raise ServiceOverloadError(
+                f"deadline of {resolved.deadline_ms:g} ms buys "
+                f"~{budget_cycles:.0f} stream cycles at the observed "
+                f"rate, below the first checkpoint ({first} cycles)",
+                reason="deadline",
+            )
 
     def infer(
         self,
@@ -289,8 +402,45 @@ class ScInferenceService:
         options: PredictOptions | None = None,
         timeout: float | None = None,
     ) -> InferenceResponse:
-        """Synchronous convenience wrapper: submit and wait."""
-        return self.submit(images, options).result(timeout=timeout)
+        """Synchronous convenience wrapper: submit and wait.
+
+        On ``timeout`` the request is *cancelled* before re-raising: an
+        abandoned request must not keep occupying an admission slot and
+        worker time nobody will read.  Cancellation only succeeds while
+        the request is still queued (futures never enter the running
+        state here); a request a worker is already computing completes
+        normally and its result is dropped.
+        """
+        future = self.submit(images, options)
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            self.cancel(future)
+            raise
+
+    def cancel(self, future: Future) -> bool:
+        """Drop a submitted request before a worker picks it up.
+
+        Returns True when the future was still pending and is now
+        cancelled: its admission slot is released immediately, workers
+        skip it at dispatch, and the cancellation is counted in
+        :class:`~repro.serve.metrics.ServiceMetrics`.  Returns False when
+        the request already resolved (or was already cancelled).
+        """
+        if not future.cancel():
+            return False
+        request = getattr(future, "sc_request", None)
+        if isinstance(request, _PendingRequest):
+            self._release(request)
+        self.metrics.record_cancelled()
+        return True
+
+    def _release(self, request: _PendingRequest) -> None:
+        """Give back the request's admission slot (exactly once)."""
+        with self._close_lock:
+            if request.counted:
+                request.counted = False
+                self._inflight -= 1
 
     def _resolve_options(
         self, options: PredictOptions | None
@@ -376,29 +526,126 @@ class ScInferenceService:
 
     # -- workers ---------------------------------------------------------------
 
-    def _worker_loop(self, replica: Backend) -> None:
+    def _worker_loop(self, index: int) -> None:
+        """One worker thread: execute dispatched groups, never die.
+
+        Every failure mode below resolves the affected futures with a
+        typed error; the blanket handler is the last line of defence
+        against bugs in the bookkeeping itself (not the execution path,
+        which :meth:`_execute_bucket` supervises) and likewise routes the
+        failure to the batch's futures instead of killing the thread.
+        """
         while True:
             group = self._dispatch.get()
             if group is _SHUTDOWN:
                 return
             try:
-                self._process_group(group, replica)
+                self._process_group(group, index)
             except Exception as exc:  # pragma: no cover - defensive
-                for request in group:
-                    if not request.future.done():
-                        request.future.set_exception(exc)
+                error = InferenceError(
+                    f"internal serving error on worker {index}: {exc!r}"
+                )
+                error.__cause__ = exc
+                self._fail_bucket(group, error)
 
     def _process_group(
-        self, group: list[_PendingRequest], replica: Backend
+        self, group: list[_PendingRequest], index: int
     ) -> None:
         # A merged batch may mix requests with different effective
         # options; bucketing by evaluation plan keeps each sub-batch on
         # one schedule (micro-batching stays transparent per bucket).
+        # Requests cancelled while queued are dropped here, before any
+        # compute is spent on them (their slot was already released).
         buckets: dict[tuple, list[_PendingRequest]] = {}
         for request in group:
+            if request.future.cancelled():
+                continue
             buckets.setdefault(request.resolved.cache_token, []).append(request)
         for bucket in buckets.values():
-            self._process_bucket(bucket, replica)
+            self._execute_bucket(bucket, index)
+
+    def _execute_bucket(
+        self, bucket: list[_PendingRequest], index: int
+    ) -> None:
+        """Run one bucket under replica supervision.
+
+        Failure policy, by exception type:
+
+        * :class:`~repro.errors.InferenceError` (and injected poisoned
+          batches) is request-scoped: fail this bucket's futures, keep
+          the replica, never retry.
+        * Anything else is replica-scoped (a crash): close and rebuild
+          the worker's replica (exponential backoff, bounded by the
+          per-slot restart budget) and re-execute the bucket, up to
+          ``max_batch_retries`` retries.  When the budget or the retries
+          run out the futures fail with a typed error chaining the
+          original crash.
+        """
+        attempts = 1 + self.config.max_batch_retries
+        for attempt in range(attempts):
+            replica = self._replicas[index]
+            try:
+                if self._fault_plan is not None:
+                    self._fault_plan.before_batch(
+                        worker=index, replica=replica
+                    )
+                self._process_bucket(bucket, replica)
+                return
+            except InferenceError as exc:
+                self._fail_bucket(bucket, exc)
+                return
+            except Exception as exc:
+                retriable = (
+                    attempt + 1 < attempts and self._restart_replica(index)
+                )
+                if not retriable:
+                    error = InferenceError(
+                        f"batch execution failed on worker {index} after "
+                        f"{attempt + 1} attempt(s): {exc!r}"
+                    )
+                    error.__cause__ = exc
+                    self._fail_bucket(bucket, error)
+                    return
+                self.metrics.record_retry()
+
+    def _restart_replica(self, index: int) -> bool:
+        """Rebuild worker ``index``'s replica after a crash.
+
+        Returns False when the slot's restart budget
+        (``max_replica_restarts``) is spent -- the caller then fails the
+        bucket instead of retrying.  Backoff doubles per consumed restart
+        (``restart_backoff_ms`` base, capped at one second) so a
+        hard-crashing replica cannot spin the worker.
+        """
+        used = self._restart_counts[index]
+        if used >= self.config.max_replica_restarts:
+            return False
+        delay = min(self.config.restart_backoff_ms / 1e3 * (2**used), 1.0)
+        if delay > 0:
+            time.sleep(delay)
+        old = self._replicas[index]
+        try:
+            old.close()
+        except Exception:  # pragma: no cover - close() contract says no
+            pass
+        name, options = self._replica_specs[index]
+        self._replicas[index] = create_backend(name, self.mapper, **options)
+        self._restart_counts[index] = used + 1
+        self.metrics.record_restart()
+        return True
+
+    def _fail_bucket(
+        self, bucket: list[_PendingRequest], error: BaseException
+    ) -> None:
+        """Resolve a bucket's futures with ``error`` (never raises)."""
+        for request in bucket:
+            try:
+                request.future.set_exception(error)
+            except InvalidStateError:
+                # Cancelled (slot already released) or already resolved.
+                continue
+            self._release(request)
+            self.metrics.record_failure()
 
     def _process_bucket(
         self, bucket: list[_PendingRequest], replica: Backend
@@ -409,12 +656,27 @@ class ScInferenceService:
             [request.compute_images for request in bucket], axis=0
         )
         has_deadline = any(r.deadline_at is not None for r in bucket)
+        # Overload degradation: when the controller reports a cap, the
+        # bucket's schedule is truncated to the checkpoints at or below
+        # it (keeping at least the first).  The answers are still exact
+        # prefix evaluations -- just earlier ones -- and are flagged
+        # degraded so they never poison the full-precision cache.
+        degrade_cap = self._degrade_cap()
+        degraded = False
+        if degrade_cap is not None and replica.progressive:
+            capped = cap_checkpoints(points, degrade_cap)
+            if capped != points:
+                points = capped
+                degraded = True
         # Deadline-budgeted requests force the checkpoint path even with
         # early exit off: the cap needs per-checkpoint scores to fall
         # back on.  Non-progressive replicas degrade to a full forward
         # pass (explicit schedules were already rejected at submit()).
         use_checkpoints = replica.progressive and (
-            resolved.early_exit or resolved.explicit_schedule or has_deadline
+            resolved.early_exit
+            or resolved.explicit_schedule
+            or has_deadline
+            or degraded
         )
         started = time.perf_counter()
         if use_checkpoints:
@@ -460,8 +722,33 @@ class ScInferenceService:
                 scores,
                 np.argmax(scores, axis=-1),
                 cycles[index],
+                degraded=degraded,
             )
             offset += k
+
+    def _degrade_cap(self) -> int | None:
+        """Stream-cycle cap of the overload controller, or None.
+
+        Overload is either queue pressure (``degrade_queue_depth``
+        requests in flight) or latency pressure (recent p99 past
+        ``degrade_p99_ms``).  While overloaded, progressive buckets are
+        answered from checkpoints at or below
+        ``degraded_max_fraction * N``.  Reads of ``_inflight`` are
+        intentionally lock-free: an off-by-one cap decision is harmless.
+        """
+        cfg = self.config
+        if cfg.degrade_queue_depth is None and cfg.degrade_p99_ms is None:
+            return None
+        overloaded = (
+            cfg.degrade_queue_depth is not None
+            and self._inflight >= cfg.degrade_queue_depth
+        )
+        if not overloaded and cfg.degrade_p99_ms is not None:
+            p99 = self.metrics.recent_p99_ms()
+            overloaded = p99 is not None and p99 > cfg.degrade_p99_ms
+        if not overloaded:
+            return None
+        return max(1, int(cfg.degraded_max_fraction * self.stream_length))
 
     def _observe_rate(self, full_cycles: int, duration: float) -> None:
         """Fold one batch evaluation into the streaming-rate estimate.
@@ -510,6 +797,7 @@ class ScInferenceService:
         scores: np.ndarray,
         predictions: np.ndarray,
         exits: np.ndarray,
+        degraded: bool = False,
     ) -> None:
         for j, index in enumerate(request.compute_indices):
             row = CachedResult(
@@ -518,9 +806,14 @@ class ScInferenceService:
                 exit_checkpoint=int(exits[j]),
             )
             request.rows[index] = row
-            # Deadline-truncated results are wall-clock artefacts: they
-            # must never satisfy a later request (resolved.cacheable).
-            if self.cache.capacity and request.resolved.cacheable:
+            # Deadline-truncated results are wall-clock artefacts and
+            # degraded results are overload artefacts: neither may ever
+            # satisfy a later full-precision request.
+            if (
+                self.cache.capacity
+                and request.resolved.cacheable
+                and not degraded
+            ):
                 self.cache.put(
                     LruResultCache.key(
                         request.digests[index],
@@ -534,10 +827,15 @@ class ScInferenceService:
             request,
             cache_hits=request.n_images - request.n_compute,
             exits=tuple(int(p) for p in exits),
+            degraded=degraded,
         )
 
     def _finish(
-        self, request: _PendingRequest, cache_hits: int, exits
+        self,
+        request: _PendingRequest,
+        cache_hits: int,
+        exits,
+        degraded: bool = False,
     ) -> None:
         latency = time.perf_counter() - request.submitted_at
         base = request.response()
@@ -548,7 +846,15 @@ class ScInferenceService:
             cached=base.cached,
             stream_length=self.stream_length,
             latency_seconds=latency,
+            degraded=degraded,
         )
+        try:
+            request.future.set_result(response)
+        except InvalidStateError:
+            # Cancelled between dispatch and completion: the result is
+            # dropped and the admission slot was released by cancel().
+            return
+        self._release(request)
         self.metrics.record_request(
             latency,
             exits,
@@ -556,7 +862,8 @@ class ScInferenceService:
             cache_hits=cache_hits,
             n_images=request.n_images,
         )
-        request.future.set_result(response)
+        if degraded:
+            self.metrics.record_degraded()
 
     # -- lifecycle -------------------------------------------------------------
 
