@@ -40,6 +40,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.backends import create_backend
+from repro.blocks.batched import feature_extraction_recurrence_words
 from repro.blocks.feature_extraction import SorterFeatureExtractionBlock
 from repro.blocks.pooling import SorterAveragePoolingBlock
 from repro.nn.architectures import LayerSpec, build_network
@@ -47,9 +48,11 @@ from repro.nn.sc_layers import ScNetworkMapper
 from repro.rng.lfsr import Lfsr
 from repro.sc.bitstream import Bitstream
 from repro.sc.ops import xnor_multiply
+from repro.sc import native
 from repro.sc.packed import (
     fused_xnor_column_counts,
     pack_bits,
+    pack_comparator_words,
     packed_column_counts,
     packed_xnor,
 )
@@ -427,6 +430,169 @@ def bench_parallel_scaling(length: int, n_images: int, worker_counts) -> list:
     return entries
 
 
+def bench_native_fused_counts(length: int) -> dict:
+    """Compiled fused XNOR+popcount vs the NumPy Harley-Seal CSA tree.
+
+    Both sides start from the same packed operands; the "legacy" side here
+    is the *current* NumPy fused kernel (itself already fused and
+    allocation-free), so the recorded speedup isolates exactly what native
+    code buys: hardware ``popcntq`` and no per-plane ufunc dispatch.
+    """
+    m, instances = 128, 64
+    rng = np.random.default_rng(4)
+    a = pack_bits(rng.integers(0, 2, (instances, m, length), dtype=np.uint8))
+    b = pack_bits(rng.integers(0, 2, (instances, m, length), dtype=np.uint8))
+    numpy_ws, native_ws = Workspace(), Workspace()
+    inner = max(1, TARGET_BIT_OPS // (instances * m * length))
+
+    def numpy_path():
+        for _ in range(inner):
+            out = fused_xnor_column_counts(a, b, length, workspace=numpy_ws)
+        return out
+
+    def native_path():
+        for _ in range(inner):
+            out = native.fused_xnor_column_counts(
+                a, b, length, workspace=native_ws
+            )
+        assert out is not None, "native fused kernel rejected a bench shape"
+        return out
+
+    return _entry(
+        "native-fused-counts",
+        length,
+        inner * instances * m * length,
+        numpy_path,
+        native_path,
+        lambda x, y: np.array_equal(x, y),
+        legacy_repeats=2,
+    )
+
+
+def bench_native_fe_stepper(length: int) -> dict:
+    """Compiled word-blocked FE stepper vs the NumPy strategy dispatcher."""
+    batch = 128
+    half, low, high = 4, -4, 5  # the m=9 sorter column bounds
+    rng = np.random.default_rng(6)
+    counts = rng.integers(0, 2 * half + 2, (length, batch), dtype=np.uint8)
+    numpy_ws, native_ws = Workspace(), Workspace()
+    inner = max(1, TARGET_BIT_OPS // (batch * length * 8))
+
+    def numpy_path():
+        for _ in range(inner):
+            out = feature_extraction_recurrence_words(
+                counts, half, low, high, workspace=numpy_ws
+            )
+        return out
+
+    def native_path():
+        for _ in range(inner):
+            out = native.feature_extraction_recurrence_words(
+                counts, half, low, high, workspace=native_ws
+            )
+        assert out is not None, "native FE stepper rejected a bench shape"
+        return out
+
+    return _entry(
+        "native-fe-stepper",
+        length,
+        inner * batch * length,
+        numpy_path,
+        native_path,
+        lambda x, y: np.array_equal(x, y),
+        legacy_repeats=2,
+    )
+
+
+def bench_native_pack_comparator(length: int) -> dict:
+    """Compiled word-direct SNG comparator vs the NumPy packbits fold."""
+    n_values = 256
+    rng = np.random.default_rng(8)
+    draws = rng.integers(0, 1 << 10, (n_values, length), dtype=np.int64)
+    thresholds = rng.integers(0, 1 << 10, n_values, dtype=np.int64)
+    inner = max(1, TARGET_BIT_OPS // (n_values * length))
+
+    def numpy_path():
+        for _ in range(inner):
+            out = pack_comparator_words(draws, thresholds)
+        return out
+
+    def native_path():
+        for _ in range(inner):
+            out = native.pack_comparator_words(draws, thresholds)
+        assert out is not None, "native comparator rejected a bench shape"
+        return out
+
+    return _entry(
+        "native-pack-comparator",
+        length,
+        inner * n_values * length,
+        numpy_path,
+        native_path,
+        lambda x, y: np.array_equal(x, y),
+        legacy_repeats=2,
+    )
+
+
+def bench_native_end_to_end(length: int, n_images: int) -> dict:
+    """Whole-network inference: NumPy packed plane vs compiled kernel tier."""
+    mapper = _bench_network_mapper(length)
+    images = np.random.default_rng(11).random((n_images, 1, 28, 28))
+    packed = create_backend("bit-exact-packed", mapper)
+    native_backend = create_backend("bit-exact-native", mapper)
+    return _entry(
+        "bit-exact-inference-native",
+        length,
+        n_images * length,
+        lambda: packed.forward(images),
+        lambda: native_backend.forward(images),
+        lambda a, b: np.array_equal(a, b),
+        new_repeats=2,
+        backend="bit-exact-native",
+        baseline_backend="bit-exact-packed",
+    )
+
+
+def bench_thread_scaling(length: int, n_images: int, worker_counts) -> list:
+    """Worker-count scaling sweep of the thread-sharded native backend.
+
+    The thread-mode counterpart of :func:`bench_parallel_scaling`: the
+    compiled kernels release the GIL, so shards genuinely overlap without
+    any process spawn or IPC cost.  Baseline is the single-core
+    ``bit-exact-native`` forward; comparing this sweep against the
+    process sweep at the same worker counts is the thread-vs-process
+    executor comparison in the report.
+    """
+    mapper = _bench_network_mapper(length)
+    images = np.random.default_rng(11).random((n_images, 1, 28, 28))
+    single = create_backend("bit-exact-native", mapper)
+    single.forward(images[:1])  # warm the workspace arena
+    entries = []
+    for workers in worker_counts:
+        parallel = create_backend(
+            "bit-exact-native-mp", mapper, workers=workers
+        )
+        try:
+            parallel.forward(images)  # warm the pool (and replica arenas)
+            entries.append(
+                _entry(
+                    "bit-exact-inference-native-mp",
+                    length,
+                    n_images * length,
+                    lambda: single.forward(images),
+                    lambda p=parallel: p.forward(images),
+                    lambda a, b: np.array_equal(a, b),
+                    new_repeats=2,
+                    backend="bit-exact-native-mp",
+                    baseline_backend="bit-exact-native",
+                    workers=workers,
+                )
+            )
+        finally:
+            parallel.close()
+    return entries
+
+
 def host_context() -> dict:
     """Host facts that make cross-run speedup comparisons interpretable."""
     return {
@@ -435,6 +601,7 @@ def host_context() -> dict:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "native": native.describe(),
     }
 
 
@@ -499,8 +666,41 @@ def _scaling_guard(entries: list, quick: bool) -> None:
     )
 
 
+def _native_guard(entries: list, require: bool) -> None:
+    """Compiled-tier guard: >= 2x over the NumPy fused CSA tree.
+
+    The native tier's contract is "same bits, materially faster"; the
+    fused XNOR+popcount reduction is the kernel with the least NumPy
+    overhead left to beat, so it is where the 2x floor is asserted.  The
+    guard is only *enforced* under ``--assert-native`` (the CI native
+    smoke job); without the flag a shortfall -- or an absent tier -- just
+    prints, so NumPy-only hosts stay green.
+    """
+    fused = [e for e in entries if e["kernel"] == "native-fused-counts"]
+    if not fused:
+        if require:
+            raise AssertionError(
+                "--assert-native: compiled kernel tier unavailable "
+                f"({native.native_error()})"
+            )
+        return
+    best = max(e["speedup"] for e in fused)
+    print(
+        f"  native guard: fused-counts best speedup {best:.2f}x over the "
+        f"NumPy CSA tree (floor 2.0x {'enforced' if require else 'advisory'})"
+    )
+    if require:
+        assert best >= 2.0, (
+            f"compiled fused-counts kernel reached only {best:.2f}x over "
+            "the NumPy CSA tree; the native tier must buy >= 2x"
+        )
+
+
 def run(
-    quick: bool, output: Path, history_limit: int = DEFAULT_HISTORY_LIMIT
+    quick: bool,
+    output: Path,
+    history_limit: int = DEFAULT_HISTORY_LIMIT,
+    assert_native: bool = False,
 ) -> dict:
     # Reject a bad limit before spending minutes measuring.
     if history_limit < 1:
@@ -515,6 +715,10 @@ def run(
         entries.append(bench_fused_counts(length))
         entries.append(bench_pooling(length))
         entries.append(bench_feature_extraction(length))
+        if native.available():
+            entries.append(bench_native_fused_counts(length))
+            entries.append(bench_native_fe_stepper(length))
+            entries.append(bench_native_pack_comparator(length))
     # End-to-end inference is dominated by the legacy per-image cost, so it
     # runs at a single stream length (longer in the full sweep); the
     # packed-vs-batched comparison has no per-image path and therefore
@@ -524,14 +728,25 @@ def run(
         entries.append(bench_end_to_end(256, n_images=2))
         entries.append(bench_packed_end_to_end(1024, n_images=2))
         entries.extend(bench_parallel_scaling(1024, n_images=4, worker_counts=(2,)))
+        if native.available():
+            entries.append(bench_native_end_to_end(1024, n_images=2))
+            entries.extend(
+                bench_thread_scaling(1024, n_images=4, worker_counts=(2,))
+            )
     else:
         entries.append(bench_end_to_end(1024, n_images=4))
         entries.append(bench_packed_end_to_end(8192, n_images=4))
         entries.extend(
             bench_parallel_scaling(8192, n_images=8, worker_counts=(1, 2, 4))
         )
+        if native.available():
+            entries.append(bench_native_end_to_end(8192, n_images=4))
+            entries.extend(
+                bench_thread_scaling(8192, n_images=8, worker_counts=(1, 2, 4))
+            )
     _memory_regression_guard(entries)
     _scaling_guard(entries, quick)
+    _native_guard(entries, assert_native)
     history = _load_history(output)
     history.append(
         {
@@ -598,11 +813,22 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_HISTORY_LIMIT,
         help="maximum runs kept in the report's accumulating history list",
     )
+    parser.add_argument(
+        "--assert-native",
+        action="store_true",
+        help="fail unless the compiled tier is available and beats the "
+        "NumPy fused-counts kernel by >= 2x (CI native smoke guard)",
+    )
     args = parser.parse_args(argv)
     # Fail on an unwritable report path before spending minutes measuring.
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.touch()
-    run(args.quick, args.output, history_limit=args.history_limit)
+    run(
+        args.quick,
+        args.output,
+        history_limit=args.history_limit,
+        assert_native=args.assert_native,
+    )
     return 0
 
 

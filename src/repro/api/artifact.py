@@ -9,8 +9,15 @@ directory holding
   the architecture spec (one entry per layer, reconstructible without the
   training code), the SC quantisation/stream configuration
   (``weight_bits``, ``stream_length``, ``seed``), free-form training
-  metadata, and a SHA-256 digest of the weights file;
-* ``weights.npz`` -- every trainable parameter array, in layer order.
+  metadata, and a SHA-256 digest of each payload file;
+* ``weights.npz`` -- every trainable parameter array, in layer order;
+* ``quantized.npz`` (format >= 1.1) -- the integer SNG comparator codes
+  of every parameter, i.e. the values the proposed hardware actually
+  stores on chip.  ``dequantize_weights(codes)`` reproduces
+  ``quantize_weights(weights)`` bit-exactly, so a loaded model hands the
+  mapper ready-made quantised parameters instead of re-deriving them
+  per entry point; 1.0 artifacts without the file still load (the
+  mapper falls back to quantising on the fly).
 
 ``save`` / ``load`` round-trip **bit-exactly**: the reconstructed
 :class:`~repro.nn.sc_layers.ScNetworkMapper` consumes its RNG identically
@@ -48,6 +55,7 @@ from repro.nn.layers import (
     LogitScale,
     Network,
 )
+from repro.nn.quantization import dequantize_weights, quantization_codes
 from repro.nn.sc_layers import ScNetworkMapper
 
 __all__ = ["ScModel", "FORMAT_NAME", "FORMAT_VERSION"]
@@ -56,10 +64,13 @@ __all__ = ["ScModel", "FORMAT_NAME", "FORMAT_VERSION"]
 FORMAT_NAME = "repro.sc-model"
 
 #: ``(major, minor)`` of the artifact layout this build reads and writes.
-FORMAT_VERSION = (1, 0)
+#: 1.1 added ``quantized.npz`` (native integer comparator codes); 1.0
+#: artifacts still load, and 1.0 readers ignore the additive file.
+FORMAT_VERSION = (1, 1)
 
 _MANIFEST = "manifest.json"
 _WEIGHTS = "weights.npz"
+_QUANTIZED = "quantized.npz"
 
 
 def _layer_to_spec(layer: Layer) -> dict[str, Any]:
@@ -155,6 +166,12 @@ class ScModel:
         seed: seed for stream generation / noise injection.
         metadata: free-form JSON-serialisable training metadata (dataset
             parameters, epochs, reference accuracies, ...).
+        quantized_params: optional pre-quantised parameter arrays (one
+            per network parameter, in layer order) as loaded from a
+            1.1 artifact's ``quantized.npz``; handed to the mapper so it
+            skips per-call quantisation.  ``None`` (the default, and
+            what 1.0 artifacts yield) makes the mapper quantise on the
+            fly -- bit-identical either way.
     """
 
     def __init__(
@@ -164,6 +181,7 @@ class ScModel:
         stream_length: int = 1024,
         seed: int = 2019,
         metadata: dict[str, Any] | None = None,
+        quantized_params: list[np.ndarray] | None = None,
     ) -> None:
         if stream_length <= 0:
             raise ConfigurationError("stream_length must be positive")
@@ -176,6 +194,7 @@ class ScModel:
         self.stream_length = int(stream_length)
         self.seed = int(seed)
         self.metadata: dict[str, Any] = dict(metadata or {})
+        self.quantized_params = quantized_params
         self._mapper: ScNetworkMapper | None = None
 
     @classmethod
@@ -206,13 +225,20 @@ class ScModel:
                 weight_bits=self.weight_bits,
                 stream_length=self.stream_length,
                 seed=self.seed,
+                quantized_params=self.quantized_params,
             )
         return self._mapper
 
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
-        """Write the artifact directory (``manifest.json`` + ``weights.npz``).
+        """Write the artifact directory.
+
+        ``manifest.json`` + ``weights.npz`` + ``quantized.npz``: the
+        float parameters are kept (older readers, float-backend
+        fidelity) and the integer comparator codes are stored natively
+        alongside them -- what the SNG hardware holds on chip, and what
+        the mapper consumes without re-quantising.
 
         Args:
             path: artifact directory; created (parents included) if
@@ -238,6 +264,15 @@ class ScModel:
         weights_sha256 = hashlib.sha256(
             (path / _WEIGHTS).read_bytes()
         ).hexdigest()
+        codes = {
+            f"qparam_{i:04d}": quantization_codes(p, self.weight_bits)
+            for i, p in enumerate(params)
+        }
+        with open(path / _QUANTIZED, "wb") as fh:
+            np.savez(fh, **codes)
+        quantized_sha256 = hashlib.sha256(
+            (path / _QUANTIZED).read_bytes()
+        ).hexdigest()
         manifest = {
             "format": FORMAT_NAME,
             "format_version": list(FORMAT_VERSION),
@@ -251,6 +286,7 @@ class ScModel:
             "seed": self.seed,
             "metadata": self.metadata,
             "weights_sha256": weights_sha256,
+            "quantized_sha256": quantized_sha256,
         }
         (path / _MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
         return path
@@ -355,15 +391,79 @@ class ScModel:
                 )
             param[...] = value.astype(np.float64, copy=False)
         try:
+            weight_bits = int(manifest["weight_bits"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _corrupt(path, f"malformed stream configuration ({exc})") from exc
+        quantized_params = cls._load_quantized(path, manifest, params, weight_bits)
+        try:
             return cls(
                 network,
-                weight_bits=int(manifest["weight_bits"]),
+                weight_bits=weight_bits,
                 stream_length=int(manifest["stream_length"]),
                 seed=int(manifest["seed"]),
                 metadata=manifest.get("metadata") or {},
+                quantized_params=quantized_params,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise _corrupt(path, f"malformed stream configuration ({exc})") from exc
+
+    @classmethod
+    def _load_quantized(
+        cls,
+        path: Path,
+        manifest: dict[str, Any],
+        params: list[np.ndarray],
+        weight_bits: int,
+    ) -> list[np.ndarray] | None:
+        """Load ``quantized.npz`` when the manifest records it (>= 1.1).
+
+        Pre-1.1 artifacts have no ``quantized_sha256`` field and yield
+        ``None`` (the mapper quantises on the fly -- bit-identical); a
+        manifest that records the file makes it mandatory, digest-checked
+        and shape-validated like the float weights.
+        """
+        recorded = manifest.get("quantized_sha256")
+        if recorded is None:
+            return None
+        quantized_path = path / _QUANTIZED
+        if not quantized_path.is_file():
+            raise _corrupt(
+                path,
+                f"manifest records quantized codes but {_QUANTIZED} is missing",
+            )
+        payload = quantized_path.read_bytes()
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != recorded:
+            raise _corrupt(
+                path,
+                f"quantized digest mismatch (manifest {recorded[:12]}..., "
+                f"file {actual[:12]}...)",
+            )
+        try:
+            with np.load(io.BytesIO(payload)) as archive:
+                stored = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError) as exc:
+            raise _corrupt(path, f"unreadable quantized codes ({exc})") from exc
+        if len(stored) != len(params):
+            raise _corrupt(
+                path,
+                f"{len(stored)} quantized parameter arrays for "
+                f"{len(params)} network parameters",
+            )
+        quantized_params = []
+        for i, param in enumerate(params):
+            key = f"qparam_{i:04d}"
+            if key not in stored:
+                raise _corrupt(path, f"missing quantized array {key}")
+            codes = stored[key]
+            if codes.shape != param.shape:
+                raise _corrupt(
+                    path,
+                    f"quantized array {key} has shape {codes.shape}, "
+                    f"expected {param.shape}",
+                )
+            quantized_params.append(dequantize_weights(codes, weight_bits))
+        return quantized_params
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -205,7 +205,8 @@ class Session:
     ) -> PredictResult:
         """Class scores and predictions under per-request options.
 
-        Resolution: ``options.workers`` selects the process-sharded
+        Resolution: ``options.workers`` (with ``options.executor``)
+        selects a sharded
         wrapper via the shared :func:`resolve_parallel_backend` policy; an
         explicit per-request ``stream_length`` / ``checkpoints`` schedule
         is read from stream prefixes (requires a progressive backend);
@@ -223,7 +224,7 @@ class Session:
         """
         resolved = (options or PredictOptions()).resolve(self.stream_length)
         name, parallel_options = resolve_parallel_backend(
-            backend or self.backend_name, resolved.workers
+            backend or self.backend_name, resolved.workers, resolved.executor
         )
         executor = self.backend(name, **parallel_options)
         if resolved.explicit_schedule and not executor.progressive:
@@ -278,6 +279,7 @@ class Session:
         backend: str | None = None,
         max_images: int | None = None,
         workers: int | None = None,
+        executor: str | None = None,
         **options: object,
     ):
         """Accuracy of the model under the named execution backend.
@@ -289,8 +291,11 @@ class Session:
             backend: registry name; ``None`` uses the session default.
             max_images: optional cap on the number of images evaluated
                 (bounds the memory of the bit-exact backends).
-            workers: shard the evaluation across this many processes
+            workers: shard the evaluation across this many workers
                 (shared :func:`resolve_parallel_backend` policy).
+            executor: ``"process"`` / ``"thread"`` shard executor;
+                ``None`` picks by inner backend (threads for the
+                compiled native tier).
             **options: forwarded to the backend constructor.
 
         Returns:
@@ -307,7 +312,7 @@ class Session:
         images = np.asarray(images)[:max_images]
         labels = np.asarray(labels)[:max_images]
         name, parallel_options = resolve_parallel_backend(
-            backend or self.backend_name, workers
+            backend or self.backend_name, workers, executor
         )
         # Explicit caller options win over the resolved sharding defaults
         # (e.g. a caller-provided inner_backend).

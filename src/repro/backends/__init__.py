@@ -7,16 +7,18 @@ strategy* that evaluates it.  Every strategy implements the
 a string key, so engines, reports, examples and benchmarks select an
 execution path by name:
 
-====================== ========= ========== ======= =========== =====================
-name                   bit-exact stochastic packed  progressive what it runs
-====================== ========= ========== ======= =========== =====================
-``float``              no        no         --      no          trained float network
-``sc-fast``            no        yes        --      yes         fast statistical model
-``bit-exact-legacy``     yes     yes        no      yes         per-image oracle
-``bit-exact-batched``    yes     yes        no      yes         batched uint8 path
-``bit-exact-packed``     yes     yes        yes     yes         packed data plane
-``bit-exact-packed-mp``  yes     yes        yes     yes         packed plane, process-sharded
-====================== ========= ========== ======= =========== =====================
+========================= ========= ========== ======= =========== =====================
+name                      bit-exact stochastic packed  progressive what it runs
+========================= ========= ========== ======= =========== =====================
+``float``                 no        no         --      no          trained float network
+``sc-fast``               no        yes        --      yes         fast statistical model
+``bit-exact-legacy``        yes     yes        no      yes         per-image oracle
+``bit-exact-batched``       yes     yes        no      yes         batched uint8 path
+``bit-exact-packed``        yes     yes        yes     yes         packed data plane
+``bit-exact-native``        yes     yes        yes     yes         packed plane, compiled kernels
+``bit-exact-packed-mp``     yes     yes        yes     yes         packed plane, process-sharded
+``bit-exact-native-mp``     yes     yes        yes     yes         native plane, thread-sharded
+========================= ========= ========== ======= =========== =====================
 
 All ``bit-exact-*`` backends produce *identical* scores; they only
 differ in speed.  ``batch_invariant`` backends guarantee per-image scores
@@ -33,8 +35,13 @@ flags, implement ``forward``, and decorate the class with
 """
 
 from repro.backends.base import Backend
+from repro.backends.native import BitExactNativeBackend
 from repro.backends.packed import BitExactPackedBackend
-from repro.backends.parallel import ParallelBackend, resolve_parallel_backend
+from repro.backends.parallel import (
+    NativeParallelBackend,
+    ParallelBackend,
+    resolve_parallel_backend,
+)
 from repro.backends.registry import (
     backend_class,
     backend_names,
@@ -61,6 +68,8 @@ __all__ = [
     "BitExactLegacyBackend",
     "BitExactBatchedBackend",
     "BitExactPackedBackend",
+    "BitExactNativeBackend",
     "ParallelBackend",
+    "NativeParallelBackend",
     "resolve_parallel_backend",
 ]

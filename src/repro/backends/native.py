@@ -1,0 +1,126 @@
+"""Bit-exact packed inference through the compiled kernel tier.
+
+:class:`BitExactNativeBackend` is :class:`~repro.backends.packed.BitExactPackedBackend`
+with its three hottest loops -- the fused XNOR->CSA column counts, the
+word-blocked feature-extraction stepper, and the word-direct SNG
+comparator -- routed through the compiled kernels of
+:mod:`repro.sc.native` (hardware popcount, GIL-free).  Everything else --
+layer drivers, chunking policy, workspace arena, RNG-consumption order --
+is inherited unchanged, so the backend is a pure drop-in: the scores are
+**bit-identical** to every other ``bit-exact-*`` backend.
+
+Graceful degradation is part of the contract: when the compiled tier is
+unavailable (no C compiler, no cffi, ``REPRO_NATIVE=0``), the backend
+still constructs and simply runs the NumPy kernels -- it never errors.
+Per-call, any operand shape outside the native fast path also falls back
+to NumPy, so correctness never depends on the native tier's coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.packed import BitExactPackedBackend
+from repro.backends.registry import register_backend
+from repro.blocks.batched import feature_extraction_recurrence_words
+from repro.blocks.feature_extraction import SorterFeatureExtractionBlock
+from repro.nn.sc_layers import ScNetworkMapper
+from repro.sc import native
+
+__all__ = ["BitExactNativeBackend"]
+
+
+@register_backend
+class BitExactNativeBackend(BitExactPackedBackend):
+    """Word-packed bit-exact simulation with compiled GIL-free kernels.
+
+    Args:
+        mapper: the SC network mapper.
+        position_chunk: see :class:`~repro.backends.packed.BitExactPackedBackend`.
+        use_native: force-disable the compiled tier (``False``) regardless
+            of availability; ``None`` (default) uses it when available.
+            There is no force-*enable*: an unavailable tier always falls
+            back rather than erroring.
+    """
+
+    name = "bit-exact-native"
+    description = (
+        "packed data plane with compiled GIL-free popcount kernels "
+        "(falls back to bit-exact-packed kernels when unavailable)"
+    )
+
+    def __init__(
+        self,
+        mapper: ScNetworkMapper,
+        position_chunk: int | None = None,
+        use_native: bool | None = None,
+    ) -> None:
+        super().__init__(mapper, position_chunk)
+        wanted = True if use_native is None else bool(use_native)
+        #: Whether the compiled tier is actually executing this instance's
+        #: kernels (False means every call runs the inherited NumPy path).
+        self.native_active = wanted and native.available()
+        if self.native_active:
+            self._stream_packer = self._native_packer
+
+    @classmethod
+    def availability_note(cls) -> str:
+        """Registry availability note (shown by ``describe_backends()``)."""
+        return native.describe()
+
+    # -- kernel seam overrides -------------------------------------------------
+
+    def _native_packer(self, draws, thresholds, out):
+        return native.pack_comparator_floats(
+            draws, thresholds, out, workspace=self.workspace
+        )
+
+    def _fused_counts(self, a, b, extra, out, key) -> None:
+        if self.native_active and (
+            native.fused_xnor_column_counts(
+                a,
+                b,
+                self.mapper.stream_length,
+                extra=extra,
+                out=out,
+                workspace=self.workspace,
+                key=(key, "native"),
+            )
+            is not None
+        ):
+            return
+        super()._fused_counts(a, b, extra, out, key)
+
+    def _fused_chain(self, a, b, out, key) -> None:
+        if self.native_active and (
+            native.fused_xnor_majority_chain(
+                a,
+                b,
+                self.mapper.stream_length,
+                out=out,
+                workspace=self.workspace,
+                key=(key, "native"),
+            )
+            is not None
+        ):
+            return
+        super()._fused_chain(a, b, out, key)
+
+    def _recurrence_words(
+        self, counts: np.ndarray, m: int, neutral: np.ndarray | None
+    ) -> np.ndarray:
+        if not self.native_active:
+            return super()._recurrence_words(counts, m, neutral)
+        if neutral is not None:
+            np.add(counts, neutral, out=counts, casting="unsafe")
+        half = SorterFeatureExtractionBlock(m).threshold
+        words = native.feature_extraction_recurrence_words(
+            counts, half, -half, half + 1, workspace=self.workspace
+        )
+        if words is None:
+            # Neutral is already folded in; run the NumPy stepper directly
+            # (calling super() would add it twice).
+            words = feature_extraction_recurrence_words(
+                counts, half, -half, half + 1, workspace=self.workspace
+            )
+        return words

@@ -112,6 +112,13 @@ class BitExactPackedBackend(Backend):
     #: stepper invocations, less Python dispatch).
     _CHUNK_BYTES_BUDGET = 128 * 1024 * 1024
 
+    #: Optional word-direct comparator kernel handed to the mapper's
+    #: stream generation (see
+    #: :meth:`~repro.nn.sc_layers.ScNetworkMapper._packed_comparator_streams`).
+    #: ``None`` keeps the NumPy compare-and-pack; the native backend
+    #: installs the compiled comparator here.
+    _stream_packer = None
+
     def __init__(
         self, mapper: ScNetworkMapper, position_chunk: int | None = None
     ) -> None:
@@ -120,6 +127,45 @@ class BitExactPackedBackend(Backend):
             raise ConfigurationError("position_chunk must be >= 1")
         self.position_chunk = position_chunk
         self.workspace = Workspace()
+
+    # -- kernel seam -----------------------------------------------------------
+    #
+    # The three hottest loops of the packed data plane go through these
+    # overridable methods so a compiled tier
+    # (:class:`~repro.backends.native.BitExactNativeBackend`) can slot in
+    # per-kernel replacements while inheriting the layer drivers, the
+    # chunking policy and the workspace discipline unchanged.
+
+    def _fused_counts(self, a, b, extra, out, key) -> None:
+        """Fused XNOR -> CSA column counts into ``out`` (see
+        :func:`repro.sc.packed.fused_xnor_column_counts`)."""
+        fused_xnor_column_counts(
+            a,
+            b,
+            self.mapper.stream_length,
+            extra=extra,
+            out=out,
+            workspace=self.workspace,
+            key=key,
+        )
+
+    def _fused_chain(self, a, b, out, key) -> None:
+        """Fused XNOR -> majority chain into ``out`` (see
+        :func:`repro.sc.packed.fused_xnor_majority_chain`)."""
+        fused_xnor_majority_chain(
+            a,
+            b,
+            self.mapper.stream_length,
+            out=out,
+            workspace=self.workspace,
+            key=key,
+        )
+
+    def _stream_words(self, weights, rng) -> np.ndarray:
+        """Packed weight/bias streams through the active comparator."""
+        return self.mapper.weight_stream_words(
+            weights, rng, packer=self._stream_packer
+        )
 
     def output_stream_words(
         self, images: np.ndarray, rng: np.random.Generator | None = None
@@ -153,7 +199,7 @@ class BitExactPackedBackend(Backend):
         rng = rng or np.random.default_rng(mapper.seed)
         # The shared SNG preamble keeps the RNG consumption identical to
         # the batched/legacy paths (the bit-exactness contract).
-        words = mapper.input_stream_words(images, rng)
+        words = mapper.input_stream_words(images, rng, packer=self._stream_packer)
         dense_layers = [l for l in mapper.network.layers if isinstance(l, Dense)]
         dense_seen = 0
         for index, layer in enumerate(mapper.network.layers):
@@ -286,8 +332,8 @@ class BitExactPackedBackend(Backend):
         windows = np.lib.stride_tricks.sliding_window_view(
             padded, (kernel, kernel), axis=(2, 3)
         )[:, :, ::stride, ::stride]  # (B, C, out_h, out_w, words, k, k)
-        weight_words = self.mapper.weight_stream_words(layer.weights, rng)
-        bias_words = self.mapper.weight_stream_words(layer.bias, rng)
+        weight_words = self._stream_words(layer.weights, rng)
+        bias_words = self._stream_words(layer.bias, rng)
         out_ch = layer.out_channels
         fan_in = layer.fan_in
         m = fan_in + 1
@@ -325,14 +371,12 @@ class BitExactPackedBackend(Backend):
             counts = ws.array(
                 (layer_key, "counts"), (batch, pc, out_ch, n), dtype
             )
-            fused_xnor_column_counts(
+            self._fused_counts(
                 patches[:, :, None, :, :],
                 weight_words[None, None, :, :, :],
-                n,
-                extra=bias_words[None, None, :, None, :],
-                out=counts,
-                workspace=ws,
-                key=(layer_key, "csa"),
+                bias_words[None, None, :, None, :],
+                counts,
+                (layer_key, "csa"),
             )
             activated = self._recurrence_words(counts, m, neutral)
             start = row_start * out_w
@@ -389,8 +433,8 @@ class BitExactPackedBackend(Backend):
                 f"packed streams, got {words.shape}"
             )
         in_features = layer.in_features
-        weight_words = self.mapper.weight_stream_words(layer.weights, rng)
-        bias_words = self.mapper.weight_stream_words(layer.bias, rng)
+        weight_words = self._stream_words(layer.weights, rng)
+        bias_words = self._stream_words(layer.bias, rng)
         ws = self.workspace
         if is_output:
             # The categorization layer's words are returned to the caller
@@ -404,13 +448,11 @@ class BitExactPackedBackend(Backend):
             )
             for start in range(0, layer.out_features, chunk):
                 w_chunk = weight_words[start : start + chunk]  # (oc, in, W)
-                fused_xnor_majority_chain(
+                self._fused_chain(
                     words[:, None, :, :],
                     w_chunk[None, :, :, :],
-                    n,
-                    out=outputs[:, start : start + w_chunk.shape[0]],
-                    workspace=ws,
-                    key=(layer_key, "chain"),
+                    outputs[:, start : start + w_chunk.shape[0]],
+                    (layer_key, "chain"),
                 )
             return outputs
         m = in_features + 1
@@ -426,14 +468,12 @@ class BitExactPackedBackend(Backend):
             w_chunk = weight_words[start : start + chunk]  # (oc, in, W)
             oc = w_chunk.shape[0]
             counts = ws.array((layer_key, "counts"), (batch, oc, n), dtype)
-            fused_xnor_column_counts(
+            self._fused_counts(
                 words[:, None, :, :],
                 w_chunk[None, :, :, :],
-                n,
-                extra=bias_words[None, start : start + oc, None, :],
-                out=counts,
-                workspace=ws,
-                key=(layer_key, "csa"),
+                bias_words[None, start : start + oc, None, :],
+                counts,
+                (layer_key, "csa"),
             )
             outputs[:, start : start + oc] = self._recurrence_words(
                 counts, m, neutral

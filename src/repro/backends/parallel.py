@@ -11,6 +11,14 @@ thread pools cannot for NumPy-dispatch-bound kernels), and assembles the
 scores -- bit-identical to running the inner backend on the whole batch
 in one process, asserted by the unit tests and by ``bench_perf.py``.
 
+With ``executor="thread"`` the same sharding runs on a
+:class:`~concurrent.futures.ThreadPoolExecutor` over a pool of
+in-process inner replicas instead: no pickling, no shared-memory
+copies, no process start-up -- worthwhile when the inner backend's hot
+loops release the GIL, which is exactly what the compiled kernel tier
+of ``bit-exact-native`` does.  :class:`NativeParallelBackend`
+(``bit-exact-native-mp``) packages that pairing as a registry entry.
+
 Images and scores travel through :mod:`multiprocessing.shared_memory`
 buffers rather than pickled task payloads, so the per-call IPC cost is
 two small control messages per shard regardless of batch or stream
@@ -44,10 +52,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import queue
 import threading
 import time
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 
@@ -58,40 +67,64 @@ from repro.backends.registry import backend_class, create_backend, register_back
 from repro.errors import ConfigurationError
 from repro.nn.layers import Dense
 from repro.nn.sc_layers import ScNetworkMapper
+from repro.sc import native
 
-__all__ = ["ParallelBackend", "resolve_parallel_backend"]
+__all__ = [
+    "ParallelBackend",
+    "NativeParallelBackend",
+    "resolve_parallel_backend",
+]
 
 
 def resolve_parallel_backend(
-    backend: str, workers: int | None
+    backend: str, workers: int | None, executor: str | None = None
 ) -> tuple[str, dict]:
-    """Map a CLI ``(--backend, --workers)`` pair onto a registry selection.
+    """Map CLI ``(--backend, --workers, --executor)`` onto a registry selection.
 
     The shared policy behind the examples' ``--workers`` flags: with one
-    (or no) worker the chosen backend is used as-is; otherwise the
-    process-sharded wrapper is selected with the chosen backend riding
-    along as its inner backend -- unless that choice cannot shard (not
-    ``batch_invariant``) or *is* the wrapper, in which case the default
-    packed inner is used.
+    (or no) worker the chosen backend is used as-is; otherwise a sharded
+    wrapper is selected with the chosen backend riding along as its
+    inner backend -- unless that choice cannot shard (not
+    ``batch_invariant``) or *is* a wrapper, in which case the matching
+    single-process inner is used.  The wrapper flavour follows
+    ``executor`` when given; otherwise thread sharding is picked exactly
+    when the inner backend is the compiled-kernel tier (whose hot loops
+    release the GIL), and process sharding everywhere else.
 
     Args:
         backend: registry name the user chose.
-        workers: requested worker process count (``None``/``<= 1`` means
-            no sharding).
+        workers: requested worker count (``None``/``<= 1`` means no
+            sharding).
+        executor: ``"process"``, ``"thread"``, or ``None`` to choose by
+            inner backend.
 
     Returns:
         ``(backend_name, backend_options)`` ready for
         :func:`~repro.backends.registry.create_backend` (or any
         ``backend=``/``**options`` forwarding call site).
     """
+    if executor not in (None, "process", "thread"):
+        raise ConfigurationError(
+            f"executor must be 'process' or 'thread', got {executor!r}"
+        )
     if not workers or workers <= 1:
         return backend, {}
     inner = backend
-    if inner == ParallelBackend.name or not getattr(
+    if inner == NativeParallelBackend.name:
+        inner = "bit-exact-native"
+    elif inner == ParallelBackend.name or not getattr(
         backend_class(inner), "batch_invariant", False
     ):
         inner = "bit-exact-packed"
-    return ParallelBackend.name, {
+    if executor is None:
+        use_threads = (
+            backend == NativeParallelBackend.name
+            or inner == "bit-exact-native"
+        )
+    else:
+        use_threads = executor == "thread"
+    name = NativeParallelBackend.name if use_threads else ParallelBackend.name
+    return name, {
         "workers": int(workers),
         "inner_backend": inner,
     }
@@ -214,6 +247,13 @@ class ParallelBackend(Backend):
             ``batch_invariant`` -- sharding a batch across replicas is
             only score-preserving when per-image scores do not depend on
             batch composition.
+        executor: ``"process"`` (default) shards across a process pool
+            with shared-memory buffers; ``"thread"`` shards across a
+            thread pool over a lazily grown pool of in-process inner
+            replicas (no pickling, no IPC -- effective when the inner
+            backend's hot loops release the GIL, as the compiled kernel
+            tier does).  Thread mode has no circuit breaker: there is no
+            pool to break, and worker exceptions propagate directly.
         min_shard_images: smallest shard worth dispatching to a process
             (batches smaller than ``2 * min_shard_images`` run on the
             in-process replica, skipping IPC entirely).
@@ -258,6 +298,7 @@ class ParallelBackend(Backend):
         mapper: ScNetworkMapper,
         workers: int | None = None,
         inner_backend: str = "bit-exact-packed",
+        executor: str = "process",
         min_shard_images: int = 1,
         start_method: str | None = None,
         artifact_path: str | None = None,
@@ -265,6 +306,10 @@ class ParallelBackend(Backend):
         **backend_options: object,
     ) -> None:
         super().__init__(mapper)
+        if executor not in ("process", "thread"):
+            raise ConfigurationError(
+                f"executor must be 'process' or 'thread', got {executor!r}"
+            )
         if breaker_cooldown_s < 0:
             raise ConfigurationError(
                 f"breaker_cooldown_s must be >= 0, got {breaker_cooldown_s}"
@@ -295,6 +340,7 @@ class ParallelBackend(Backend):
         self.progressive = bool(inner_cls.progressive)
         self.workers = int(workers)
         self.inner_backend = inner_backend
+        self.executor_mode = str(executor)
         self.min_shard_images = int(min_shard_images)
         self.start_method = start_method
         self.artifact_path = str(artifact_path) if artifact_path else None
@@ -306,6 +352,14 @@ class ParallelBackend(Backend):
         self._executor: ProcessPoolExecutor | None = None
         self._finalizer = None
         self._closed = False
+        # Thread-executor state: a lazily grown pool of in-process inner
+        # replicas leased through a queue (each replica owns its own
+        # workspace arena, which is not thread-safe, so a replica is
+        # never shared by two concurrent shards).
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._thread_replicas: list[Backend] = []
+        self._replica_queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._replica_lock = threading.Lock()
         # Circuit-breaker state: consecutive pool breaks and the
         # monotonic instant until which the breaker stays open (calls
         # short-circuit to the in-process inner replica).
@@ -440,6 +494,72 @@ class ParallelBackend(Backend):
             shm_out.close()
             shm_out.unlink()
 
+    # -- thread executor -------------------------------------------------------
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        with self._replica_lock:
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-shard",
+                )
+            return self._thread_pool
+
+    def _lease_replica(self) -> Backend:
+        """Borrow an inner replica for one shard, growing the pool lazily.
+
+        Replicas are built on demand up to ``workers`` and then reused;
+        once the pool is full, leases block until a running shard returns
+        one.  Concurrent ``forward`` calls therefore share a bounded
+        replica pool instead of each allocating ``workers`` arenas.
+        """
+        try:
+            return self._replica_queue.get_nowait()
+        except queue.Empty:
+            pass
+        with self._replica_lock:
+            if len(self._thread_replicas) < self.workers:
+                replica = create_backend(
+                    self.inner_backend, self.mapper, **self.backend_options
+                )
+                self._thread_replicas.append(replica)
+                return replica
+        return self._replica_queue.get()
+
+    def _run_threaded(
+        self,
+        images: np.ndarray,
+        shards: list[tuple[int, int]],
+        out_shape: tuple[int, ...],
+        checkpoints: tuple[int, ...] | None,
+    ) -> np.ndarray:
+        """Run the shards on the thread pool, each on a leased replica.
+
+        Every shard writes a disjoint slice of one preallocated output
+        array, so no assembly pass (or copy out of shared memory) is
+        needed; worker exceptions propagate through ``future.result()``.
+        """
+        pool = self._ensure_thread_pool()
+        out = np.empty(out_shape, dtype=np.float64)
+
+        def run(start: int, stop: int) -> None:
+            replica = self._lease_replica()
+            try:
+                shard = images[start:stop]
+                if checkpoints is None:
+                    out[start:stop] = replica.forward(shard)
+                else:
+                    out[:, start:stop] = replica.forward_partial(
+                        shard, checkpoints
+                    )
+            finally:
+                self._replica_queue.put(replica)
+
+        futures = [pool.submit(run, start, stop) for start, stop in shards]
+        for future in futures:
+            future.result()
+        return out
+
     # -- circuit breaker -------------------------------------------------------
 
     @property
@@ -500,9 +620,11 @@ class ParallelBackend(Backend):
         Sabotages the pool for real -- the next sharded call observes a
         genuine ``BrokenProcessPool`` and the circuit breaker engages.
         Spawns a worker first if the lazy pool has none yet; returns
-        False when the backend is closed (nothing to break).
+        False when the backend is closed (nothing to break) or running
+        in thread mode (threads of this process cannot be killed without
+        taking the caller down with them).
         """
-        if self._closed:
+        if self._closed or self.executor_mode == "thread":
             return False
         executor = self._ensure_executor()
         try:
@@ -539,9 +661,13 @@ class ParallelBackend(Backend):
         self._ensure_usable()
         images = self._check_images(images)
         shards = self._plan_shards(images.shape[0])
-        if len(shards) <= 1 or self.breaker_open:
+        if len(shards) <= 1:
             return self.inner.forward(images)
         out_shape = (images.shape[0], self._n_classes)
+        if self.executor_mode == "thread":
+            return self._run_threaded(images, shards, out_shape, None)
+        if self.breaker_open:
+            return self.inner.forward(images)
         try:
             return self._run_sharded(images, shards, out_shape, None)
         except BrokenProcessPool:
@@ -560,9 +686,13 @@ class ParallelBackend(Backend):
         points = self._check_checkpoints(checkpoints)
         images = self._check_images(images)
         shards = self._plan_shards(images.shape[0])
-        if len(shards) <= 1 or self.breaker_open:
+        if len(shards) <= 1:
             return self.inner.forward_partial(images, points)
         out_shape = (len(points), images.shape[0], self._n_classes)
+        if self.executor_mode == "thread":
+            return self._run_threaded(images, shards, out_shape, points)
+        if self.breaker_open:
+            return self.inner.forward_partial(images, points)
         try:
             return self._run_sharded(images, shards, out_shape, points)
         except BrokenProcessPool:
@@ -576,6 +706,12 @@ class ParallelBackend(Backend):
         reapers, self._reapers = self._reapers, []
         for reaper in reapers:
             reaper.join(timeout=15.0)
+        pool, self._thread_pool = self._thread_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        replicas, self._thread_replicas = self._thread_replicas, []
+        for replica in replicas:
+            replica.close()
         self.inner.close()
 
     def __enter__(self) -> "ParallelBackend":
@@ -586,6 +722,51 @@ class ParallelBackend(Backend):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ParallelBackend(inner={self.inner_backend!r}, "
-            f"workers={self.workers}, stream_length={self.stream_length})"
+            f"{type(self).__name__}(inner={self.inner_backend!r}, "
+            f"workers={self.workers}, executor={self.executor_mode!r}, "
+            f"stream_length={self.stream_length})"
         )
+
+
+@register_backend
+class NativeParallelBackend(ParallelBackend):
+    """Thread-sharded wrapper over compiled-kernel inner replicas.
+
+    ``bit-exact-native-mp`` is :class:`ParallelBackend` with different
+    defaults, not different machinery: the inner backend is
+    ``bit-exact-native`` and the executor is ``"thread"``, so shards run
+    on a thread pool over per-replica workspace arenas.  Because the
+    compiled kernels release the GIL for the hot loops, the threads
+    genuinely overlap -- with none of the pickling, shared-memory
+    copies, or process start-up of the process-pool mode.  When the
+    compiled tier is unavailable the inner replicas quietly run their
+    NumPy kernels (still bit-identical, just without the overlap), so
+    the backend constructs and answers correctly on every host.
+    """
+
+    name = "bit-exact-native-mp"
+    description = (
+        "compiled GIL-free kernels sharded across a thread pool "
+        "(per-replica workspace arenas, no IPC)"
+    )
+
+    def __init__(
+        self,
+        mapper: ScNetworkMapper,
+        workers: int | None = None,
+        inner_backend: str = "bit-exact-native",
+        executor: str = "thread",
+        **options: object,
+    ) -> None:
+        super().__init__(
+            mapper,
+            workers=workers,
+            inner_backend=inner_backend,
+            executor=executor,
+            **options,
+        )
+
+    @classmethod
+    def availability_note(cls) -> str:
+        """Registry availability note (shown by ``describe_backends()``)."""
+        return native.describe()

@@ -70,6 +70,17 @@ def describe_backends() -> str:
     for name in backend_names():
         cls = _REGISTRY[name]
         description = cls.description or cls.__name__
+        note = getattr(cls, "availability_note", None)
+        if callable(note):
+            # Backends with host-dependent tiers (e.g. the compiled native
+            # kernels) report their availability inline, appended to the
+            # description so the "name -- description" line format holds.
+            try:
+                text = note()
+            except Exception:  # pragma: no cover - defensive
+                text = None
+            if text:
+                description = f"{description} [{text}]"
         lines.append(f"{name} -- {description}")
     return "\n".join(lines)
 

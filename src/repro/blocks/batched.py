@@ -28,8 +28,6 @@ sorted-vector data-path simulations).
 
 from __future__ import annotations
 
-import sys
-
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
@@ -195,28 +193,6 @@ def _time_major_counts(
     return buf
 
 
-def _pack_time_major_bits(
-    bits: np.ndarray, length: int, batch: int, n_words: int
-) -> np.ndarray:
-    """Pack time-major ``(N, batch)`` output bits into ``(batch, W)`` words.
-
-    Packing along the time axis *before* transposing moves 8x fewer bytes
-    than transposing the byte-per-bit array and packing afterwards; the
-    resulting words follow the :mod:`repro.sc.packed` layout (bit ``t`` in
-    word ``t // 64`` at position ``t % 64``, tail bits zero).
-    """
-    padded_len = n_words * WORD_BITS
-    if padded_len != length:
-        padded = np.zeros((padded_len, batch), dtype=np.uint8)
-        padded[:length] = bits
-        bits = padded
-    packed_bytes = np.packbits(bits, axis=0, bitorder="little")  # (W*8, batch)
-    words = np.ascontiguousarray(packed_bytes.T).view(np.uint64)
-    if sys.byteorder == "big":  # pragma: no cover - little-endian CI hosts
-        words = words.byteswap()
-    return words
-
-
 def _recurrence_words_all_states(
     time_major: np.ndarray, half: int, low: int, high: int, workspace=None
 ) -> np.ndarray:
@@ -330,6 +306,51 @@ def _recurrence_per_cycle(
     return ones_total
 
 
+def _recurrence_per_cycle_words(
+    time_major: np.ndarray, half: int, low: int, high: int, workspace=None
+) -> np.ndarray:
+    """Per-cycle stepper emitting packed ``uint64`` words directly.
+
+    Same recurrence as :func:`_recurrence_per_cycle`, but each output bit
+    is OR-shifted straight into its packed word instead of being stored
+    byte-per-bit and packed afterwards.  That removes the two
+    ``(N, batch)`` byte-per-bit transients (the output array and the
+    zero-padded copy ``np.packbits`` needs) which at wide slabs -- CONV
+    layers flattened to hundreds of thousands of instances -- dwarf the
+    packed result by ``64 x`` and turn the fallback into a memory cliff.
+    Transient state is ``O(batch)``; the only output-sized buffer is the
+    packed ``(batch, n_words)`` result itself.  Tail bits are never
+    written, so the packed-layout invariant (tail bits zero) holds by
+    construction.
+
+    Args:
+        time_major: contiguous ``(N, batch)`` per-cycle column counts.
+
+    Returns:
+        ``(batch, n_words)`` packed output words.
+    """
+    length, batch = time_major.shape
+    n_words = words_for_length(length)
+    accumulator = _ws_array(workspace, ("pcw-acc",), (batch,), np.int32)
+    accumulator[...] = 0
+    words = _ws_array(workspace, ("pcw-out",), (batch, n_words), np.uint64)
+    words[...] = 0
+    shifted = _ws_array(workspace, ("pcw-shift",), (batch,), np.uint64)
+    threshold = half + 1
+    for t in range(length):
+        np.add(accumulator, time_major[t], out=accumulator)
+        bit = accumulator >= threshold
+        np.copyto(shifted, bit, casting="unsafe")
+        np.left_shift(shifted, np.uint64(t % WORD_BITS), out=shifted)
+        word = words[:, t // WORD_BITS]
+        np.bitwise_or(word, shifted, out=word)
+        np.subtract(accumulator, half, out=accumulator)
+        np.subtract(accumulator, bit, out=accumulator, casting="unsafe")
+        np.maximum(accumulator, low, out=accumulator)
+        np.minimum(accumulator, high, out=accumulator)
+    return words
+
+
 def feature_extraction_recurrence_words(
     column_ones: np.ndarray,
     half: int,
@@ -353,9 +374,14 @@ def feature_extraction_recurrence_words(
       independent of stream length), then chain the real trajectory with
       one gather per block.  The default whenever the state space
       ``high - low + 1`` is small (CONV-sized blocks).
-    * ``"per-cycle"`` -- the classic one-cycle-per-iteration loop, kept
-      for large state spaces (FC-sized blocks) where the all-states
-      arithmetic blow-up outweighs the dispatch savings.
+    * ``"per-cycle"`` -- one cycle per Python iteration, kept for large
+      state spaces (FC-sized blocks) and for wide slabs (CONV layers
+      flattened to very many instances) where the all-states arithmetic
+      blow-up outweighs the dispatch savings.  This path is word-blocked
+      too: output bits are OR-shifted straight into their packed words
+      (:func:`_recurrence_per_cycle_words`), never materialised
+      byte-per-bit -- at wide-slab shapes the byte-per-bit route would
+      allocate ``64 x`` the packed result in transients.
 
     Args:
         column_ones: integer array of shape ``(..., N)`` counting ones per
@@ -380,21 +406,21 @@ def feature_extraction_recurrence_words(
     """
     shape = _check_recurrence_args(column_ones, low, high, strategy)
     c, length, batch_shape, batch, n_words = shape
-    if _resolve_strategy(strategy, high - low + 1, n_words, batch) == "all-states":
+    n_states = high - low + 1
+    if _resolve_strategy(strategy, n_states, n_words, batch) == "all-states":
         time_major = _blocked_time_major(c, length, batch, n_words, workspace)
         words = _recurrence_words_all_states(
             time_major, half, low, high, workspace
         )
         words[:, -1] &= tail_mask(length)
     else:
-        bits = _recurrence_per_cycle(
+        words = _recurrence_per_cycle_words(
             _time_major_counts(c, length, batch, workspace),
             half,
             low,
             high,
             workspace=workspace,
         )
-        words = _pack_time_major_bits(bits, length, batch, n_words)
     return words.reshape(batch_shape + (n_words,))
 
 

@@ -98,14 +98,22 @@ def add_backend_arguments(
             "--workers",
             type=int,
             default=None,
-            help="shard batches across this many worker processes (selects "
-            "the process-sharded 'bit-exact-packed-mp' wrapper; scores stay "
-            "bit-identical)",
+            help="shard batches across this many workers (selects a sharded "
+            "'-mp' wrapper backend; scores stay bit-identical)",
+        )
+        parser.add_argument(
+            "--executor",
+            choices=("process", "thread"),
+            default=None,
+            help="how --workers shards run: 'process' (process pool + "
+            "shared memory) or 'thread' (thread pool; effective when the "
+            "compiled native kernels release the GIL).  Default: threads "
+            "for the native tier, processes otherwise",
         )
 
 
 def backend_selection(args: argparse.Namespace) -> tuple[str, dict]:
-    """Resolve parsed ``--backend`` / ``--workers`` flags.
+    """Resolve parsed ``--backend`` / ``--workers`` / ``--executor`` flags.
 
     Returns:
         ``(backend_name, backend_options)`` ready for
@@ -116,7 +124,9 @@ def backend_selection(args: argparse.Namespace) -> tuple[str, dict]:
     from repro.backends import resolve_parallel_backend
 
     return resolve_parallel_backend(
-        args.backend, getattr(args, "workers", None)
+        args.backend,
+        getattr(args, "workers", None),
+        getattr(args, "executor", None),
     )
 
 

@@ -333,11 +333,17 @@ class PredictOptions:
             exits at the *first* checkpoint), trading precision for
             punctuality per request.  Results evaluated under a deadline
             are never stored in the result cache.
-        workers: process-shard the evaluation across this many worker
-            processes (`repro.backends.parallel`); honoured by
+        workers: shard the evaluation across this many workers
+            (`repro.backends.parallel`); honoured by
             :meth:`repro.api.Session.predict` at backend selection time
             and ignored by :class:`~repro.serve.ScInferenceService`,
             whose replica pool is fixed at construction.
+        executor: how the ``workers`` shards run: ``"process"`` (process
+            pool + shared-memory buffers) or ``"thread"`` (thread pool
+            over in-process replicas; effective when the compiled native
+            kernels release the GIL).  ``None`` picks threads for the
+            native tier and processes otherwise (the
+            :func:`repro.backends.resolve_parallel_backend` policy).
 
     Raises:
         ConfigurationError: on any out-of-domain field (non-positive
@@ -350,6 +356,7 @@ class PredictOptions:
     early_exit: bool | None = None
     deadline_ms: float | None = None
     workers: int | None = None
+    executor: str | None = None
 
     def __post_init__(self) -> None:
         if self.stream_length is not None and self.stream_length < 1:
@@ -378,6 +385,10 @@ class PredictOptions:
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.executor not in (None, "process", "thread"):
+            raise ConfigurationError(
+                f"executor must be 'process' or 'thread', got {self.executor!r}"
             )
 
     def resolve(
@@ -430,6 +441,7 @@ class PredictOptions:
             ),
             deadline_ms=self.deadline_ms,
             workers=self.workers,
+            executor=self.executor,
             explicit_schedule=(
                 self.stream_length is not None or self.checkpoints is not None
             ),
@@ -446,7 +458,9 @@ class ResolvedPredictOptions:
             :attr:`stream_length`.
         early_exit: whether the stability + margin policy may exit early.
         deadline_ms: request latency budget (``None`` = none).
-        workers: requested process shards (``None`` = backend default).
+        workers: requested worker shards (``None`` = backend default).
+        executor: requested shard executor (``"process"`` / ``"thread"``
+            / ``None`` = pick by inner backend).
         explicit_schedule: the request named its own stream length or
             checkpoints (and therefore *requires* a progressive backend
             rather than degrading to a full forward pass).
@@ -457,6 +471,7 @@ class ResolvedPredictOptions:
     early_exit: bool
     deadline_ms: float | None
     workers: int | None
+    executor: str | None = None
     explicit_schedule: bool = False
 
     @property

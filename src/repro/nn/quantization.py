@@ -15,7 +15,12 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.nn.layers import Conv2D, Dense, Network
 
-__all__ = ["quantize_weights", "dequantize_weights", "quantize_network"]
+__all__ = [
+    "quantize_weights",
+    "quantization_codes",
+    "dequantize_weights",
+    "quantize_network",
+]
 
 
 def quantize_weights(weights: np.ndarray, n_bits: int = 10) -> np.ndarray:
@@ -38,6 +43,22 @@ def quantize_weights(weights: np.ndarray, n_bits: int = 10) -> np.ndarray:
     codes = np.rint((clipped + 1.0) / 2.0 * levels)
     codes = np.clip(codes, 0, levels)
     return codes / levels * 2.0 - 1.0
+
+
+def quantization_codes(weights: np.ndarray, n_bits: int = 10) -> np.ndarray:
+    """Integer comparator codes of bipolar weights (the on-chip storage).
+
+    ``dequantize_weights(quantization_codes(w, n), n)`` reproduces
+    ``quantize_weights(w, n)`` exactly (same clip/round, same final
+    division), which is what lets model artifacts store the codes
+    natively and still yield bit-identical streams on load.
+    """
+    if n_bits < 1 or n_bits > 31:
+        raise ConfigurationError(f"n_bits must be in [1, 31], got {n_bits}")
+    levels = 1 << n_bits
+    clipped = np.clip(np.asarray(weights, dtype=np.float64), -1.0, 1.0)
+    codes = np.rint((clipped + 1.0) / 2.0 * levels)
+    return np.clip(codes, 0, levels).astype(np.int64)
 
 
 def dequantize_weights(codes: np.ndarray, n_bits: int = 10) -> np.ndarray:

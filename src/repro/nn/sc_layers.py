@@ -82,6 +82,14 @@ class ScNetworkMapper:
         weight_bits: stored binary precision used for quantisation.
         stream_length: stochastic stream length ``N``.
         seed: seed for stream generation / noise injection.
+        quantized_params: optional precomputed quantised values, one per
+            ``network.parameters()`` entry in order (the dequantised
+            comparator codes a model artifact stores natively).  When
+            given, :meth:`quantized_weights` serves these instead of
+            re-quantising the floats on every call; the values must be
+            what ``quantize_weights(param, weight_bits)`` would produce,
+            which :func:`repro.nn.quantization.dequantize_weights` of the
+            stored codes guarantees exactly.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class ScNetworkMapper:
         weight_bits: int = 10,
         stream_length: int = 1024,
         seed: int = 2019,
+        quantized_params: list[np.ndarray] | None = None,
     ) -> None:
         if stream_length <= 0:
             raise ConfigurationError("stream_length must be positive")
@@ -97,6 +106,41 @@ class ScNetworkMapper:
         self.weight_bits = int(weight_bits)
         self.stream_length = int(stream_length)
         self.seed = int(seed)
+        self._quantized_params: list[np.ndarray] | None = None
+        if quantized_params is not None:
+            params = network.parameters()
+            if len(quantized_params) != len(params):
+                raise ConfigurationError(
+                    f"expected {len(params)} quantized parameter arrays "
+                    f"(one per network parameter), got {len(quantized_params)}"
+                )
+            stored = []
+            for param, q in zip(params, quantized_params):
+                q = np.asarray(q, dtype=np.float64)
+                if q.shape != param.shape:
+                    raise ShapeError(
+                        f"quantized parameter shape {q.shape} does not match "
+                        f"network parameter shape {param.shape}"
+                    )
+                stored.append(q)
+            self._quantized_params = stored
+
+    def quantized_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Quantised values of a network parameter array.
+
+        Serves the precomputed values when the model artifact stored its
+        comparator codes natively (identity-matched against
+        ``network.parameters()``), falling back to
+        :func:`~repro.nn.quantization.quantize_weights` for parameters
+        without a preload -- the two are bit-identical by construction,
+        so every execution backend sees the same quantised network either
+        way.
+        """
+        if self._quantized_params is not None:
+            for param, q in zip(self.network.parameters(), self._quantized_params):
+                if param is weights:
+                    return q
+        return quantize_weights(weights, self.weight_bits)
 
     # -- inventory -------------------------------------------------------------
 
@@ -178,8 +222,8 @@ class ScNetworkMapper:
         dense_seen = 0
         for layer in self.network.layers:
             if isinstance(layer, Conv2D):
-                w = quantize_weights(layer.weights, self.weight_bits)
-                b = quantize_weights(layer.bias, self.weight_bits)
+                w = self.quantized_weights(layer.weights)
+                b = self.quantized_weights(layer.bias)
                 patches, out_h, out_w = im2col(
                     value, layer.kernel_size, layer.stride,
                     (layer.kernel_size - 1) // 2 if layer.padding == "same" else 0,
@@ -203,8 +247,8 @@ class ScNetworkMapper:
                 value = value.reshape(value.shape[0], -1)
             elif isinstance(layer, Dense):
                 dense_seen += 1
-                w = quantize_weights(layer.weights, self.weight_bits)
-                b = quantize_weights(layer.bias, self.weight_bits)
+                w = self.quantized_weights(layer.weights)
+                b = self.quantized_weights(layer.bias)
                 is_output = dense_seen == len(dense_layers)
                 if is_output:
                     # Categorization block: the chain's output value is a
@@ -345,7 +389,7 @@ class ScNetworkMapper:
         return max(1, self._DRAWS_BYTES_BUDGET // (8 * self.stream_length))
 
     def _packed_comparator_streams(
-        self, p: np.ndarray, rng: np.random.Generator
+        self, p: np.ndarray, rng: np.random.Generator, packer=None
     ) -> np.ndarray:
         """Chunked draw -> compare -> pack core of the word-direct paths.
 
@@ -359,6 +403,13 @@ class ScNetworkMapper:
         Args:
             p: ones-probabilities of shape ``(..., V)``.
             rng: stream-generation random generator.
+            packer: optional word-direct comparator kernel with the
+                signature of
+                :func:`repro.sc.native.pack_comparator_floats`; the draws
+                come from the same RNG stream either way, so the packed
+                words are bit-identical.  A packer returning ``None``
+                (shape outside its fast path) falls back to the NumPy
+                compare-and-pack for that chunk.
 
         Returns:
             ``uint64`` packed words of shape ``(..., V, ceil(N / 64))``.
@@ -378,13 +429,17 @@ class ScNetworkMapper:
         for start in range(0, n_values, chunk):
             stop = min(n_values, start + chunk)
             draws = rng.random((stop - start, n))
+            if packer is not None and packer(
+                draws, p[..., start:stop], out[..., start:stop, :]
+            ) is not None:
+                continue
             out[..., start:stop, :] = pack_bits(
                 draws < p[..., start:stop, None]
             )
         return out
 
     def input_stream_words(
-        self, images: np.ndarray, rng: np.random.Generator
+        self, images: np.ndarray, rng: np.random.Generator, packer=None
     ) -> np.ndarray:
         """Word-packed SNG conversion of a batch of images.
 
@@ -415,11 +470,11 @@ class ScNetworkMapper:
             )
         value = self._quantize_activations(images * 2.0 - 1.0)
         p = ((value + 1.0) / 2.0).reshape(value.shape[0], -1)
-        words = self._packed_comparator_streams(p, rng)
+        words = self._packed_comparator_streams(p, rng, packer=packer)
         return words.reshape(value.shape + (words.shape[-1],))
 
     def weight_stream_words(
-        self, weights: np.ndarray, rng: np.random.Generator
+        self, weights: np.ndarray, rng: np.random.Generator, packer=None
     ) -> np.ndarray:
         """Word-packed bipolar weight streams (shape + ``(ceil(N/64),)``).
 
@@ -430,9 +485,9 @@ class ScNetworkMapper:
         largest allocation of a packed forward pass (the ``float64`` draw
         tensor over every weight).
         """
-        q = quantize_weights(weights, self.weight_bits)
+        q = self.quantized_weights(weights)
         words = self._packed_comparator_streams(
-            ((q + 1.0) / 2.0).reshape(-1), rng
+            ((q + 1.0) / 2.0).reshape(-1), rng, packer=packer
         )
         return words.reshape(np.shape(q) + (words.shape[-1],))
 
@@ -703,7 +758,7 @@ class ScNetworkMapper:
         order, so the RNG consumption -- and therefore the simulated
         streams -- are identical across backends.
         """
-        q = quantize_weights(weights, self.weight_bits)
+        q = self.quantized_weights(weights)
         p = (q + 1.0) / 2.0
         return (rng.random(q.shape + (self.stream_length,)) < p[..., None]).astype(np.uint8)
 

@@ -1,0 +1,322 @@
+/* Native kernels for the word-packed stochastic data plane.
+ *
+ * Compiled at first use into a small shared library (see _build.py) and
+ * called through cffi's ABI mode, which releases the GIL around every
+ * call -- that is what makes thread-sharded execution
+ * (repro.backends.parallel, executor="thread") effective.
+ *
+ * Every kernel is bit-identical to its NumPy counterpart in
+ * repro.sc.packed / repro.blocks.batched: same LSB-first word layout
+ * (stream bit t in word t // 64 at position t % 64), same tail-mask
+ * invariant (unused high bits of the final word stay zero), same IEEE
+ * comparison semantics in the SNG comparator.
+ *
+ * Broadcast convention: the fused reduction kernels take up to three
+ * leading ("row") dimensions with per-operand element strides, which is
+ * exactly what the packed backend's conv (batch, positions, out_ch) and
+ * dense (batch, out_ch) call sites need; the Python wrappers fall back
+ * to NumPy for anything wider.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+#define ALL_ONES (~(uint64_t)0)
+
+/* ---- popcount decode ---------------------------------------------------- */
+
+/* Per-row total set bits: the hardware-popcount decode of ones_count(). */
+void repro_ones_count(
+    const uint64_t *words, int64_t rows, int64_t n_words, int64_t *out)
+{
+    for (int64_t r = 0; r < rows; r++) {
+        const uint64_t *row = words + r * n_words;
+        int64_t total = 0;
+        for (int64_t w = 0; w < n_words; w++)
+            total += __builtin_popcountll(row[w]);
+        out[r] = total;
+    }
+}
+
+/* ---- fused XNOR -> CSA column counts ------------------------------------ */
+
+/* Carry-save full adder: l += a + b, carry out in h (5 word ops). */
+#define CSA(h, l, a, b)                                                       \
+    do {                                                                      \
+        uint64_t _u = (a) ^ (b);                                              \
+        (h) = ((a) & (b)) | (_u & (l));                                       \
+        (l) ^= _u;                                                            \
+    } while (0)
+
+/* 8x8 bit-matrix transpose (Hacker's Delight 7-3): byte r bit c of the
+ * input becomes byte c bit r of the output. */
+static inline uint64_t transpose8(uint64_t x)
+{
+    uint64_t t;
+    t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAULL;
+    x = x ^ t ^ (t << 7);
+    t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCULL;
+    x = x ^ t ^ (t << 14);
+    t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ULL;
+    x = x ^ t ^ (t << 28);
+    return x;
+}
+
+/* Product plane i of one word column: XNOR planes first (tail-masked),
+ * then the extra columns, whose tail bits are already zero (contract). */
+static inline uint64_t plane_word(
+    const uint64_t *pa, const uint64_t *pb, const uint64_t *pe,
+    int64_t m, int64_t stride, int64_t i, uint64_t mask)
+{
+    if (i < m)
+        return ~(pa[i * stride] ^ pb[i * stride]) & mask;
+    return pe[(i - m) * stride];
+}
+
+/* Accumulate every product plane of one word column into sixteen
+ * binary-counter level words.  The low eight levels live in registers
+ * and are fed by a Harley-Seal full-adder tree eight planes at a time
+ * (~1 word op per plane per adder level, amortised); the weight-8 carry
+ * of each tree ripples upward with early exit, spilling into the high
+ * levels only for column sums beyond 255. */
+static inline void count_column(
+    const uint64_t *pa, const uint64_t *pb, const uint64_t *pe,
+    int64_t m, int64_t total, int64_t stride, uint64_t mask,
+    uint64_t *lv /* 16 level words out */)
+{
+    uint64_t ones = 0, twos = 0, fours = 0;
+    uint64_t l3 = 0, l4 = 0, l5 = 0, l6 = 0, l7 = 0;
+    uint64_t hi[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    uint64_t c, t;
+    int64_t i = 0;
+    for (; i + 8 <= total; i += 8) {
+        uint64_t c0, c1, c2, c3, d0, d1, e0;
+        CSA(c0, ones, plane_word(pa, pb, pe, m, stride, i + 0, mask),
+                      plane_word(pa, pb, pe, m, stride, i + 1, mask));
+        CSA(c1, ones, plane_word(pa, pb, pe, m, stride, i + 2, mask),
+                      plane_word(pa, pb, pe, m, stride, i + 3, mask));
+        CSA(c2, ones, plane_word(pa, pb, pe, m, stride, i + 4, mask),
+                      plane_word(pa, pb, pe, m, stride, i + 5, mask));
+        CSA(c3, ones, plane_word(pa, pb, pe, m, stride, i + 6, mask),
+                      plane_word(pa, pb, pe, m, stride, i + 7, mask));
+        CSA(d0, twos, c0, c1);
+        CSA(d1, twos, c2, c3);
+        CSA(e0, fours, d0, d1);
+        c = e0;
+        do {
+            if (!c) break;
+            t = l3 & c; l3 ^= c; c = t; if (!c) break;
+            t = l4 & c; l4 ^= c; c = t; if (!c) break;
+            t = l5 & c; l5 ^= c; c = t; if (!c) break;
+            t = l6 & c; l6 ^= c; c = t; if (!c) break;
+            t = l7 & c; l7 ^= c; c = t;
+            for (int l = 0; c && l < 8; l++) {
+                t = hi[l] & c; hi[l] ^= c; c = t;
+            }
+        } while (0);
+    }
+    for (; i < total; i++) {
+        c = plane_word(pa, pb, pe, m, stride, i, mask);
+        do {
+            if (!c) break;
+            t = ones & c; ones ^= c; c = t; if (!c) break;
+            t = twos & c; twos ^= c; c = t; if (!c) break;
+            t = fours & c; fours ^= c; c = t; if (!c) break;
+            t = l3 & c; l3 ^= c; c = t; if (!c) break;
+            t = l4 & c; l4 ^= c; c = t; if (!c) break;
+            t = l5 & c; l5 ^= c; c = t; if (!c) break;
+            t = l6 & c; l6 ^= c; c = t; if (!c) break;
+            t = l7 & c; l7 ^= c; c = t;
+            for (int l = 0; c && l < 8; l++) {
+                t = hi[l] & c; hi[l] ^= c; c = t;
+            }
+        } while (0);
+    }
+    lv[0] = ones; lv[1] = twos; lv[2] = fours;
+    lv[3] = l3; lv[4] = l4; lv[5] = l5; lv[6] = l6; lv[7] = l7;
+    for (int l = 0; l < 8; l++)
+        lv[8 + l] = hi[l];
+}
+
+/* Gather byte j of eight level words into one 8x8 bit matrix; after
+ * transpose8, byte k is the (<= 8-bit) column count at t = 8j + k. */
+static inline uint64_t decode_slice(const uint64_t *lv, int j)
+{
+    uint64_t x = 0;
+    for (int l = 0; l < 8; l++)
+        x |= ((lv[l] >> (8 * j)) & 0xFFULL) << (8 * l);
+    return transpose8(x);
+}
+
+#define FUSED_COUNTS(NAME, OUT_T, HAS_HI)                                     \
+void NAME(                                                                    \
+    const uint64_t *a, const uint64_t *b, const uint64_t *extra,              \
+    int64_t d0, int64_t d1, int64_t d2,                                       \
+    int64_t as0, int64_t as1, int64_t as2,                                    \
+    int64_t bs0, int64_t bs1, int64_t bs2,                                    \
+    int64_t es0, int64_t es1, int64_t es2,                                    \
+    int64_t m, int64_t n_extra,                                               \
+    int64_t n_words, int64_t length, uint64_t tail,                           \
+    OUT_T *out)                                                               \
+{                                                                             \
+    int64_t total = m + n_extra;                                              \
+    int64_t row = 0;                                                          \
+    for (int64_t i0 = 0; i0 < d0; i0++)                                       \
+    for (int64_t i1 = 0; i1 < d1; i1++)                                       \
+    for (int64_t i2 = 0; i2 < d2; i2++, row++) {                              \
+        const uint64_t *ra = a + i0 * as0 + i1 * as1 + i2 * as2;              \
+        const uint64_t *rb = b + i0 * bs0 + i1 * bs1 + i2 * bs2;              \
+        const uint64_t *re =                                                  \
+            extra ? extra + i0 * es0 + i1 * es1 + i2 * es2 : 0;               \
+        OUT_T *cnt = out + row * length;                                      \
+        for (int64_t w = 0; w < n_words; w++) {                               \
+            uint64_t mask = (w == n_words - 1) ? tail : ALL_ONES;             \
+            uint64_t lv[16];                                                  \
+            count_column(ra + w, rb + w, re ? re + w : 0,                     \
+                         m, total, n_words, mask, lv);                        \
+            int64_t t0 = w * 64;                                              \
+            int64_t tmax = length - t0;                                       \
+            if (tmax > 64) tmax = 64;                                         \
+            for (int j = 0; 8 * j < tmax; j++) {                              \
+                uint64_t lo = decode_slice(lv, j);                            \
+                int64_t nb = tmax - 8 * j;                                    \
+                if (nb > 8) nb = 8;                                           \
+                if (!HAS_HI && nb == 8) {                                     \
+                    memcpy(cnt + t0 + 8 * j, &lo, 8);                         \
+                } else {                                                      \
+                    uint64_t hib = HAS_HI ? decode_slice(lv + 8, j) : 0;      \
+                    for (int k = 0; k < nb; k++)                              \
+                        cnt[t0 + 8 * j + k] = (OUT_T)(                        \
+                            ((lo >> (8 * k)) & 0xFF) |                        \
+                            (((hib >> (8 * k)) & 0xFF) << 8));                \
+                }                                                             \
+            }                                                                 \
+        }                                                                     \
+    }                                                                         \
+}
+
+FUSED_COUNTS(repro_fused_xnor_counts_u8, uint8_t, 0)
+FUSED_COUNTS(repro_fused_xnor_counts_u16, uint16_t, 1)
+
+/* ---- fused XNOR -> majority chain --------------------------------------- */
+
+/* Majority chain over XNOR products, mirroring the hardware factorisation
+ * of fused_xnor_majority_chain: acc = Maj(p0, p1, p2), one Maj gate per
+ * further pair, trailing single input ANDed. */
+void repro_fused_xnor_chain(
+    const uint64_t *a, const uint64_t *b,
+    int64_t d0, int64_t d1, int64_t d2,
+    int64_t as0, int64_t as1, int64_t as2,
+    int64_t bs0, int64_t bs1, int64_t bs2,
+    int64_t k, int64_t n_words, int64_t length, uint64_t tail,
+    uint64_t *out)
+{
+    (void)length;
+    int64_t row = 0;
+    for (int64_t i0 = 0; i0 < d0; i0++)
+    for (int64_t i1 = 0; i1 < d1; i1++)
+    for (int64_t i2 = 0; i2 < d2; i2++, row++) {
+        const uint64_t *ra = a + i0 * as0 + i1 * as1 + i2 * as2;
+        const uint64_t *rb = b + i0 * bs0 + i1 * bs1 + i2 * bs2;
+        uint64_t *rout = out + row * n_words;
+        for (int64_t w = 0; w < n_words; w++) {
+            uint64_t mask = (w == n_words - 1) ? tail : ALL_ONES;
+            #define PROD(i) (~(ra[(i) * n_words + w] ^ rb[(i) * n_words + w]) & mask)
+            uint64_t acc;
+            int64_t index;
+            if (k == 1) {
+                acc = PROD(0);
+                index = 1;
+            } else if (k == 2) {
+                acc = PROD(0) & PROD(1);
+                index = 2;
+            } else {
+                uint64_t p0 = PROD(0), p1 = PROD(1), p2 = PROD(2);
+                acc = (p0 & (p1 | p2)) | (p1 & p2);
+                index = 3;
+            }
+            while (index < k) {
+                if (index + 1 < k) {
+                    uint64_t f = PROD(index), s = PROD(index + 1);
+                    acc = ((f | s) & acc) | (f & s);
+                    index += 2;
+                } else {
+                    acc &= PROD(index);
+                    index += 1;
+                }
+            }
+            #undef PROD
+            rout[w] = acc;
+        }
+    }
+}
+
+/* ---- feature-extraction stepper ----------------------------------------- */
+
+/* The Algorithm 1 saturating-counter recurrence, one block instance per
+ * row, emitting packed output words directly.  Covers every accumulator
+ * state-space size (no all-states / per-cycle split) and every slab
+ * width, which is what retires the wide-slab CONV fallback natively. */
+#define FE_RECURRENCE(NAME, CNT_T)                                            \
+void NAME(                                                                    \
+    const CNT_T *counts, int64_t rows, int64_t length,                        \
+    int64_t half, int64_t low, int64_t high,                                  \
+    int64_t n_words, uint64_t *out)                                           \
+{                                                                             \
+    int64_t threshold = half + 1;                                             \
+    for (int64_t r = 0; r < rows; r++) {                                      \
+        const CNT_T *c = counts + r * length;                                 \
+        uint64_t *w = out + r * n_words;                                      \
+        int64_t acc = 0;                                                      \
+        for (int64_t wi = 0; wi < n_words; wi++) {                            \
+            uint64_t word = 0;                                                \
+            int64_t t0 = wi * 64;                                             \
+            int64_t tmax = length - t0;                                       \
+            if (tmax > 64) tmax = 64;                                         \
+            for (int64_t t = 0; t < tmax; t++) {                              \
+                acc += c[t0 + t];                                             \
+                uint64_t bit = acc >= threshold;                              \
+                word |= bit << t;                                             \
+                acc -= half + (int64_t)bit;                                   \
+                if (acc < low) acc = low;                                     \
+                if (acc > high) acc = high;                                   \
+            }                                                                 \
+            w[wi] = word;                                                     \
+        }                                                                     \
+    }                                                                         \
+}
+
+FE_RECURRENCE(repro_fe_recurrence_u8, uint8_t)
+FE_RECURRENCE(repro_fe_recurrence_u16, uint16_t)
+
+/* ---- word-direct SNG comparator ----------------------------------------- */
+
+/* Comparator straight to packed words: bit t = [draw_t < threshold].
+ * Draw rows are shared across the leading axis (the batch axis of the
+ * input SNG); thresholds are per (lead, row). */
+#define PACK_COMPARATOR(NAME, DRAW_T)                                         \
+void NAME(                                                                    \
+    const DRAW_T *draws, const DRAW_T *thresholds,                            \
+    int64_t lead, int64_t rows, int64_t length, int64_t n_words,              \
+    uint64_t *out)                                                            \
+{                                                                             \
+    for (int64_t l = 0; l < lead; l++) {                                      \
+        for (int64_t r = 0; r < rows; r++) {                                  \
+            DRAW_T thr = thresholds[l * rows + r];                            \
+            const DRAW_T *d = draws + r * length;                             \
+            uint64_t *w = out + (l * rows + r) * n_words;                     \
+            for (int64_t wi = 0; wi < n_words; wi++) {                        \
+                uint64_t word = 0;                                            \
+                int64_t t0 = wi * 64;                                         \
+                int64_t tmax = length - t0;                                   \
+                if (tmax > 64) tmax = 64;                                     \
+                for (int64_t t = 0; t < tmax; t++)                            \
+                    word |= (uint64_t)(d[t0 + t] < thr) << t;                 \
+                w[wi] = word;                                                 \
+            }                                                                 \
+        }                                                                     \
+    }                                                                         \
+}
+
+PACK_COMPARATOR(repro_pack_comparator_f64, double)
+PACK_COMPARATOR(repro_pack_comparator_i64, int64_t)

@@ -24,6 +24,12 @@ import numpy as np
 
 __all__ = ["Workspace"]
 
+#: Every arena buffer starts on a 64-byte boundary: one full cache line,
+#: and the widest vector width the compiled kernel tier may be built for
+#: (AVX-512).  NumPy's own allocator guarantees less, so alignment is
+#: enforced by over-allocating and slicing at the boundary.
+_ALIGNMENT = 64
+
 
 class Workspace:
     """Capacity-based reusable buffer arena.
@@ -33,7 +39,9 @@ class Workspace:
     a view with the requested shape and dtype over the cached byte buffer
     for that key, growing it when needed; the contents are
     **uninitialised** (like ``np.empty``), so callers must fully write
-    the view before reading it.
+    the view before reading it.  Every buffer starts 64-byte aligned
+    (see ``_ALIGNMENT``), which the compiled kernels of
+    :mod:`repro.sc.native` rely on for aligned vector loads.
     """
 
     __slots__ = ("_pools",)
@@ -62,9 +70,13 @@ class Workspace:
         nbytes = math.prod(shape) * dtype.itemsize
         raw = self._pools.get(key)
         if raw is None or raw.nbytes < nbytes:
-            # Fresh allocations are aligned and C-contiguous; slicing from
-            # offset zero preserves both, so the view below is always valid.
-            raw = np.empty(max(nbytes, 1), dtype=np.uint8)
+            # Over-allocate by one alignment unit and slice at the 64-byte
+            # boundary; the slice (kept in the pool, holding its base
+            # alive) is contiguous and aligned for every element dtype.
+            capacity = max(nbytes, 1)
+            base = np.empty(capacity + _ALIGNMENT, dtype=np.uint8)
+            start = (-base.ctypes.data) % _ALIGNMENT
+            raw = base[start : start + capacity]
             self._pools[key] = raw
         return raw[:nbytes].view(dtype).reshape(shape)
 

@@ -195,6 +195,70 @@ class TestArtifactValidation:
             model.save(tmp_path / "bad")
 
 
+class TestQuantizedArtifact:
+    def test_quantized_codes_stored_natively(self, model, artifact):
+        assert (artifact / "quantized.npz").is_file()
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        assert "quantized_sha256" in manifest
+        with np.load(artifact / "quantized.npz") as archive:
+            assert len(archive.files) == len(model.network.parameters())
+            assert all(archive[n].dtype == np.int64 for n in archive.files)
+
+    def test_loaded_mapper_uses_stored_codes_bit_exactly(
+        self, model, artifact, images
+    ):
+        loaded = ScModel.load(artifact)
+        assert loaded.quantized_params is not None
+        assert len(loaded.quantized_params) == len(model.network.parameters())
+        original = create_backend("bit-exact-packed", model.mapper())
+        restored = create_backend("bit-exact-packed", loaded.mapper())
+        assert np.array_equal(
+            restored.forward(images), original.forward(images)
+        )
+
+    def test_pre_quantized_artifact_still_loads(self, model, artifact, images):
+        # Simulate a 1.0 artifact: no quantized file, no manifest field.
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        del manifest["quantized_sha256"]
+        manifest["format_version"] = [1, 0]
+        (artifact / "manifest.json").write_text(json.dumps(manifest))
+        (artifact / "quantized.npz").unlink()
+        loaded = ScModel.load(artifact)
+        assert loaded.quantized_params is None
+        original = create_backend("bit-exact-packed", model.mapper())
+        restored = create_backend("bit-exact-packed", loaded.mapper())
+        assert np.array_equal(
+            restored.forward(images), original.forward(images)
+        )
+
+    def test_tampered_quantized_codes_raise(self, artifact):
+        quantized = artifact / "quantized.npz"
+        payload = bytearray(quantized.read_bytes())
+        payload[-1] ^= 0xFF
+        quantized.write_bytes(bytes(payload))
+        with pytest.raises(ConfigurationError, match="quantized digest"):
+            ScModel.load(artifact)
+
+    def test_missing_quantized_file_raises(self, artifact):
+        (artifact / "quantized.npz").unlink()
+        with pytest.raises(ConfigurationError, match="quantized"):
+            ScModel.load(artifact)
+
+    def test_codes_round_trip_equals_quantized_weights(self):
+        from repro.nn.quantization import (
+            dequantize_weights,
+            quantization_codes,
+            quantize_weights,
+        )
+
+        weights = np.random.default_rng(9).uniform(-1.3, 1.3, size=(37, 11))
+        for bits in (1, 4, 10, 16):
+            np.testing.assert_array_equal(
+                dequantize_weights(quantization_codes(weights, bits), bits),
+                quantize_weights(weights, bits),
+            )
+
+
 class TestPredictOptions:
     @pytest.mark.parametrize(
         "kwargs",

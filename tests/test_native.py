@@ -1,0 +1,421 @@
+"""Compiled native kernel tier: bit-identity, fallback, thread sharding.
+
+The contract under test is the one the backend registry advertises:
+``bit-exact-native`` is a pure drop-in for ``bit-exact-packed`` --
+bit-identical scores whether or not the compiled tier is available, with
+graceful degradation (never an error) when it is not -- and
+``bit-exact-native-mp`` shards batches across threads without changing a
+single score.
+"""
+
+import os
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BitExactNativeBackend,
+    NativeParallelBackend,
+    ParallelBackend,
+    create_backend,
+    describe_backends,
+    resolve_parallel_backend,
+)
+from repro.blocks.batched import feature_extraction_recurrence_words
+from repro.nn.architectures import LayerSpec, build_network
+from repro.nn.sc_layers import ScNetworkMapper
+from repro.sc import native
+from repro.sc.packed import (
+    fused_xnor_column_counts,
+    fused_xnor_majority_chain,
+    pack_bits,
+    pack_comparator_words,
+    words_for_length,
+)
+from repro.workspace import Workspace
+
+needs_native = pytest.mark.skipif(
+    not native.available(),
+    reason=f"compiled native tier unavailable: {native.native_error()}",
+)
+
+
+def _tiny_cnn():
+    specs = [
+        LayerSpec(kind="conv", name="Conv3_x", kernel=3, channels=2),
+        LayerSpec(kind="pool", name="AvgPool", kernel=4, stride=4),
+        LayerSpec(kind="fc", name="FC16", units=16),
+        LayerSpec(kind="output", name="OutLayer", units=10),
+    ]
+    return build_network(
+        specs, activation="hardware", seed=5, training_stream_length=128
+    )
+
+
+@pytest.fixture(scope="module")
+def network():
+    return _tiny_cnn()
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.random.default_rng(11).random((6, 1, 28, 28))
+
+
+def _random_words(rng, shape, length):
+    bits = (rng.random(shape[:-1] + (length,)) < 0.5).astype(np.uint8)
+    return pack_bits(bits)
+
+
+# -- kernel-level bit-identity -------------------------------------------------
+
+
+@needs_native
+@pytest.mark.parametrize("length", [1, 63, 64, 100, 1000, 8192])
+def test_fused_counts_matches_numpy(length):
+    rng = np.random.default_rng(length)
+    a = _random_words(rng, (3, 5, words_for_length(length)), length)
+    b = _random_words(rng, (3, 5, words_for_length(length)), length)
+    extra = _random_words(rng, (3, 2, words_for_length(length)), length)
+    expected = fused_xnor_column_counts(a, b, length, extra=extra)
+    got = native.fused_xnor_column_counts(a, b, length, extra=extra)
+    assert got is not None
+    assert got.dtype == expected.dtype
+    np.testing.assert_array_equal(got, expected)
+
+
+@needs_native
+def test_fused_counts_broadcast_and_u16():
+    # Broadcast leading axes and an m_total past the uint8 count range.
+    length = 300
+    rng = np.random.default_rng(0)
+    w = words_for_length(length)
+    a = _random_words(rng, (4, 1, 300, w), length)
+    b = _random_words(rng, (1, 2, 300, w), length)
+    expected = fused_xnor_column_counts(a, b, length)
+    got = native.fused_xnor_column_counts(a, b, length)
+    assert got is not None
+    assert got.dtype == np.uint16
+    np.testing.assert_array_equal(got, expected)
+
+
+@needs_native
+@pytest.mark.parametrize("k", [1, 2, 3, 4, 7, 16])
+def test_fused_chain_matches_numpy(k):
+    length = 200
+    rng = np.random.default_rng(k)
+    w = words_for_length(length)
+    a = _random_words(rng, (5, k, w), length)
+    b = _random_words(rng, (5, k, w), length)
+    np.testing.assert_array_equal(
+        native.fused_xnor_majority_chain(a, b, length),
+        fused_xnor_majority_chain(a, b, length),
+    )
+
+
+@needs_native
+@pytest.mark.parametrize("dtype", [np.uint8, np.uint16])
+def test_fe_stepper_matches_numpy(dtype):
+    rng = np.random.default_rng(7)
+    half, low, high = 4, -4, 5
+    counts = rng.integers(0, 11, size=(129, 1000)).astype(dtype)
+    got = native.feature_extraction_recurrence_words(counts, half, low, high)
+    assert got is not None
+    np.testing.assert_array_equal(
+        got, feature_extraction_recurrence_words(counts, half, low, high)
+    )
+
+
+@needs_native
+@pytest.mark.parametrize("dtype", [np.int64, np.float64])
+def test_pack_comparator_words_matches_numpy(dtype):
+    rng = np.random.default_rng(5)
+    length = 1000
+    if dtype is np.int64:
+        draws = rng.integers(0, 1 << 10, size=(40, length))
+        thresholds = rng.integers(0, (1 << 10) + 1, size=40)
+    else:
+        draws = rng.random((40, length))
+        thresholds = rng.random(40)
+    expected = pack_comparator_words(draws, thresholds)
+    got = native.pack_comparator_words(draws, thresholds)
+    assert got is not None
+    np.testing.assert_array_equal(got, expected)
+
+
+@needs_native
+def test_ones_count_matches_numpy():
+    length = 777
+    words = _random_words(np.random.default_rng(2), (9, words_for_length(length)), length)
+    from repro.sc.packed import ones_count
+
+    got = native.ones_count(words)
+    assert got is not None
+    np.testing.assert_array_equal(got, ones_count(words))
+
+
+# -- backend-level drop-in equivalence ----------------------------------------
+
+
+@pytest.mark.parametrize("stream_length", [100, 1000, 8192])
+def test_native_backend_bit_identical(network, images, stream_length):
+    batch = images if stream_length < 8192 else images[:2]
+    mapper = ScNetworkMapper(network, stream_length=stream_length, seed=7)
+    reference = create_backend("bit-exact-packed", mapper).forward(batch)
+    scores = create_backend("bit-exact-native", mapper).forward(batch)
+    np.testing.assert_array_equal(scores, reference)
+
+
+def test_native_forward_partial_checkpoints_exact(network, images):
+    mapper = ScNetworkMapper(network, stream_length=1000, seed=7)
+    points = (100, 250, 500, 1000)
+    packed = create_backend("bit-exact-packed", mapper)
+    nat = create_backend("bit-exact-native", mapper)
+    np.testing.assert_array_equal(
+        nat.forward_partial(images, points),
+        packed.forward_partial(images, points),
+    )
+    # The final checkpoint is the full forward pass, exactly.
+    np.testing.assert_array_equal(
+        nat.forward_partial(images, points)[-1], nat.forward(images)
+    )
+
+
+def test_use_native_false_runs_numpy_kernels(network, images):
+    mapper = ScNetworkMapper(network, stream_length=200, seed=7)
+    backend = BitExactNativeBackend(mapper, use_native=False)
+    assert not backend.native_active
+    np.testing.assert_array_equal(
+        backend.forward(images),
+        create_backend("bit-exact-packed", mapper).forward(images),
+    )
+
+
+def test_availability_reported_by_registry():
+    lines = describe_backends().splitlines()
+    native_lines = [l for l in lines if l.startswith("bit-exact-native ")]
+    assert len(native_lines) == 1
+    assert "native tier:" in native_lines[0]
+    # The "name -- description" line format the serving docs rely on.
+    assert " -- " in native_lines[0]
+
+
+def test_env_var_disables_tier_without_breaking_backend(network):
+    """REPRO_NATIVE=0 must yield a working (NumPy) backend, not an error."""
+    code = (
+        "import numpy as np\n"
+        "from repro.sc import native\n"
+        "assert not native.available()\n"
+        "assert 'unavailable' in native.describe()\n"
+        "from repro.backends import create_backend, describe_backends\n"
+        "from repro.nn.architectures import LayerSpec, build_network\n"
+        "from repro.nn.sc_layers import ScNetworkMapper\n"
+        "specs = [\n"
+        "    LayerSpec(kind='conv', name='C', kernel=3, channels=2),\n"
+        "    LayerSpec(kind='pool', name='P', kernel=4, stride=4),\n"
+        "    LayerSpec(kind='fc', name='F', units=16),\n"
+        "    LayerSpec(kind='output', name='O', units=10),\n"
+        "]\n"
+        "net = build_network(specs, activation='hardware', seed=5,\n"
+        "                    training_stream_length=128)\n"
+        "mapper = ScNetworkMapper(net, stream_length=100, seed=7)\n"
+        "images = np.random.default_rng(11).random((2, 1, 28, 28))\n"
+        "nat = create_backend('bit-exact-native', mapper)\n"
+        "assert not nat.native_active\n"
+        "ref = create_backend('bit-exact-packed', mapper).forward(images)\n"
+        "np.testing.assert_array_equal(nat.forward(images), ref)\n"
+        "mp = create_backend('bit-exact-native-mp', mapper, workers=2)\n"
+        "np.testing.assert_array_equal(mp.forward(images), ref)\n"
+        "mp.close()\n"
+    )
+    env = dict(os.environ, REPRO_NATIVE="0")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (
+            os.path.join(os.path.dirname(__file__), "..", "src"),
+            env.get("PYTHONPATH"),
+        ) if p
+    )
+    subprocess.run(
+        [sys.executable, "-c", code], check=True, env=env, timeout=300
+    )
+
+
+# -- thread-sharded parallel backend ------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def thread_mapper(network):
+    return ScNetworkMapper(network, stream_length=200, seed=7)
+
+
+def test_thread_mode_forward_bit_identical(thread_mapper, images):
+    reference = create_backend("bit-exact-packed", thread_mapper).forward(images)
+    with create_backend(
+        "bit-exact-native-mp", thread_mapper, workers=3
+    ) as backend:
+        assert backend.executor_mode == "thread"
+        np.testing.assert_array_equal(backend.forward(images), reference)
+
+
+def test_thread_mode_forward_partial_bit_identical(thread_mapper, images):
+    points = (50, 100, 200)
+    reference = create_backend("bit-exact-packed", thread_mapper).forward_partial(
+        images, points
+    )
+    with create_backend(
+        "bit-exact-native-mp", thread_mapper, workers=3
+    ) as backend:
+        np.testing.assert_array_equal(
+            backend.forward_partial(images, points), reference
+        )
+
+
+def test_thread_mode_deterministic_under_concurrent_submits(
+    thread_mapper, images
+):
+    """Concurrent forward calls share the replica pool without cross-talk."""
+    reference = create_backend("bit-exact-packed", thread_mapper).forward(images)
+    with create_backend(
+        "bit-exact-native-mp", thread_mapper, workers=2
+    ) as backend:
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(backend.forward, images) for _ in range(8)
+            ]
+            results = [f.result() for f in futures]
+    for result in results:
+        np.testing.assert_array_equal(result, reference)
+
+
+def test_thread_mode_break_pool_is_a_noop(thread_mapper):
+    with create_backend(
+        "bit-exact-native-mp", thread_mapper, workers=2
+    ) as backend:
+        assert backend.break_pool() is False
+        assert backend.pool_breaks == 0
+
+
+def test_thread_mode_use_after_close_raises(thread_mapper, images):
+    backend = create_backend("bit-exact-native-mp", thread_mapper, workers=2)
+    backend.close()
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        backend.forward(images)
+
+
+def test_thread_mode_serves_through_inference_service(thread_mapper, images):
+    """bit-exact-native-mp is a drop-in replica backend for the service."""
+    from repro.config import ServiceConfig
+    from repro.serve import ScInferenceService
+
+    direct = create_backend("bit-exact-packed", thread_mapper).forward(images)
+    config = ServiceConfig(
+        backend="bit-exact-native-mp",
+        num_workers=1,  # one service thread whose replica owns the thread pool
+        max_batch_size=8,
+        max_wait_ms=20.0,
+        early_exit=False,
+        cache_capacity=0,
+    )
+    with ScInferenceService(thread_mapper, config, workers=2) as service:
+        response = service.infer(images, timeout=300)
+    np.testing.assert_array_equal(response.scores, direct)
+
+
+def test_process_mode_still_default_for_packed(thread_mapper):
+    with create_backend(
+        "bit-exact-packed-mp", thread_mapper, workers=2
+    ) as backend:
+        assert backend.executor_mode == "process"
+
+
+def test_executor_validation(thread_mapper):
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ParallelBackend(thread_mapper, workers=2, executor="fibers")
+
+
+# -- resolution policy ---------------------------------------------------------
+
+
+def test_resolve_policy_picks_threads_for_native():
+    assert resolve_parallel_backend("bit-exact-native", 4) == (
+        "bit-exact-native-mp",
+        {"workers": 4, "inner_backend": "bit-exact-native"},
+    )
+    assert resolve_parallel_backend("bit-exact-native-mp", 4) == (
+        "bit-exact-native-mp",
+        {"workers": 4, "inner_backend": "bit-exact-native"},
+    )
+
+
+def test_resolve_policy_keeps_processes_for_packed():
+    assert resolve_parallel_backend("bit-exact-packed", 4) == (
+        "bit-exact-packed-mp",
+        {"workers": 4, "inner_backend": "bit-exact-packed"},
+    )
+
+
+def test_resolve_policy_explicit_executor_wins():
+    name, options = resolve_parallel_backend(
+        "bit-exact-native", 4, executor="process"
+    )
+    assert name == "bit-exact-packed-mp"
+    assert options["inner_backend"] == "bit-exact-native"
+    name, options = resolve_parallel_backend(
+        "bit-exact-packed", 4, executor="thread"
+    )
+    assert name == "bit-exact-native-mp"
+    assert options["inner_backend"] == "bit-exact-packed"
+
+
+def test_resolve_policy_single_worker_passthrough():
+    assert resolve_parallel_backend("bit-exact-native", None) == (
+        "bit-exact-native",
+        {},
+    )
+    assert resolve_parallel_backend("bit-exact-native", 1) == (
+        "bit-exact-native",
+        {},
+    )
+
+
+def test_resolve_policy_rejects_bad_executor():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        resolve_parallel_backend("bit-exact-packed", 4, executor="fibers")
+
+
+# -- wide-slab regression (word-blocked per-cycle fallback) --------------------
+
+
+def test_wide_slab_recurrence_words_regression():
+    """A CONV-shaped wide slab must stay bit-exact through the fallback.
+
+    ``n_states * batch`` far above the all-states slab cap forces the
+    per-cycle path; since the word-emitting rewrite it assembles packed
+    words directly (no ``(N, batch)`` byte-per-bit transients), and must
+    agree bit-for-bit with the forced all-states strategy.
+    """
+    rng = np.random.default_rng(17)
+    half, low, high = 4, -4, 5  # 10 states, first-layer CONV geometry
+    counts = rng.integers(0, 11, size=(6000, 130)).astype(np.uint8)
+    workspace = Workspace()
+    auto = feature_extraction_recurrence_words(
+        counts, half, low, high, workspace=workspace
+    ).copy()
+    forced = feature_extraction_recurrence_words(
+        counts, half, low, high, strategy="all-states"
+    )
+    np.testing.assert_array_equal(auto, forced)
+    # Odd tail: packed tail bits must stay zero through the direct path.
+    tail_counts = rng.integers(0, 11, size=(3000, 67)).astype(np.uint8)
+    words = feature_extraction_recurrence_words(tail_counts, half, low, high)
+    assert words.shape == (3000, 2)
+    assert not np.any(words[:, -1] >> np.uint64(3))
