@@ -24,6 +24,12 @@ relocate it, delete the directory to retrain).  Sections:
 * **cache** -- repeated traffic against the LRU result cache, reporting
   the hit rate.
 
+* **observability** -- a burst at ``trace_sample_rate=1.0`` asserting
+  that every response carries a trace whose queue + service split prices
+  the measured latency exactly, that the Prometheus exposition of the
+  service snapshot parses cleanly, and an **overhead guard**: p99
+  latency with sampling at 0.01 must stay within 5% of sampling off
+  (best of several attempts, so a single noisy run cannot fail CI).
 * **fault sweep** (``--faults``) -- a fault-free baseline burst asserting
   *zero SLO violations* (no request shed, failed or unresolved), then a
   burst under an injected replica crash, straggler and poisoned batch
@@ -71,6 +77,10 @@ STABLE_CHECKPOINTS = 2
 
 #: Acceptance floor on the mean stream-cycle reduction from early exit.
 MIN_CYCLE_REDUCTION = 1.5
+
+#: Overhead guard: p99 latency with trace sampling at 0.01 must stay
+#: under this multiple of the sampling-off p99 (best of several runs).
+MAX_OBS_OVERHEAD = 1.05
 
 #: Margin for the bit-exact packed spot check.  Bit-exact prefix scores
 #: carry the *actual* decoding noise of short streams (the score quantum
@@ -279,6 +289,8 @@ def bench_load_sweep(mapper, images, offered_rates, n_requests: int) -> list:
             "mean_batch_size": snapshot["mean_batch_size"],
             "max_batch_size": snapshot["max_batch_size"],
             "mean_exit_checkpoint": snapshot["mean_exit_checkpoint"],
+            "queue_time_ms": snapshot["queue_time_ms"],
+            "service_time_ms": snapshot["service_time_ms"],
         }
         entries.append(entry)
         print(
@@ -320,6 +332,113 @@ def bench_cache(mapper, images, n_unique: int, repeats: int) -> dict:
     )
     assert stats["hit_rate"] == expected, "LRU cache missed repeated traffic"
     return entry
+
+
+def bench_obs(mapper, images, smoke: bool) -> dict:
+    """Observability sweep: trace completeness, exposition, overhead guard.
+
+    Three assertions back the ``repro.obs`` layer:
+
+    * at ``trace_sample_rate=1.0`` **every** response carries a
+      :class:`~repro.obs.TraceSummary` whose queue + service split sums
+      to the measured latency (same ``perf_counter`` marks, so the match
+      is exact up to float rounding);
+    * the Prometheus text exposition of the full service snapshot
+      (metrics + kernel counters + workspaces + tracer state) passes
+      :func:`~repro.obs.validate_exposition`;
+    * the **overhead guard**: p99 latency with sampling at the
+      production-ish rate 0.01 stays within ``MAX_OBS_OVERHEAD`` of
+      sampling off.  Scheduler jitter dwarfs the tracer's cost on any
+      single run, so the guard keeps the *best* ratio over a few
+      attempts -- the tracer only fails it if it is slow every time.
+    """
+    from repro.obs import prometheus_text, validate_exposition
+
+    n_requests = 32 if smoke else 96
+
+    def _drive(rate: float):
+        config = ServiceConfig(
+            backend="sc-fast",
+            max_batch_size=16,
+            max_wait_ms=2.0,
+            num_workers=2,
+            cache_capacity=0,
+            early_exit=True,
+            margin=MARGIN,
+            stable_checkpoints=STABLE_CHECKPOINTS,
+            trace_sample_rate=rate,
+        )
+        with ScInferenceService(mapper, config) as service:
+            futures = [
+                service.submit(images[i % images.shape[0]])
+                for i in range(n_requests)
+            ]
+            responses = [future.result(timeout=120) for future in futures]
+            snapshot = service.snapshot()
+        return responses, snapshot
+
+    responses, snapshot = _drive(1.0)
+    traced = [r for r in responses if r.trace is not None]
+    assert len(traced) == n_requests, (
+        f"sampling at 1.0 traced only {len(traced)}/{n_requests} requests"
+    )
+    worst_split = 0.0
+    for response in traced:
+        trace = response.trace
+        split = abs(trace.queue_ms + trace.service_ms - trace.latency_ms)
+        worst_split = max(worst_split, split)
+        assert split < 1e-6, (
+            f"trace {trace.trace_id}: queue {trace.queue_ms} + service "
+            f"{trace.service_ms} != latency {trace.latency_ms}"
+        )
+        assert trace.stages, f"trace {trace.trace_id} recorded no spans"
+    families = validate_exposition(prometheus_text(snapshot))
+    print(
+        f"  tracing: {len(traced)}/{n_requests} responses traced, "
+        f"queue+service split exact (worst residue {worst_split:.2e} ms), "
+        f"exposition valid ({len(families)} families)"
+    )
+
+    attempts = 3 if smoke else 5
+    best_ratio = float("inf")
+    baseline_p99 = sampled_p99 = None
+    for _ in range(attempts):
+        _, off = _drive(0.0)
+        _, on = _drive(0.01)
+        p99_off = off["latency_ms"]["p99"]
+        p99_on = on["latency_ms"]["p99"]
+        if p99_off <= 0.0:
+            continue
+        ratio = p99_on / p99_off
+        if ratio < best_ratio:
+            best_ratio, baseline_p99, sampled_p99 = ratio, p99_off, p99_on
+        if best_ratio < MAX_OBS_OVERHEAD:
+            break
+    print(
+        f"  overhead: p99 {baseline_p99:.1f} ms off -> {sampled_p99:.1f} ms "
+        f"at rate 0.01 (best ratio {best_ratio:.3f}, "
+        f"guard < {MAX_OBS_OVERHEAD})"
+    )
+    assert best_ratio < MAX_OBS_OVERHEAD, (
+        f"tracing at rate 0.01 inflated p99 latency {best_ratio:.3f}x on "
+        f"every one of {attempts} attempts (guard {MAX_OBS_OVERHEAD}x)"
+    )
+    return {
+        "requests": n_requests,
+        "traced_responses": len(traced),
+        "queue_service_split_exact": True,
+        "exposition_families": len(families),
+        "kernels_observed": sorted(snapshot["kernels"]),
+        "tracing": snapshot["tracing"],
+        "overhead_guard": {
+            "sample_rate": 0.01,
+            "attempts": attempts,
+            "baseline_p99_ms": baseline_p99,
+            "sampled_p99_ms": sampled_p99,
+            "best_ratio": best_ratio,
+            "max_ratio": MAX_OBS_OVERHEAD,
+        },
+    }
 
 
 def bench_faults(mapper, images, smoke: bool) -> dict:
@@ -460,6 +579,8 @@ def run(
     sweep = bench_load_sweep(mapper, images, rates, 48 if smoke else 192)
     print("result cache:")
     cache = bench_cache(mapper, images, n_unique=16, repeats=3)
+    print("observability (tracing + exposition + overhead guard):")
+    observability = bench_obs(mapper, images, smoke)
     report = {
         "smoke": smoke,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -470,6 +591,7 @@ def run(
         "packed_prefix": packed,
         "load_sweep": sweep,
         "cache": cache,
+        "observability": observability,
     }
     if faults:
         print("fault sweep (SLO-violation accounting):")

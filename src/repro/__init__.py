@@ -31,7 +31,16 @@ Superconducting Technology" (Cai et al., ISCA 2019).  It contains:
 * ``repro.datasets`` -- the synthetic MNIST-like digit dataset.
 * ``repro.eval`` -- reproduction harness for every table and figure in the
   paper's evaluation.
+* ``repro.obs`` -- observability: sampled request tracing, kernel-tier
+  counters, Prometheus text exposition and a JSONL structured event log.
+
+The package logs under the stdlib ``repro`` logger hierarchy (replica
+restarts, circuit-breaker trips, overload sheds, native-tier compile
+fallbacks).  Library convention: a ``NullHandler`` is installed so
+nothing prints unless the application configures logging.
 """
+
+import logging
 
 from repro.config import ExperimentConfig, default_config
 from repro.errors import (
@@ -43,6 +52,8 @@ from repro.errors import (
 )
 
 __version__ = "1.0.0"
+
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 __all__ = [
     "ExperimentConfig",

@@ -350,6 +350,32 @@ class Session:
             **{**self.backend_options, **backend_options},
         )
 
+    # -- observability ---------------------------------------------------------
+
+    def obs_snapshot(self) -> dict:
+        """Kernel-tier counters and arena stats of this session's backends.
+
+        The session-level analogue of
+        ``ScInferenceService.snapshot()["kernels"]`` for direct
+        ``predict`` / ``evaluate`` use: per-kernel, per-tier invocation
+        counters merged across every backend the session has built, plus
+        each backend's workspace-arena statistics.
+        """
+        from repro.obs import merge_kernel_snapshots
+
+        backends = list(self._backends.values())
+        workspaces = []
+        for executor in backends:
+            stats = executor.workspace_stats()
+            if stats is not None:
+                workspaces.append({"backend": executor.name, **stats})
+        return {
+            "kernels": merge_kernel_snapshots(
+                executor.kernel_snapshot() for executor in backends
+            ),
+            "workspaces": workspaces,
+        }
+
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:

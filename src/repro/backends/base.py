@@ -230,6 +230,32 @@ class Backend(abc.ABC):
         its replacement.
         """
 
+    def kernel_snapshot(self) -> dict:
+        """Per-kernel, per-tier invocation counters of this backend.
+
+        Backends with an instrumented kernel seam (the packed data
+        plane, see :mod:`repro.obs.counters`) expose a ``counters``
+        attribute; everything else reports empty.  Sharded wrappers
+        override this to aggregate across their replicas.
+
+        Returns:
+            ``{kernel: {tier: {"calls", "seconds", "bytes"}}}``.
+        """
+        counters = getattr(self, "counters", None)
+        if counters is None:
+            return {}
+        return counters.snapshot()
+
+    def workspace_stats(self) -> dict | None:
+        """Buffer-arena statistics (:meth:`repro.workspace.Workspace.stats`).
+
+        ``None`` for backends without a workspace arena.
+        """
+        workspace = getattr(self, "workspace", None)
+        if workspace is None:
+            return None
+        return workspace.stats()
+
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Predicted class indices for a batch of images."""
         return np.argmax(self.forward(images), axis=1)

@@ -18,6 +18,8 @@ to NumPy, so correctness never depends on the native tier's coverage.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.backends.packed import BitExactPackedBackend
@@ -65,7 +67,14 @@ class BitExactNativeBackend(BitExactPackedBackend):
 
     @classmethod
     def availability_note(cls) -> str:
-        """Registry availability note (shown by ``describe_backends()``)."""
+        """Registry availability note (shown by ``describe_backends()``).
+
+        The compiled tier's status, plus the process-wide kernel-tier
+        counter summary once kernels have run.
+        """
+        note = super().availability_note()
+        if note:
+            return f"{native.describe()}; {note}"
         return native.describe()
 
     # -- kernel seam overrides -------------------------------------------------
@@ -76,34 +85,48 @@ class BitExactNativeBackend(BitExactPackedBackend):
         )
 
     def _fused_counts(self, a, b, extra, out, key) -> None:
-        if self.native_active and (
-            native.fused_xnor_column_counts(
-                a,
-                b,
-                self.mapper.stream_length,
-                extra=extra,
-                out=out,
-                workspace=self.workspace,
-                key=(key, "native"),
-            )
-            is not None
-        ):
-            return
+        # Tier attribution happens per call, not per instance: a shape
+        # outside the native fast path records as "numpy" through the
+        # inherited seam even while ``native_active`` is True, so the
+        # counters report where the work actually ran.
+        if self.native_active:
+            started = time.perf_counter()
+            if (
+                native.fused_xnor_column_counts(
+                    a,
+                    b,
+                    self.mapper.stream_length,
+                    extra=extra,
+                    out=out,
+                    workspace=self.workspace,
+                    key=(key, "native"),
+                )
+                is not None
+            ):
+                self._record_kernel(
+                    "fused_counts", "native", started, out.nbytes
+                )
+                return
         super()._fused_counts(a, b, extra, out, key)
 
     def _fused_chain(self, a, b, out, key) -> None:
-        if self.native_active and (
-            native.fused_xnor_majority_chain(
-                a,
-                b,
-                self.mapper.stream_length,
-                out=out,
-                workspace=self.workspace,
-                key=(key, "native"),
-            )
-            is not None
-        ):
-            return
+        if self.native_active:
+            started = time.perf_counter()
+            if (
+                native.fused_xnor_majority_chain(
+                    a,
+                    b,
+                    self.mapper.stream_length,
+                    out=out,
+                    workspace=self.workspace,
+                    key=(key, "native"),
+                )
+                is not None
+            ):
+                self._record_kernel(
+                    "fused_chain", "native", started, out.nbytes
+                )
+                return
         super()._fused_chain(a, b, out, key)
 
     def _recurrence_words(
@@ -111,16 +134,20 @@ class BitExactNativeBackend(BitExactPackedBackend):
     ) -> np.ndarray:
         if not self.native_active:
             return super()._recurrence_words(counts, m, neutral)
+        started = time.perf_counter()
         if neutral is not None:
             np.add(counts, neutral, out=counts, casting="unsafe")
         half = SorterFeatureExtractionBlock(m).threshold
         words = native.feature_extraction_recurrence_words(
             counts, half, -half, half + 1, workspace=self.workspace
         )
+        tier = "native"
         if words is None:
             # Neutral is already folded in; run the NumPy stepper directly
             # (calling super() would add it twice).
+            tier = "numpy"
             words = feature_extraction_recurrence_words(
                 counts, half, -half, half + 1, workspace=self.workspace
             )
+        self._record_kernel("recurrence_words", tier, started, words.nbytes)
         return words

@@ -40,6 +40,7 @@ memory envelope.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -65,6 +66,7 @@ from repro.nn.layers import (
     LogitScale,
 )
 from repro.nn.sc_layers import ScNetworkMapper
+from repro.obs.counters import GLOBAL_COUNTERS, KernelCounters, kernel_note
 from repro.sc.packed import (
     fused_xnor_column_counts,
     fused_xnor_majority_chain,
@@ -127,6 +129,15 @@ class BitExactPackedBackend(Backend):
             raise ConfigurationError("position_chunk must be >= 1")
         self.position_chunk = position_chunk
         self.workspace = Workspace()
+        #: Per-kernel, per-tier invocation counters of this instance
+        #: (surfaced through :meth:`~repro.backends.base.Backend.kernel_snapshot`
+        #: and the serving layer's ``snapshot()["kernels"]``).
+        self.counters = KernelCounters()
+
+    @classmethod
+    def availability_note(cls) -> str | None:
+        """Registry note: process-wide kernel-tier counter summary."""
+        return kernel_note()
 
     # -- kernel seam -----------------------------------------------------------
     #
@@ -134,11 +145,23 @@ class BitExactPackedBackend(Backend):
     # overridable methods so a compiled tier
     # (:class:`~repro.backends.native.BitExactNativeBackend`) can slot in
     # per-kernel replacements while inheriting the layer drivers, the
-    # chunking policy and the workspace discipline unchanged.
+    # chunking policy and the workspace discipline unchanged.  Every
+    # invocation is folded into the kernel-tier counters (instance and
+    # process-wide) -- one timestamp pair and two lock acquisitions per
+    # chunked kernel call, noise next to the kernels themselves.
+
+    def _record_kernel(
+        self, kernel: str, tier: str, started: float, nbytes: int
+    ) -> None:
+        """Fold one seam invocation into the tier counters."""
+        elapsed = time.perf_counter() - started
+        self.counters.record(kernel, tier, elapsed, nbytes)
+        GLOBAL_COUNTERS.record(kernel, tier, elapsed, nbytes)
 
     def _fused_counts(self, a, b, extra, out, key) -> None:
         """Fused XNOR -> CSA column counts into ``out`` (see
         :func:`repro.sc.packed.fused_xnor_column_counts`)."""
+        started = time.perf_counter()
         fused_xnor_column_counts(
             a,
             b,
@@ -148,10 +171,12 @@ class BitExactPackedBackend(Backend):
             workspace=self.workspace,
             key=key,
         )
+        self._record_kernel("fused_counts", "numpy", started, out.nbytes)
 
     def _fused_chain(self, a, b, out, key) -> None:
         """Fused XNOR -> majority chain into ``out`` (see
         :func:`repro.sc.packed.fused_xnor_majority_chain`)."""
+        started = time.perf_counter()
         fused_xnor_majority_chain(
             a,
             b,
@@ -160,12 +185,20 @@ class BitExactPackedBackend(Backend):
             workspace=self.workspace,
             key=key,
         )
+        self._record_kernel("fused_chain", "numpy", started, out.nbytes)
 
     def _stream_words(self, weights, rng) -> np.ndarray:
         """Packed weight/bias streams through the active comparator."""
-        return self.mapper.weight_stream_words(
+        started = time.perf_counter()
+        words = self.mapper.weight_stream_words(
             weights, rng, packer=self._stream_packer
         )
+        # Tier attribution follows the installed comparator: the native
+        # backend sets ``_stream_packer`` only while the compiled tier is
+        # active, so packer-present means word-direct native packing.
+        tier = "numpy" if self._stream_packer is None else "native"
+        self._record_kernel("stream_words", tier, started, words.nbytes)
+        return words
 
     def output_stream_words(
         self, images: np.ndarray, rng: np.random.Generator | None = None
@@ -199,7 +232,14 @@ class BitExactPackedBackend(Backend):
         rng = rng or np.random.default_rng(mapper.seed)
         # The shared SNG preamble keeps the RNG consumption identical to
         # the batched/legacy paths (the bit-exactness contract).
+        started = time.perf_counter()
         words = mapper.input_stream_words(images, rng, packer=self._stream_packer)
+        self._record_kernel(
+            "stream_words",
+            "numpy" if self._stream_packer is None else "native",
+            started,
+            words.nbytes,
+        )
         dense_layers = [l for l in mapper.network.layers if isinstance(l, Dense)]
         dense_seen = 0
         for index, layer in enumerate(mapper.network.layers):
@@ -291,15 +331,20 @@ class BitExactPackedBackend(Backend):
         The returned words live in the workspace; callers copy them into
         their per-layer output buffer before the next stepper call.
         """
+        started = time.perf_counter()
         if neutral is not None:
             # Even input sizes are padded with the alternating neutral
             # stream; its contribution is added to the counts directly
             # instead of materialising the extra packed column.
             np.add(counts, neutral, out=counts, casting="unsafe")
         half = SorterFeatureExtractionBlock(m).threshold
-        return feature_extraction_recurrence_words(
+        words = feature_extraction_recurrence_words(
             counts, half, -half, half + 1, workspace=self.workspace
         )
+        self._record_kernel(
+            "recurrence_words", "numpy", started, words.nbytes
+        )
+        return words
 
     def _packed_conv(
         self,

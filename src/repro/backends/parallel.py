@@ -49,6 +49,7 @@ failure with :meth:`ParallelBackend.break_pool`.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import pickle
@@ -67,6 +68,7 @@ from repro.backends.registry import backend_class, create_backend, register_back
 from repro.errors import ConfigurationError
 from repro.nn.layers import Dense
 from repro.nn.sc_layers import ScNetworkMapper
+from repro.obs.counters import merge_kernel_snapshots
 from repro.sc import native
 
 __all__ = [
@@ -74,6 +76,8 @@ __all__ = [
     "NativeParallelBackend",
     "resolve_parallel_backend",
 ]
+
+_LOG = logging.getLogger("repro.backends.parallel")
 
 
 def resolve_parallel_backend(
@@ -587,6 +591,20 @@ class ParallelBackend(Backend):
             )
             self._breaker_open_until = time.monotonic() + cooldown
             self._teardown_executor(wait=False)
+        _LOG.warning(
+            "worker pool broken (break #%d); circuit breaker open for "
+            "%.1fs, serving from the in-process replica",
+            self._pool_breaks,
+            cooldown,
+            extra={
+                "obs_event": {
+                    "kind": "breaker_trip",
+                    "backend": self.name,
+                    "pool_breaks": self._pool_breaks,
+                    "cooldown_s": cooldown,
+                }
+            },
+        )
 
     def _teardown_executor(self, wait: bool) -> None:
         if self._finalizer is not None:
@@ -698,6 +716,26 @@ class ParallelBackend(Backend):
         except BrokenProcessPool:
             self._trip_breaker()
             return self.inner.forward_partial(images, points)
+
+    def kernel_snapshot(self) -> dict:
+        """Kernel counters aggregated across the in-process replicas.
+
+        Covers the inner replica (small batches, breaker fallbacks) and
+        every thread-mode shard replica.  Process-pool workers keep their
+        counters in their own address space and are not reachable from
+        here; their work is attributed by each worker's own process-wide
+        counters instead.
+        """
+        with self._replica_lock:
+            replicas = list(self._thread_replicas)
+        return merge_kernel_snapshots(
+            [self.inner.kernel_snapshot()]
+            + [replica.kernel_snapshot() for replica in replicas]
+        )
+
+    def workspace_stats(self) -> dict | None:
+        """Arena stats of the in-process inner replica (if it has one)."""
+        return self.inner.workspace_stats()
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; use-after-close raises)."""

@@ -12,6 +12,10 @@ in-process with three lines of Python:
 * ``evaluate``  -- accuracy of an artifact under any registered backend.
 * ``serve``     -- stand up the micro-batching service on an artifact and
   push a demo burst through it.
+* ``metrics``   -- serve a burst and export the service snapshot in
+  Prometheus text exposition format (kernel-tier counters included).
+* ``trace``     -- serve a burst at trace sample rate 1.0 and print every
+  request's span tree and queue/service breakdown.
 * ``backends``  -- list the execution-backend registry.
 
 This module also hosts the **shared backend argparse wiring**
@@ -338,6 +342,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shed_unmeetable_deadlines=args.shed_unmeetable_deadlines,
         degrade_queue_depth=args.degrade_queue_depth,
         degraded_max_fraction=args.degraded_max_fraction,
+        trace_sample_rate=args.trace_sample_rate,
+        event_log_path=args.trace_file,
     )
     # `is not None` (not truthiness): a zero deadline must reach the
     # PredictOptions validator and raise, not silently mean "no deadline".
@@ -368,7 +374,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             responses = {
                 i: f.result(timeout=600) for i, f in futures.items()
             }
-            snapshot = service.metrics.snapshot()
+            snapshot = service.snapshot()
     answered = len(responses)
     correct = sum(
         int(r.predictions[0]) == int(labels[i])
@@ -400,6 +406,132 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{snapshot['latency_ms']['p95']:.1f} / "
         f"{snapshot['latency_ms']['p99']:.1f} ms"
     )
+    if snapshot.get("queue_time_ms") and snapshot.get("service_time_ms"):
+        print(
+            f"queue / service p50:           "
+            f"{snapshot['queue_time_ms']['p50']:.1f} / "
+            f"{snapshot['service_time_ms']['p50']:.1f} ms"
+        )
+    if args.metrics_file:
+        from repro.obs import prometheus_text
+
+        Path(args.metrics_file).write_text(prometheus_text(snapshot))
+        print(f"wrote Prometheus metrics to {args.metrics_file}")
+    if args.trace_file:
+        print(f"wrote trace/fault event log to {args.trace_file}")
+    return 0
+
+
+def _run_service_burst(session, config, count: int):
+    """Push a burst of single-image requests through a service.
+
+    Shared by the ``metrics`` and ``trace`` subcommands: returns the
+    responses (by request index), the service snapshot, and the traces
+    retained in the tracer's ring buffer.
+    """
+    images, _labels = _test_images(session, count)
+    with session.serve(config) as service:
+        futures = [
+            service.submit(images[i]) for i in range(images.shape[0])
+        ]
+        responses = [f.result(timeout=600) for f in futures]
+        snapshot = service.snapshot()
+        traces = service.tracer.recent()
+    return responses, snapshot, traces
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.api import Session
+    from repro.config import ServiceConfig
+    from repro.obs import prometheus_text
+
+    backend, backend_options = backend_selection(args)
+    config = ServiceConfig(
+        backend=backend,
+        num_workers=1 if backend_options else args.service_workers,
+        cache_capacity=args.cache_capacity,
+        trace_sample_rate=args.trace_sample_rate,
+    )
+    with Session.from_artifact(
+        args.model, backend=backend, **backend_options
+    ) as session:
+        _responses, snapshot, _traces = _run_service_burst(
+            session, config, args.requests
+        )
+    text = prometheus_text(snapshot)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote Prometheus metrics to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _format_trace(trace: dict) -> str:
+    """Render one completed trace dict as an indented span tree."""
+    spans = trace["spans"]
+    children: dict = {}
+    for span in spans:
+        children.setdefault(span["parent_id"], []).append(span)
+    lines = [f"trace {trace['trace_id']}"]
+
+    def walk(span: dict, depth: int) -> None:
+        duration = span["duration_ms"]
+        timing = f"{duration:9.3f} ms" if duration is not None else "     open"
+        notes = " ".join(
+            f"{k}={v}" for k, v in (span.get("annotations") or {}).items()
+        )
+        lines.append(
+            f"  {'  ' * depth}{span['name']:<16} {timing}"
+            + (f"  {notes}" if notes else "")
+        )
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.api import Session
+    from repro.config import ServiceConfig
+
+    backend, backend_options = backend_selection(args)
+    config = ServiceConfig(
+        backend=backend,
+        num_workers=1 if backend_options else args.service_workers,
+        cache_capacity=args.cache_capacity,
+        trace_sample_rate=1.0,
+        trace_capacity=max(256, args.requests),
+    )
+    with Session.from_artifact(
+        args.model, backend=backend, **backend_options
+    ) as session:
+        responses, snapshot, traces = _run_service_burst(
+            session, config, args.requests
+        )
+    for response in responses:
+        summary = response.trace
+        if summary is None:
+            continue
+        print(
+            f"{summary.trace_id}: queue {summary.queue_ms:7.2f} ms + "
+            f"service {summary.service_ms:7.2f} ms = "
+            f"{summary.latency_ms:7.2f} ms  "
+            f"replica={summary.replica} batch={summary.batch_seq} "
+            f"retries={summary.retries}"
+            + (" degraded" if summary.degraded else "")
+        )
+    shown = traces[-args.show :] if args.show else traces
+    for trace in shown:
+        print()
+        print(_format_trace(trace))
+    if args.json:
+        with Path(args.json).open("w", encoding="utf-8") as stream:
+            for trace in traces:
+                stream.write(json.dumps(trace) + "\n")
+        print(f"\nwrote {len(traces)} traces to {args.json}")
     return 0
 
 
@@ -550,7 +682,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="largest checkpoint fraction of N served while degraded",
     )
+    serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="fraction of requests that record a full span trace "
+        "(0 disables tracing, 1 traces everything)",
+    )
+    serve.add_argument(
+        "--metrics-file",
+        default=None,
+        help="write the final service snapshot in Prometheus text "
+        "exposition format to this file",
+    )
+    serve.add_argument(
+        "--trace-file",
+        default=None,
+        help="stream sampled traces and fault events to this JSONL file",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="serve a burst and export Prometheus text-exposition metrics",
+    )
+    metrics.add_argument("--model", required=True, help="artifact directory")
+    metrics.add_argument(
+        "--requests", type=int, default=32, help="single-image requests"
+    )
+    add_backend_arguments(metrics, capability="progressive")
+    metrics.add_argument("--service-workers", type=int, default=2)
+    metrics.add_argument("--cache-capacity", type=int, default=256)
+    metrics.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="trace sampling during the burst (reflected in the "
+        "repro_traces_* gauges)",
+    )
+    metrics.add_argument(
+        "--output",
+        default=None,
+        help="file for the exposition text (default: stdout)",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = commands.add_parser(
+        "trace",
+        help="serve a burst at sample rate 1.0 and print every span tree",
+    )
+    trace.add_argument("--model", required=True, help="artifact directory")
+    trace.add_argument(
+        "--requests", type=int, default=8, help="single-image requests"
+    )
+    add_backend_arguments(trace, capability="progressive")
+    trace.add_argument("--service-workers", type=int, default=2)
+    trace.add_argument("--cache-capacity", type=int, default=256)
+    trace.add_argument(
+        "--show",
+        type=int,
+        default=3,
+        help="span trees printed in full (most recent; 0 = all)",
+    )
+    trace.add_argument(
+        "--json", default=None, help="also write every trace as JSONL"
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     backends = commands.add_parser(
         "backends", help="list the execution-backend registry"

@@ -150,6 +150,20 @@ class ServiceConfig:
             compatible ``before_batch(worker, replica)`` method) invoked
             before every bucket execution attempt -- the chaos-testing
             seam; ``None`` in production.
+        trace_sample_rate: fraction of admitted requests that record a
+            full span trace (:class:`repro.obs.Tracer`); ``0.0``
+            (default) disables tracing entirely -- untraced requests pay
+            a single float comparison -- and ``1.0`` traces every
+            request.
+        trace_capacity: completed traces retained in the tracer's ring
+            buffer (oldest evicted first).
+        trace_seed: seed of the tracer's sampling RNG, for reproducible
+            fractional sampling decisions (``None`` = nondeterministic).
+        event_log_path: when set, a JSONL structured event log
+            (:class:`repro.obs.JsonlEventLog`) receives every sampled
+            trace and every fault/overload event (sheds, restarts,
+            degradations) plus warnings logged under the ``repro``
+            logger hierarchy while the service runs.
     """
 
     backend: str | tuple[str, ...] = DEFAULT_BACKEND
@@ -170,6 +184,10 @@ class ServiceConfig:
     degrade_p99_ms: float | None = None
     degraded_max_fraction: float = 0.5
     fault_plan: object | None = None
+    trace_sample_rate: float = 0.0
+    trace_capacity: int = 256
+    trace_seed: int | None = None
+    event_log_path: str | None = None
 
     def __post_init__(self) -> None:
         names = (
@@ -250,6 +268,15 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"degraded_max_fraction must lie in (0, 1], got "
                 f"{self.degraded_max_fraction}"
+            )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"trace_sample_rate must lie in [0, 1], got "
+                f"{self.trace_sample_rate}"
+            )
+        if self.trace_capacity < 1:
+            raise ConfigurationError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
         # Duck-typed so this module stays import-light (the concrete
         # FaultPlan lives above the config layer, in repro.serve.faults).

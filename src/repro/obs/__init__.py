@@ -1,0 +1,50 @@
+"""Observability: request tracing, kernel-tier counters, metrics export.
+
+The measurement substrate under the serving layer (:mod:`repro.serve`)
+and the packed backends (:mod:`repro.backends`):
+
+* :mod:`~repro.obs.trace` -- a sampling span tracer
+  (:class:`~repro.obs.trace.Tracer`) with contextvar-propagated
+  parent/child nesting, a bounded ring buffer of completed traces, and
+  a per-request :class:`~repro.obs.trace.TraceSummary` carried on every
+  :class:`~repro.serve.InferenceResponse` of a sampled request.
+* :mod:`~repro.obs.counters` -- per-kernel, per-tier
+  (native vs NumPy) invocation counters
+  (:class:`~repro.obs.counters.KernelCounters`) hooked into the packed
+  backend's kernel seam, surfaced via ``Backend.kernel_snapshot()``,
+  ``ScInferenceService.snapshot()["kernels"]`` and the registry's
+  ``describe_backends()`` notes.
+* :mod:`~repro.obs.export` -- the Prometheus text-exposition writer
+  (:func:`~repro.obs.export.prometheus_text` /
+  :func:`~repro.obs.export.validate_exposition`) and the JSONL
+  structured event log (:class:`~repro.obs.export.JsonlEventLog`) that
+  also mirrors the stdlib ``repro`` package logger.
+
+This package sits *below* the backends and serving layer in the import
+graph (it imports neither), so every layer can record into it without
+cycles.
+"""
+
+from repro.obs.counters import (
+    GLOBAL_COUNTERS,
+    KernelCounters,
+    kernel_note,
+    merge_kernel_snapshots,
+)
+from repro.obs.export import JsonlEventLog, prometheus_text, validate_exposition
+from repro.obs.trace import Span, Trace, Tracer, TraceSummary, current_span
+
+__all__ = [
+    "Tracer",
+    "Trace",
+    "Span",
+    "TraceSummary",
+    "current_span",
+    "KernelCounters",
+    "GLOBAL_COUNTERS",
+    "kernel_note",
+    "merge_kernel_snapshots",
+    "prometheus_text",
+    "validate_exposition",
+    "JsonlEventLog",
+]

@@ -28,6 +28,7 @@ missing cffi, ...).
 
 from __future__ import annotations
 
+import logging
 import math
 import threading
 
@@ -66,6 +67,17 @@ def _load() -> tuple:
                     _state = (ffi, lib, None)
                 except _build.NativeBuildError as exc:
                     _state = (None, None, str(exc))
+                    logging.getLogger("repro.sc.native").warning(
+                        "compiled kernel tier unavailable, falling back "
+                        "to NumPy kernels: %s",
+                        exc,
+                        extra={
+                            "obs_event": {
+                                "kind": "native_fallback",
+                                "error": str(exc),
+                            }
+                        },
+                    )
     return _state
 
 

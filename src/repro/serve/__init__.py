@@ -24,6 +24,13 @@ stream cycles can each request get away with*.  It contains:
   :attr:`~repro.config.ServiceConfig.fault_plan`, so chaos tests of the
   supervision / admission / degradation paths are ordinary pytest tests.
 
+Observability rides on :mod:`repro.obs`: with ``trace_sample_rate`` set,
+sampled requests carry a :class:`~repro.obs.TraceSummary` on their
+:class:`~repro.serve.service.InferenceResponse`,
+``ScInferenceService.snapshot()`` extends the metrics with kernel-tier
+counters, workspace arena stats and tracer state, and ``event_log_path``
+streams traces plus fault events to a JSONL log.
+
 ``benchmarks/bench_serve.py`` drives the whole stack with a load
 generator and records the latency/throughput curves and early-exit
 stream-cycle savings in ``BENCH_serve.json``; ``examples/serve_demo.py``
@@ -41,6 +48,7 @@ from repro.serve.faults import (
     ReplicaCrash,
     SlowReplica,
 )
+from repro.obs import TraceSummary
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.progressive import (
     ProgressiveResult,
@@ -62,6 +70,7 @@ __all__ = [
     "CachedResult",
     "image_digest",
     "ServiceMetrics",
+    "TraceSummary",
     "InferenceError",
     "ServiceOverloadError",
     "FaultPlan",

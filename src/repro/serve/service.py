@@ -52,6 +52,7 @@ in :mod:`repro.serve.faults`.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -72,6 +73,13 @@ from repro.errors import (
     ServiceOverloadError,
 )
 from repro.nn.sc_layers import ScNetworkMapper
+from repro.obs import (
+    JsonlEventLog,
+    Trace,
+    Tracer,
+    TraceSummary,
+    merge_kernel_snapshots,
+)
 from repro.serve.cache import CachedResult, LruResultCache, image_digest
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.progressive import (
@@ -81,6 +89,8 @@ from repro.serve.progressive import (
 )
 
 __all__ = ["InferenceResponse", "ScInferenceService"]
+
+_LOG = logging.getLogger("repro.serve")
 
 #: Queue sentinel that shuts down the scheduler / a worker.
 _SHUTDOWN = object()
@@ -105,6 +115,10 @@ class InferenceResponse:
             a truncated checkpoint schedule (the scores are exact prefix
             evaluations, just earlier ones than the request asked for);
             degraded results never enter the result cache.
+        trace: :class:`repro.obs.TraceSummary` of the request's lifecycle
+            (queue/service split, per-stage and per-checkpoint timings,
+            replica / batch / retry annotations) when the request was
+            sampled by the service tracer; ``None`` otherwise.
     """
 
     scores: np.ndarray
@@ -114,6 +128,7 @@ class InferenceResponse:
     stream_length: int
     latency_seconds: float
     degraded: bool = False
+    trace: TraceSummary | None = None
 
 
 class _PendingRequest:
@@ -130,6 +145,12 @@ class _PendingRequest:
         "resolved",
         "deadline_at",
         "counted",
+        "trace",
+        "exec_started_at",
+        "batch_seq",
+        "retries",
+        "worker",
+        "replica_name",
     )
 
     def __init__(
@@ -159,6 +180,16 @@ class _PendingRequest:
             if resolved.deadline_ms is None
             else self.submitted_at + resolved.deadline_ms / 1e3
         )
+        #: Live :class:`repro.obs.Trace` when this request was sampled.
+        self.trace: Trace | None = None
+        #: ``perf_counter`` mark of the request's *first* execution
+        #: attempt -- the boundary splitting latency into queue time and
+        #: service time; ``None`` for cache-only requests.
+        self.exec_started_at: float | None = None
+        self.batch_seq: int | None = None
+        self.retries = 0
+        self.worker: int | None = None
+        self.replica_name: str | None = None
 
     @property
     def n_compute(self) -> int:
@@ -256,6 +287,27 @@ class ScInferenceService:
         self._cycles_per_second: float | None = None
         self.cache = LruResultCache(self.config.cache_capacity)
         self.metrics = ServiceMetrics()
+        #: Request tracer (sampling per ``trace_sample_rate``); at rate 0
+        #: every recording site short-circuits on ``trace is None``.
+        self.tracer = Tracer(
+            self.config.trace_sample_rate,
+            self.config.trace_capacity,
+            self.config.trace_seed,
+        )
+        #: JSONL structured event log, when configured; receives every
+        #: sampled trace and fault/overload event, plus warnings logged
+        #: under the ``repro`` logger hierarchy (via the mirror handler).
+        self.events: JsonlEventLog | None = (
+            JsonlEventLog(self.config.event_log_path)
+            if self.config.event_log_path
+            else None
+        )
+        self._log_mirror: logging.Handler | None = None
+        if self.events is not None:
+            self._log_mirror = self.events.logging_handler()
+            logging.getLogger("repro").addHandler(self._log_mirror)
+        #: Merged-batch sequence number (scheduler thread only).
+        self._batch_seq = 0
         self._pending: queue.Queue = queue.Queue()
         self._dispatch: queue.Queue = queue.Queue()
         self._closed = False
@@ -320,10 +372,12 @@ class ScInferenceService:
         """
         if self._closed:
             raise ConfigurationError("service is closed")
+        submit_started = time.perf_counter()
         arr = Backend._check_images(images)
         if arr.shape[0] == 0:
             raise ConfigurationError("a request needs at least one image")
         resolved = self._resolve_options(options)
+        trace = self.tracer.begin()
         if self.cache.capacity:
             digests = [image_digest(image) for image in arr]
             rows: list[CachedResult | None] = [
@@ -337,6 +391,15 @@ class ScInferenceService:
             digests = [""] * arr.shape[0]
             rows = [None] * arr.shape[0]
         request = _PendingRequest(arr, digests, rows, resolved)
+        request.trace = trace
+        if trace is not None:
+            trace.add_span(
+                "submit",
+                submit_started,
+                request.submitted_at,
+                n_images=request.n_images,
+                cache_hits=request.n_images - request.n_compute,
+            )
         if request.n_compute == 0:
             self._finish(request, cache_hits=request.n_images, exits=())
             return request.future
@@ -352,6 +415,17 @@ class ScInferenceService:
             depth = self.config.max_queue_depth
             if depth is not None and self._inflight >= depth:
                 self.metrics.record_shed("queue_full")
+                _LOG.info(
+                    "shed request: admission queue full (%d in flight)",
+                    self._inflight,
+                    extra={
+                        "obs_event": {
+                            "kind": "shed",
+                            "reason": "queue_full",
+                            "inflight": self._inflight,
+                        }
+                    },
+                )
                 raise ServiceOverloadError(
                     f"admission queue is full ({self._inflight} requests "
                     f"in flight, max_queue_depth={depth}); retry later "
@@ -389,6 +463,20 @@ class ScInferenceService:
         first = resolved.checkpoints[0]
         if budget_cycles < first:
             self.metrics.record_shed("deadline")
+            _LOG.info(
+                "shed request: deadline of %g ms below the first "
+                "checkpoint at the observed rate",
+                resolved.deadline_ms,
+                extra={
+                    "obs_event": {
+                        "kind": "shed",
+                        "reason": "deadline",
+                        "deadline_ms": resolved.deadline_ms,
+                        "budget_cycles": budget_cycles,
+                        "first_checkpoint": first,
+                    }
+                },
+            )
             raise ServiceOverloadError(
                 f"deadline of {resolved.deadline_ms:g} ms buys "
                 f"~{budget_cycles:.0f} stream cycles at the observed "
@@ -509,7 +597,8 @@ class ScInferenceService:
                 group.append(nxt)
                 total += nxt.n_compute
             self.metrics.record_batch(total)
-            self._dispatch.put(group)
+            self._dispatch.put((self._batch_seq, group))
+            self._batch_seq += 1
         # Graceful shutdown: everything still queued is dispatched before
         # the workers are released.
         while True:
@@ -520,7 +609,8 @@ class ScInferenceService:
             if item is _SHUTDOWN:
                 continue
             self.metrics.record_batch(item.n_compute)
-            self._dispatch.put([item])
+            self._dispatch.put((self._batch_seq, [item]))
+            self._batch_seq += 1
         for _ in self._workers:
             self._dispatch.put(_SHUTDOWN)
 
@@ -536,11 +626,12 @@ class ScInferenceService:
         failure to the batch's futures instead of killing the thread.
         """
         while True:
-            group = self._dispatch.get()
-            if group is _SHUTDOWN:
+            item = self._dispatch.get()
+            if item is _SHUTDOWN:
                 return
+            seq, group = item
             try:
-                self._process_group(group, index)
+                self._process_group(seq, group, index)
             except Exception as exc:  # pragma: no cover - defensive
                 error = InferenceError(
                     f"internal serving error on worker {index}: {exc!r}"
@@ -549,7 +640,7 @@ class ScInferenceService:
                 self._fail_bucket(group, error)
 
     def _process_group(
-        self, group: list[_PendingRequest], index: int
+        self, seq: int, group: list[_PendingRequest], index: int
     ) -> None:
         # A merged batch may mix requests with different effective
         # options; bucketing by evaluation plan keeps each sub-batch on
@@ -562,10 +653,10 @@ class ScInferenceService:
                 continue
             buckets.setdefault(request.resolved.cache_token, []).append(request)
         for bucket in buckets.values():
-            self._execute_bucket(bucket, index)
+            self._execute_bucket(bucket, index, seq)
 
     def _execute_bucket(
-        self, bucket: list[_PendingRequest], index: int
+        self, bucket: list[_PendingRequest], index: int, seq: int
     ) -> None:
         """Run one bucket under replica supervision.
 
@@ -589,7 +680,7 @@ class ScInferenceService:
                     self._fault_plan.before_batch(
                         worker=index, replica=replica
                     )
-                self._process_bucket(bucket, replica)
+                self._process_bucket(bucket, replica, index, seq)
                 return
             except InferenceError as exc:
                 self._fail_bucket(bucket, exc)
@@ -604,8 +695,25 @@ class ScInferenceService:
                         f"{attempt + 1} attempt(s): {exc!r}"
                     )
                     error.__cause__ = exc
+                    _LOG.warning(
+                        "batch failed on worker %d after %d attempt(s): %r",
+                        index,
+                        attempt + 1,
+                        exc,
+                        extra={
+                            "obs_event": {
+                                "kind": "batch_failed",
+                                "worker": index,
+                                "batch_seq": seq,
+                                "attempts": attempt + 1,
+                                "error": repr(exc),
+                            }
+                        },
+                    )
                     self._fail_bucket(bucket, error)
                     return
+                for request in bucket:
+                    request.retries += 1
                 self.metrics.record_retry()
 
     def _restart_replica(self, index: int) -> bool:
@@ -632,6 +740,22 @@ class ScInferenceService:
         self._replicas[index] = create_backend(name, self.mapper, **options)
         self._restart_counts[index] = used + 1
         self.metrics.record_restart()
+        _LOG.warning(
+            "restarted replica %r on worker %d (restart %d of %d)",
+            name,
+            index,
+            used + 1,
+            self.config.max_replica_restarts,
+            extra={
+                "obs_event": {
+                    "kind": "replica_restart",
+                    "worker": index,
+                    "backend": name,
+                    "restart": used + 1,
+                    "budget": self.config.max_replica_restarts,
+                }
+            },
+        )
         return True
 
     def _fail_bucket(
@@ -646,10 +770,33 @@ class ScInferenceService:
                 continue
             self._release(request)
             self.metrics.record_failure()
+            if request.trace is not None:
+                self.tracer.finish(request.trace)
+                if self.events is not None:
+                    self.events.emit(
+                        "request_failed",
+                        trace_id=request.trace.trace_id,
+                        error=repr(error),
+                        retries=request.retries,
+                    )
 
     def _process_bucket(
-        self, bucket: list[_PendingRequest], replica: Backend
+        self,
+        bucket: list[_PendingRequest],
+        replica: Backend,
+        index: int,
+        seq: int,
     ) -> None:
+        exec_start = time.perf_counter()
+        for request in bucket:
+            # The *first* execution attempt ends the queue stage; a
+            # retried bucket keeps the original mark so queue time never
+            # silently absorbs retry work.
+            if request.exec_started_at is None:
+                request.exec_started_at = exec_start
+            request.batch_seq = seq
+            request.worker = index
+            request.replica_name = replica.name
         resolved = bucket[0].resolved
         points = resolved.checkpoints
         images = np.concatenate(
@@ -668,6 +815,21 @@ class ScInferenceService:
             if capped != points:
                 points = capped
                 degraded = True
+                _LOG.info(
+                    "overload degradation: bucket of %d request(s) capped "
+                    "at %d stream cycles",
+                    len(bucket),
+                    degrade_cap,
+                    extra={
+                        "obs_event": {
+                            "kind": "degraded",
+                            "worker": index,
+                            "batch_seq": seq,
+                            "requests": len(bucket),
+                            "cap_cycles": degrade_cap,
+                        }
+                    },
+                )
         # Deadline-budgeted requests force the checkpoint path even with
         # early exit off: the cap needs per-checkpoint scores to fall
         # back on.  Non-progressive replicas degrade to a full forward
@@ -679,11 +841,14 @@ class ScInferenceService:
             or degraded
         )
         started = time.perf_counter()
+        ran_policy = False
         if use_checkpoints:
             checkpoint_scores = np.asarray(
                 replica.forward_partial(images, points)
             )
+            forward_ended = time.perf_counter()
             if resolved.early_exit:
+                ran_policy = True
                 policy = early_exit_from_scores(
                     checkpoint_scores,
                     points,
@@ -697,6 +862,7 @@ class ScInferenceService:
                 exit_index = np.full(images.shape[0], len(points) - 1)
         else:
             scores_full = np.asarray(replica.forward(images))
+            forward_ended = time.perf_counter()
             checkpoint_scores = scores_full[None]
             points = (resolved.stream_length,)
             exit_index = np.zeros(images.shape[0], dtype=int)
@@ -710,21 +876,91 @@ class ScInferenceService:
         offset = 0
         for request in bucket:
             k = request.n_compute
-            index = exit_index[offset : offset + k]
+            exits_here = exit_index[offset : offset + k]
             cap = self._deadline_cap(request, points, now)
             if cap is not None:
-                index = np.minimum(index, cap)
+                exits_here = np.minimum(exits_here, cap)
             rows = np.arange(offset, offset + k)
-            scores = checkpoint_scores[index, rows]
+            scores = checkpoint_scores[exits_here, rows]
+            if request.trace is not None:
+                self._record_bucket_spans(
+                    request,
+                    exec_start=exec_start,
+                    forward_started=started,
+                    forward_ended=forward_ended,
+                    ended=now,
+                    points=points,
+                    batch_images=images.shape[0],
+                    used_checkpoints=use_checkpoints,
+                    ran_policy=ran_policy,
+                    degraded=degraded,
+                )
             self._fulfill(
                 request,
                 replica,
                 scores,
                 np.argmax(scores, axis=-1),
-                cycles[index],
+                cycles[exits_here],
                 degraded=degraded,
             )
             offset += k
+
+    def _record_bucket_spans(
+        self,
+        request: _PendingRequest,
+        exec_start: float,
+        forward_started: float,
+        forward_ended: float,
+        ended: float,
+        points: tuple[int, ...],
+        batch_images: int,
+        used_checkpoints: bool,
+        ran_policy: bool,
+        degraded: bool = False,
+    ) -> None:
+        """Record one request's compute-side spans (successful attempt).
+
+        Spans are only recorded once the bucket attempt *succeeded* --
+        an attempt that raises unwinds before this point, so retries
+        never leave duplicate span records behind (the retry count is
+        carried as an annotation instead).
+        """
+        trace = request.trace
+        queue_end = (
+            request.exec_started_at
+            if request.exec_started_at is not None
+            else exec_start
+        )
+        trace.add_span(
+            "queue",
+            request.submitted_at,
+            queue_end,
+            batch_seq=request.batch_seq,
+            worker=request.worker,
+        )
+        compute = trace.add_span(
+            "compute",
+            exec_start,
+            ended,
+            replica=request.replica_name,
+            worker=request.worker,
+            batch_seq=request.batch_seq,
+            batch_images=batch_images,
+            retries=request.retries,
+            degraded=degraded,
+        )
+        trace.add_span(
+            "forward_partial" if used_checkpoints else "forward",
+            forward_started,
+            forward_ended,
+            parent=compute,
+            checkpoints=list(points),
+            batch_images=batch_images,
+        )
+        if ran_policy:
+            trace.add_span(
+                "early_exit", forward_ended, ended, parent=compute
+            )
 
     def _degrade_cap(self) -> int | None:
         """Stream-cycle cap of the overload controller, or None.
@@ -799,6 +1035,8 @@ class ScInferenceService:
         exits: np.ndarray,
         degraded: bool = False,
     ) -> None:
+        cache_started = time.perf_counter()
+        cached_rows = 0
         for j, index in enumerate(request.compute_indices):
             row = CachedResult(
                 scores=np.array(scores[j]),
@@ -823,6 +1061,14 @@ class ScInferenceService:
                     ),
                     row,
                 )
+                cached_rows += 1
+        if request.trace is not None and cached_rows:
+            request.trace.add_span(
+                "cache_write",
+                cache_started,
+                time.perf_counter(),
+                entries=cached_rows,
+            )
         self._finish(
             request,
             cache_hits=request.n_images - request.n_compute,
@@ -837,7 +1083,22 @@ class ScInferenceService:
         exits,
         degraded: bool = False,
     ) -> None:
-        latency = time.perf_counter() - request.submitted_at
+        # One `end` mark prices latency AND the queue/service split, so
+        # `queue + service == latency` holds to float precision (the
+        # exactness contract the trace tests pin down).
+        end = time.perf_counter()
+        latency = end - request.submitted_at
+        if request.exec_started_at is None:
+            # Answered entirely from the cache: never queued for compute.
+            queue_s, service_s = 0.0, latency
+        else:
+            queue_s = request.exec_started_at - request.submitted_at
+            service_s = end - request.exec_started_at
+        summary = (
+            self._summarise_trace(request, queue_s, service_s, latency)
+            if request.trace is not None
+            else None
+        )
         base = request.response()
         response = InferenceResponse(
             scores=base.scores,
@@ -847,6 +1108,7 @@ class ScInferenceService:
             stream_length=self.stream_length,
             latency_seconds=latency,
             degraded=degraded,
+            trace=summary,
         )
         try:
             request.future.set_result(response)
@@ -861,9 +1123,95 @@ class ScInferenceService:
             self.stream_length,
             cache_hits=cache_hits,
             n_images=request.n_images,
+            queue_seconds=queue_s,
+            service_seconds=service_s,
         )
         if degraded:
             self.metrics.record_degraded()
+
+    def _summarise_trace(
+        self,
+        request: _PendingRequest,
+        queue_s: float,
+        service_s: float,
+        latency: float,
+    ) -> TraceSummary:
+        """Digest a finished request's trace and retire it to the buffer."""
+        trace = request.trace
+        forward = trace.find("forward_partial") or trace.find("forward")
+        checkpoints: tuple[int, ...] = ()
+        checkpoint_ms: tuple[float, ...] = ()
+        if forward is not None and forward.duration_ms is not None:
+            checkpoints = tuple(forward.annotations.get("checkpoints", ()))
+            if checkpoints:
+                # One fused pass evaluates every checkpoint as a stream
+                # prefix; attribute its measured duration pro rata by
+                # cycles (simulation cost is linear in stream cycles).
+                total = forward.duration_ms
+                last = checkpoints[-1]
+                checkpoint_ms = tuple(
+                    total * point / last for point in checkpoints
+                )
+        compute = trace.find("compute")
+        summary = TraceSummary(
+            trace_id=trace.trace_id,
+            queue_ms=queue_s * 1e3,
+            service_ms=service_s * 1e3,
+            latency_ms=latency * 1e3,
+            stages=trace.stage_ms(),
+            checkpoints=checkpoints,
+            checkpoint_ms=checkpoint_ms,
+            replica=request.replica_name,
+            worker=request.worker,
+            batch_seq=request.batch_seq,
+            batch_images=(
+                compute.annotations.get("batch_images")
+                if compute is not None
+                else None
+            ),
+            retries=request.retries,
+            degraded=bool(
+                compute is not None and compute.annotations.get("degraded")
+            ),
+            cached_images=request.n_images - request.n_compute,
+        )
+        self.tracer.finish(trace)
+        if self.events is not None:
+            payload = trace.to_dict()
+            payload["summary"] = summary.to_dict()
+            self.events.emit("trace", **payload)
+        return summary
+
+    # -- observability ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Service metrics plus kernel / workspace / tracing views.
+
+        Everything :meth:`ServiceMetrics.snapshot` reports, extended
+        with:
+
+        * ``"kernels"`` -- per-kernel, per-tier invocation counters
+          merged across every replica (``Backend.kernel_snapshot``), so
+          the snapshot attributes work to the native or NumPy tier it
+          actually ran on;
+        * ``"workspaces"`` -- per-worker buffer-arena statistics;
+        * ``"tracing"`` -- the tracer's sampling counters.
+
+        This is the dict the Prometheus writer
+        (:func:`repro.obs.prometheus_text`) renders.
+        """
+        snap = self.metrics.snapshot()
+        snap["kernels"] = merge_kernel_snapshots(
+            replica.kernel_snapshot() for replica in self._replicas
+        )
+        workspaces = []
+        for i, replica in enumerate(self._replicas):
+            stats = replica.workspace_stats()
+            if stats is not None:
+                workspaces.append({"worker": i, **stats})
+        snap["workspaces"] = workspaces
+        snap["tracing"] = self.tracer.stats()
+        return snap
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -883,6 +1231,11 @@ class ScInferenceService:
         # ``bit-exact-packed-mp`` replica) once no worker can touch them.
         for replica in self._replicas:
             replica.close()
+        if self._log_mirror is not None:
+            logging.getLogger("repro").removeHandler(self._log_mirror)
+            self._log_mirror = None
+        if self.events is not None:
+            self.events.close()
 
     def __enter__(self) -> "ScInferenceService":
         return self

@@ -44,10 +44,15 @@ class Workspace:
     :mod:`repro.sc.native` rely on for aligned vector loads.
     """
 
-    __slots__ = ("_pools",)
+    __slots__ = ("_pools", "_total", "_peak")
 
     def __init__(self) -> None:
         self._pools: dict[object, np.ndarray] = {}
+        # Running byte total of the retained buffers and its high-water
+        # mark, maintained on grow so `nbytes` / `stats()` stay O(1) on
+        # the observability read path.
+        self._total = 0
+        self._peak = 0
 
     def array(
         self, key: object, shape: tuple[int, ...], dtype=np.uint64
@@ -70,6 +75,7 @@ class Workspace:
         nbytes = math.prod(shape) * dtype.itemsize
         raw = self._pools.get(key)
         if raw is None or raw.nbytes < nbytes:
+            self._total -= raw.nbytes if raw is not None else 0
             # Over-allocate by one alignment unit and slice at the 64-byte
             # boundary; the slice (kept in the pool, holding its base
             # alive) is contiguous and aligned for every element dtype.
@@ -78,12 +84,33 @@ class Workspace:
             start = (-base.ctypes.data) % _ALIGNMENT
             raw = base[start : start + capacity]
             self._pools[key] = raw
+            self._total += raw.nbytes
+            if self._total > self._peak:
+                self._peak = self._total
         return raw[:nbytes].view(dtype).reshape(shape)
 
     @property
     def nbytes(self) -> int:
         """Total bytes currently retained by the arena."""
-        return sum(buf.nbytes for buf in self._pools.values())
+        return self._total
+
+    @property
+    def peak_nbytes(self) -> int:
+        """High-water mark of retained bytes (survives :meth:`clear`)."""
+        return self._peak
+
+    def stats(self) -> dict:
+        """Arena statistics for the observability layer.
+
+        Returns ``{"buffers", "nbytes", "peak_nbytes"}`` -- live buffer
+        count, currently retained bytes, and the lifetime high-water
+        mark.
+        """
+        return {
+            "buffers": len(self._pools),
+            "nbytes": self._total,
+            "peak_nbytes": self._peak,
+        }
 
     def __len__(self) -> int:
         return len(self._pools)
@@ -91,6 +118,7 @@ class Workspace:
     def clear(self) -> None:
         """Drop every cached buffer (outstanding views keep theirs alive)."""
         self._pools.clear()
+        self._total = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Workspace(buffers={len(self)}, nbytes={self.nbytes})"
