@@ -36,11 +36,18 @@ relocate it, delete the directory to retrain).  Sections:
   (:mod:`repro.serve.faults`) asserting the supervision accounting:
   every future resolves, the crash restarts the replica and the retried
   batch succeeds, the poison surfaces as typed failures.
+* **fleet sweep** (``--fleet``) -- the multi-process
+  :class:`~repro.serve.FleetRouter` under the same discipline: burst
+  throughput against 1/2/4 worker processes, client-observed p99 while
+  every worker is rolled (zero drops asserted), and SLO accounting under
+  an injected :class:`~repro.serve.WorkerKill` (every future resolves,
+  the death is restarted, stranded requests retried).  Skipped cleanly
+  on hosts with fewer than 4 CPUs.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--faults]
-        [--output PATH]
+        [--fleet] [--output PATH]
 
 ``--smoke`` (alias ``--quick``) shrinks the training budget and the load
 burst (used by the CI smoke jobs and ``tests/test_serve.py``); the
@@ -51,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -560,11 +568,190 @@ def bench_faults(mapper, images, smoke: bool) -> dict:
     }
 
 
+def bench_fleet(artifact: Path, images, smoke: bool) -> dict:
+    """Fleet sweep: worker scaling, rolling-restart tail, kill-burst SLO.
+
+    Three sections against :class:`~repro.serve.FleetRouter` fleets
+    rehydrated from the benchmark's model artifact:
+
+    * **scaling** -- the same burst against 1, 2 (and 4) worker
+      processes, recording throughput and the per-worker request split;
+    * **rolling restart** -- a steady load while every worker is drained
+      and replaced in turn, recording client-observed p99 against the
+      undisturbed baseline and asserting *zero* dropped or failed
+      requests (the zero-downtime redeploy story);
+    * **kill burst** -- a burst with an injected :class:`WorkerKill`,
+      asserting the SLO accounting: every future resolves, the death is
+      restarted within budget, stranded requests are retried, and the
+      violation count equals the typed failures (no silent losses).
+    """
+    import threading
+
+    from repro.config import FleetConfig
+    from repro.errors import FleetError, InferenceError, ServiceOverloadError
+    from repro.serve import FaultPlan, FleetRouter, WorkerKill
+
+    n_requests = 48 if smoke else 160
+    worker_counts = (1, 2) if smoke else (1, 2, 4)
+
+    def _service() -> ServiceConfig:
+        return ServiceConfig(
+            backend="sc-fast",
+            max_batch_size=16,
+            max_wait_ms=2.0,
+            num_workers=1,
+            cache_capacity=0,
+            early_exit=True,
+            margin=MARGIN,
+            stable_checkpoints=STABLE_CHECKPOINTS,
+        )
+
+    def _fleet(workers: int, **overrides) -> FleetConfig:
+        return FleetConfig(
+            num_workers=workers,
+            service=_service(),
+            heartbeat_interval_ms=100.0,
+            heartbeat_misses=15,
+            restart_backoff_ms=20.0,
+            **overrides,
+        )
+
+    def _burst(router, n: int, pace_s: float = 0.0) -> dict:
+        """Submit ``n`` requests, resolve all, return SLO accounting."""
+        done: list[float] = []
+        latencies: list[float] = []
+        lock = threading.Lock()
+        futures = []
+        shed = failed = 0
+        started = time.perf_counter()
+        for i in range(n):
+            t0 = time.perf_counter()
+
+            def _record(future, t0=t0):
+                t1 = time.perf_counter()
+                with lock:
+                    done.append(t1)
+                    latencies.append((t1 - t0) * 1e3)
+
+            try:
+                future = router.submit(images[i % images.shape[0]])
+            except (ServiceOverloadError, FleetError):
+                shed += 1
+                continue
+            future.add_done_callback(_record)
+            futures.append(future)
+            if pace_s:
+                time.sleep(pace_s)
+        answered = 0
+        for future in futures:
+            try:
+                future.result(timeout=300)
+                answered += 1
+            except (InferenceError, FleetError, ServiceOverloadError):
+                failed += 1
+        elapsed = (max(done) if done else time.perf_counter()) - started
+        lat = np.asarray(latencies) if latencies else np.zeros(1)
+        return {
+            "requests": n,
+            "answered": answered,
+            "failed": failed,
+            "shed_at_submit": shed,
+            "unresolved": n - answered - failed - shed,
+            "throughput_rps": round(answered / elapsed, 1) if elapsed else 0.0,
+            "p50_ms": round(float(np.percentile(lat, 50)), 2),
+            "p99_ms": round(float(np.percentile(lat, 99)), 2),
+        }
+
+    # -- scaling ---------------------------------------------------------------
+    scaling = []
+    for workers in worker_counts:
+        with FleetRouter(artifact, _fleet(workers)) as router:
+            accounting = _burst(router, n_requests)
+            snapshot = router.snapshot()
+        per_worker = {
+            str(slot): (snap or {}).get("requests")
+            for slot, snap in snapshot["workers"].items()
+        }
+        assert accounting["unresolved"] == 0, accounting
+        assert accounting["failed"] == 0, accounting
+        scaling.append(
+            {
+                "workers": workers,
+                **accounting,
+                "per_worker_requests": per_worker,
+            }
+        )
+        print(
+            f"  {workers} worker(s): {accounting['throughput_rps']} req/s, "
+            f"p99 {accounting['p99_ms']} ms"
+        )
+
+    # -- rolling restart -------------------------------------------------------
+    pace_s = 0.01 if smoke else 0.005
+    with FleetRouter(artifact, _fleet(2)) as router:
+        baseline = _burst(router, n_requests, pace_s=pace_s)
+        restarter = threading.Thread(target=router.rolling_restart)
+        restarter.start()
+        rolling = _burst(router, n_requests, pace_s=pace_s)
+        restarter.join()
+        replacements = router.metrics.snapshot()["replacements"]
+    assert baseline["unresolved"] == 0 and baseline["failed"] == 0, baseline
+    assert rolling["unresolved"] == 0, rolling
+    assert rolling["failed"] == 0, (
+        f"rolling restart dropped requests: {rolling}"
+    )
+    assert replacements == 2, f"expected 2 replacements, got {replacements}"
+    print(
+        f"  rolling restart: p99 {baseline['p99_ms']} -> "
+        f"{rolling['p99_ms']} ms, 0 drops across {replacements} replacements"
+    )
+
+    # -- kill burst ------------------------------------------------------------
+    plan = FaultPlan(WorkerKill(worker=0, at_batch=4, times=1), seed=0)
+    with FleetRouter(
+        artifact,
+        _fleet(2, fault_plan=plan, max_worker_restarts=2, max_request_retries=4),
+    ) as router:
+        killed = _burst(router, n_requests)
+        fleet_counters = router.metrics.snapshot()
+    violations = killed["failed"] + killed["shed_at_submit"] + killed["unresolved"]
+    assert killed["unresolved"] == 0, killed
+    assert plan.fired.get("worker_kill") == 1, plan.fired
+    assert fleet_counters["worker_deaths"] == 1, fleet_counters
+    assert fleet_counters["restarts"] == 1, fleet_counters
+    assert fleet_counters["retries"] >= 1, fleet_counters
+    print(
+        f"  kill burst: {killed['answered']}/{n_requests} answered, "
+        f"{violations} SLO violations, {fleet_counters['retries']} "
+        f"retry(ies) after 1 injected kill"
+    )
+
+    return {
+        "requests_per_run": n_requests,
+        "scaling": scaling,
+        "rolling_restart": {
+            "baseline": baseline,
+            "during_restart": rolling,
+            "replacements": replacements,
+        },
+        "kill_burst": {
+            **killed,
+            "slo_violations": violations,
+            "injected": plan.fired,
+            "counters": {
+                key: fleet_counters[key]
+                for key in ("worker_deaths", "restarts", "retries", "hedges")
+            },
+        },
+    }
+
+
 def run(
     smoke: bool,
     output: Path,
     artifact: Path | None = None,
     faults: bool = False,
+    fleet: bool = False,
 ) -> dict:
     if artifact is None:
         artifact = output.parent / (output.stem + "_model")
@@ -596,6 +783,16 @@ def run(
     if faults:
         print("fault sweep (SLO-violation accounting):")
         report["fault_sweep"] = bench_faults(mapper, images, smoke)
+    if fleet:
+        cpus = os.cpu_count() or 1
+        if cpus < 4:
+            # Worker processes + the router need real parallelism; on a
+            # tiny host the scaling numbers would only measure contention.
+            print(f"fleet sweep skipped: host has {cpus} CPU(s), need >= 4")
+            report["fleet"] = {"skipped": f"host has {cpus} CPUs, need >= 4"}
+        else:
+            print("fleet sweep (worker scaling, rolling restart, kill burst):")
+            report["fleet"] = bench_fleet(artifact, images, smoke)
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {output}")
     print(
@@ -627,6 +824,14 @@ def main(argv: list[str] | None = None) -> int:
         "with supervision accounting",
     )
     parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run the multi-process fleet sweep: throughput scaling vs "
+        "worker count, p99 during a rolling restart, and SLO accounting "
+        "under an injected WorkerKill burst (skipped on hosts with < 4 "
+        "CPUs)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_serve.json",
@@ -642,7 +847,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.touch()
-    run(args.smoke, args.output, args.artifact, faults=args.faults)
+    run(
+        args.smoke,
+        args.output,
+        args.artifact,
+        faults=args.faults,
+        fleet=args.fleet,
+    )
     return 0
 
 

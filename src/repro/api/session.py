@@ -33,9 +33,9 @@ import numpy as np
 from repro.api.artifact import ScModel
 from repro.backends import backend_class, create_backend, resolve_parallel_backend
 from repro.backends.parallel import ParallelBackend
-from repro.config import PredictOptions, ServiceConfig
+from repro.config import FleetConfig, PredictOptions, ServiceConfig
 from repro.errors import ConfigurationError
-from repro.serve import ScInferenceService, progressive_forward
+from repro.serve import FleetRouter, ScInferenceService, progressive_forward
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.backends.base import Backend
@@ -349,6 +349,37 @@ class Session:
             artifact_path=self.artifact_path,
             **{**self.backend_options, **backend_options},
         )
+
+    def serve_fleet(self, config: FleetConfig | None = None) -> FleetRouter:
+        """Stand up a supervised multi-process worker fleet on this model.
+
+        Every worker process rehydrates its own bit-exact service from
+        this session's artifact, so the session must be artifact-backed:
+        open it with :meth:`from_artifact`, or :meth:`save` an in-memory
+        model first.
+
+        Args:
+            config: fleet knobs (:class:`~repro.config.FleetConfig`);
+                ``None`` spawns two workers running the session's default
+                backend.
+
+        Returns:
+            A running :class:`~repro.serve.FleetRouter` (use as a context
+            manager or call ``close()`` for a graceful drain).
+        """
+        if self._closed:
+            raise ConfigurationError("session is closed")
+        if self.artifact_path is None:
+            raise ConfigurationError(
+                "fleet serving needs a shared artifact for workers to "
+                "rehydrate from: save() this session's model first (or "
+                "open it with Session.from_artifact)"
+            )
+        if config is None:
+            config = FleetConfig(
+                service=ServiceConfig(backend=self.backend_name)
+            )
+        return FleetRouter(self.artifact_path, config)
 
     # -- observability ---------------------------------------------------------
 

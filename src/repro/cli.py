@@ -326,10 +326,41 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+class _GracefulExit(Exception):
+    """SIGINT/SIGTERM arrived: drain and flush instead of dying mid-write."""
+
+
+def _install_drain_handlers():
+    """Route SIGINT/SIGTERM into :class:`_GracefulExit` (main thread).
+
+    Returns the previous handlers for :func:`_restore_handlers`; a
+    second signal during the drain is ignored rather than re-raised, so
+    the flush-and-exit path cannot be interrupted by an impatient ^C^C.
+    """
+    import signal
+
+    def handler(signum, frame):
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(sig, signal.SIG_IGN)
+        raise _GracefulExit(signal.Signals(signum).name)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, handler)
+    return previous
+
+
+def _restore_handlers(previous) -> None:
+    import signal
+
+    for sig, old in previous.items():
+        signal.signal(sig, old)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import PredictOptions, Session
-    from repro.config import ServiceConfig
-    from repro.errors import ServiceOverloadError
+    from repro.config import FleetConfig, ServiceConfig
+    from repro.errors import FleetError, ServiceOverloadError
 
     backend, backend_options = backend_selection(args)
     config = ServiceConfig(
@@ -352,29 +383,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.deadline_ms is not None
         else None
     )
-    with Session.from_artifact(
-        args.model, backend=backend, **backend_options
-    ) as session:
-        images, labels = _test_images(session, args.requests)
-        n = images.shape[0]
-        print(
-            f"serving {n} single-image requests through {backend} "
-            f"(N = {session.stream_length})..."
-        )
-        with session.serve(config) as service:
-            # With bounded admission configured, the burst of submits may
-            # be shed; a shed request is simply not answered (the point
-            # of fast rejection is that callers decide how to retry).
-            futures = {}
-            for i in range(n):
-                try:
-                    futures[i] = service.submit(images[i], options)
-                except ServiceOverloadError:
-                    pass
-            responses = {
-                i: f.result(timeout=600) for i, f in futures.items()
-            }
-            snapshot = service.snapshot()
+    fleet = args.fleet_workers
+    interrupted = None
+    responses: dict = {}
+    futures: dict = {}
+    snapshot = None
+    previous_handlers = _install_drain_handlers()
+    try:
+        with Session.from_artifact(
+            args.model, backend=backend, **backend_options
+        ) as session:
+            images, labels = _test_images(session, args.requests)
+            n = images.shape[0]
+            if fleet:
+                server = session.serve_fleet(
+                    FleetConfig(
+                        num_workers=fleet,
+                        service=config,
+                        max_inflight=args.max_queue_depth,
+                        hedge_after_ms=args.hedge_after_ms,
+                    )
+                )
+                print(
+                    f"serving {n} single-image requests across "
+                    f"{fleet} worker processes ({backend}, "
+                    f"N = {session.stream_length})..."
+                )
+            else:
+                server = session.serve(config)
+                print(
+                    f"serving {n} single-image requests through {backend} "
+                    f"(N = {session.stream_length})..."
+                )
+            try:
+                # With bounded admission configured, the burst of submits
+                # may be shed; a shed request is simply not answered (the
+                # point of fast rejection is that callers decide retry).
+                for i in range(n):
+                    try:
+                        futures[i] = server.submit(images[i], options)
+                    except (ServiceOverloadError, FleetError):
+                        pass
+                for i, future in futures.items():
+                    responses[i] = future.result(timeout=600)
+                snapshot = server.snapshot()
+            except _GracefulExit as exc:
+                interrupted = str(exc)
+                print(
+                    f"\nreceived {interrupted}: draining in-flight "
+                    "requests and flushing outputs..."
+                )
+            finally:
+                # close() is the graceful drain: stop admitting, finish
+                # the in-flight work, then shut down.  On the signal path
+                # the snapshot is taken afterwards so drained requests
+                # are counted in the flushed metrics.
+                server.close()
+                for i, future in futures.items():
+                    if i not in responses and future.done():
+                        try:
+                            responses[i] = future.result()
+                        except Exception:
+                            pass
+                if snapshot is None:
+                    try:
+                        snapshot = server.snapshot()
+                    except Exception:
+                        snapshot = None
+            stream_length = session.stream_length
+    finally:
+        _restore_handlers(previous_handlers)
     answered = len(responses)
     correct = sum(
         int(r.predictions[0]) == int(labels[i])
@@ -385,6 +463,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"accuracy over served requests: {correct / answered:.3f} "
             f"({answered}/{n} answered)"
         )
+    if fleet:
+        _print_fleet_summary(snapshot)
+    else:
+        _print_service_summary(snapshot, stream_length)
+    if args.metrics_file and snapshot is not None:
+        if fleet:
+            from repro.obs import fleet_prometheus_text
+
+            Path(args.metrics_file).write_text(
+                fleet_prometheus_text(snapshot)
+            )
+        else:
+            from repro.obs import prometheus_text
+
+            Path(args.metrics_file).write_text(prometheus_text(snapshot))
+        print(f"wrote Prometheus metrics to {args.metrics_file}")
+    if args.trace_file:
+        print(f"wrote trace/fault event log to {args.trace_file}")
+    if interrupted is not None:
+        import signal
+
+        print(f"drained cleanly after {interrupted}")
+        return 128 + int(getattr(signal.Signals, interrupted))
+    return 0
+
+
+def _print_service_summary(snapshot, stream_length: int) -> None:
+    if snapshot is None:
+        return
     faults = snapshot["faults"]
     if faults["shed"]["total"] or faults["degraded_requests"]:
         print(
@@ -397,7 +504,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"mean exit checkpoint:          "
             f"{snapshot['mean_exit_checkpoint']:.0f} / "
-            f"{session.stream_length} "
+            f"{stream_length} "
             f"({snapshot['cycle_reduction']:.2f}x stream-cycle reduction)"
         )
     print(
@@ -412,14 +519,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{snapshot['queue_time_ms']['p50']:.1f} / "
             f"{snapshot['service_time_ms']['p50']:.1f} ms"
         )
-    if args.metrics_file:
-        from repro.obs import prometheus_text
 
-        Path(args.metrics_file).write_text(prometheus_text(snapshot))
-        print(f"wrote Prometheus metrics to {args.metrics_file}")
-    if args.trace_file:
-        print(f"wrote trace/fault event log to {args.trace_file}")
-    return 0
+
+def _print_fleet_summary(snapshot) -> None:
+    if snapshot is None:
+        return
+    fleet = snapshot.get("fleet", {})
+    print(
+        f"fleet:                         "
+        f"{fleet.get('workers_ready', 0)} workers ready, "
+        f"{fleet.get('completed', 0)} completed, "
+        f"{fleet.get('shed', 0)} shed"
+    )
+    if fleet.get("worker_deaths") or fleet.get("restarts"):
+        print(
+            f"supervision:                   "
+            f"{fleet.get('worker_deaths', 0)} deaths, "
+            f"{fleet.get('restarts', 0)} restarts, "
+            f"{fleet.get('retries', 0)} request retries"
+        )
+    if fleet.get("hedges"):
+        print(
+            f"hedging:                       "
+            f"{fleet.get('hedges', 0)} hedges, "
+            f"{fleet.get('hedge_wins', 0)} won by the duplicate"
+        )
+    for slot, worker in sorted(
+        (snapshot.get("workers") or {}).items(), key=lambda kv: str(kv[0])
+    ):
+        if not worker:
+            print(f"worker {slot}:                      (not answering)")
+            continue
+        latency = worker.get("latency_ms") or {}
+        p99 = latency.get("p99")
+        p99_text = f"{p99:.1f} ms p99" if p99 is not None else "no latency"
+        print(
+            f"worker {slot}:                      "
+            f"{worker.get('requests', 0)} requests, "
+            f"{worker.get('batches', 0)} batches, {p99_text}"
+        )
 
 
 def _run_service_burst(session, config, count: int):
@@ -699,6 +837,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-file",
         default=None,
         help="stream sampled traces and fault events to this JSONL file",
+    )
+    serve.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=None,
+        help="serve through a supervised multi-process worker fleet of "
+        "this many processes (heartbeats, crash restart, failover) "
+        "instead of one in-process service",
+    )
+    serve.add_argument(
+        "--hedge-after-ms",
+        type=float,
+        default=None,
+        help="fleet mode: speculatively re-dispatch a request to a "
+        "second worker after this long (tail-latency hedging)",
     )
     serve.set_defaults(func=_cmd_serve)
 

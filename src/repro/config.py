@@ -20,6 +20,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "ExperimentConfig",
     "ServiceConfig",
+    "FleetConfig",
     "PredictOptions",
     "ResolvedPredictOptions",
     "resolve_checkpoints",
@@ -295,6 +296,168 @@ class ServiceConfig:
         if isinstance(self.backend, str):
             return (self.backend,)
         return tuple(self.backend)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of the multi-process worker fleet (:mod:`repro.serve.fleet`).
+
+    A :class:`~repro.serve.fleet.FleetRouter` spawns ``num_workers``
+    supervised worker *processes*, each hosting its own in-process
+    :class:`~repro.serve.ScInferenceService` (configured by
+    :attr:`service`) rehydrated bit-identically from a shared model
+    artifact.  The router owns the process-level robustness contract:
+    heartbeat health checks, crash/hang detection with restart budgets,
+    request retry and hedging, bounded admission, and graceful drain.
+
+    Attributes:
+        num_workers: worker processes the router spawns and supervises.
+        service: the :class:`ServiceConfig` every worker process runs its
+            in-process service with (``None`` = service defaults with the
+            bit-exact packed backend).  Its ``fault_plan`` must be
+            ``None`` -- in-process injection does not cross the process
+            boundary; use the fleet-level :attr:`fault_plan` instead.
+        heartbeat_interval_ms: period of the router's health-check pings.
+        heartbeat_misses: consecutive unanswered pings after which a
+            worker is declared hung, killed and restarted.
+        worker_start_timeout_s: seconds a freshly spawned worker may take
+            to load the artifact and report ready before the router gives
+            up on it (counts against the slot's restart budget).
+        max_worker_restarts: per-slot budget of automatic restarts after
+            a crash, hang or failed start (the process-granularity analogue
+            of ``ServiceConfig.max_replica_restarts``).
+        restart_backoff_ms: base of the exponential backoff slept before
+            restart ``k`` of a slot (``base * 2**k``, capped at 5 s).
+        max_request_retries: times a request stranded by a dying worker is
+            re-dispatched to another worker before its future fails with a
+            typed :class:`~repro.errors.FleetError`; expired deadlines are
+            never retried (deadline-aware failover).
+        hedge_after_ms: optional tail-latency hedging -- a request still
+            unanswered after this many milliseconds is speculatively
+            dispatched to a second healthy worker; the first response
+            wins (``None`` disables hedging).  Bit-exact workers make the
+            duplicate answer harmless by construction.
+        max_inflight: router-level bounded admission -- a submit beyond
+            this many unresolved requests raises
+            :class:`~repro.errors.ServiceOverloadError` in the caller
+            (``None`` = unbounded).
+        max_worker_inflight: per-worker dispatch window -- the router
+            never has more than this many requests outstanding on one
+            worker; the rest wait in the router's queue.  Flow control
+            with two jobs: a worker death strands at most a window of
+            requests (bounding retry storms), and a restarting slot finds
+            work still queued instead of a fleet-mate having swallowed
+            the backlog.  ``None`` derives ``2 *
+            service.max_batch_size``.
+        drain_timeout_s: seconds a graceful drain waits for in-flight
+            requests (and worker exits) before escalating to kill.
+        fault_plan: optional process-level fault injection hook (an object
+            with a ``before_dispatch(worker, handle)`` method, e.g.
+            :class:`repro.serve.faults.FaultPlan` carrying
+            :class:`~repro.serve.faults.WorkerKill` /
+            :class:`~repro.serve.faults.WorkerHang` /
+            :class:`~repro.serve.faults.SlowWorker` injectors) consulted
+            before every request dispatch; ``None`` in production.
+    """
+
+    num_workers: int = 2
+    service: "ServiceConfig | None" = None
+    heartbeat_interval_ms: float = 100.0
+    heartbeat_misses: int = 5
+    worker_start_timeout_s: float = 120.0
+    max_worker_restarts: int = 3
+    restart_backoff_ms: float = 50.0
+    max_request_retries: int = 2
+    hedge_after_ms: float | None = None
+    max_inflight: int | None = None
+    max_worker_inflight: int | None = None
+    drain_timeout_s: float = 30.0
+    fault_plan: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.service is not None:
+            if not isinstance(self.service, ServiceConfig):
+                raise ConfigurationError(
+                    f"service must be a ServiceConfig, got {self.service!r}"
+                )
+            if self.service.fault_plan is not None:
+                raise ConfigurationError(
+                    "service.fault_plan cannot cross the process boundary; "
+                    "put process-level injectors on FleetConfig.fault_plan"
+                )
+        if self.heartbeat_interval_ms <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval_ms must be > 0, got "
+                f"{self.heartbeat_interval_ms}"
+            )
+        if self.heartbeat_misses < 1:
+            raise ConfigurationError(
+                f"heartbeat_misses must be >= 1, got {self.heartbeat_misses}"
+            )
+        if self.worker_start_timeout_s <= 0:
+            raise ConfigurationError(
+                f"worker_start_timeout_s must be > 0, got "
+                f"{self.worker_start_timeout_s}"
+            )
+        if self.max_worker_restarts < 0:
+            raise ConfigurationError(
+                f"max_worker_restarts must be >= 0, got "
+                f"{self.max_worker_restarts}"
+            )
+        if self.restart_backoff_ms < 0:
+            raise ConfigurationError(
+                f"restart_backoff_ms must be >= 0, got "
+                f"{self.restart_backoff_ms}"
+            )
+        if self.max_request_retries < 0:
+            raise ConfigurationError(
+                f"max_request_retries must be >= 0, got "
+                f"{self.max_request_retries}"
+            )
+        if self.hedge_after_ms is not None and not self.hedge_after_ms > 0:
+            raise ConfigurationError(
+                f"hedge_after_ms must be > 0, got {self.hedge_after_ms}"
+            )
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_worker_inflight is not None and self.max_worker_inflight < 1:
+            raise ConfigurationError(
+                f"max_worker_inflight must be >= 1, got "
+                f"{self.max_worker_inflight}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be > 0, got {self.drain_timeout_s}"
+            )
+        if self.fault_plan is not None and not callable(
+            getattr(self.fault_plan, "before_dispatch", None)
+        ):
+            raise ConfigurationError(
+                "fault_plan must expose a before_dispatch(worker, handle) "
+                f"method (see repro.serve.faults.FaultPlan), got "
+                f"{self.fault_plan!r}"
+            )
+
+    @property
+    def worker_service(self) -> ServiceConfig:
+        """The worker-process service config (defaults resolved)."""
+        if self.service is not None:
+            return self.service
+        return ServiceConfig(backend="bit-exact-packed", num_workers=1)
+
+    @property
+    def worker_window(self) -> int:
+        """Resolved per-worker dispatch window (see
+        :attr:`max_worker_inflight`)."""
+        if self.max_worker_inflight is not None:
+            return self.max_worker_inflight
+        return 2 * self.worker_service.max_batch_size
 
 
 def resolve_checkpoints(

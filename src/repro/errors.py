@@ -18,6 +18,8 @@ __all__ = [
     "DatasetError",
     "InferenceError",
     "ServiceOverloadError",
+    "FleetError",
+    "RemoteWorkerError",
 ]
 
 
@@ -79,3 +81,60 @@ class ServiceOverloadError(ReproError):
     def __init__(self, message: str, reason: str = "queue_full") -> None:
         super().__init__(message)
         self.reason = reason
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` -- which holds only
+        # the message -- so an unpickled copy would silently reset
+        # ``reason`` to "queue_full".  The fleet RPC ships these across
+        # process boundaries; category-specific backoff in the caller
+        # needs the real reason to survive the trip.
+        return (self.__class__, (self.args[0] if self.args else "", self.reason))
+
+
+class FleetError(ReproError):
+    """A router-side fleet serving failure (:mod:`repro.serve.fleet`).
+
+    Raised (or set on a request future) by :class:`FleetRouter` when the
+    failure happened in the *router*, not inside a worker's inference
+    service: a worker process died with the request in flight and the
+    retry budget is spent, no healthy worker exists, the router is
+    draining, or the RPC stream itself is corrupt.  Worker-side failures
+    keep their own types (:class:`InferenceError`,
+    :class:`ServiceOverloadError`) across the RPC boundary.  The
+    :attr:`reason` attribute carries the failure category
+    (``"worker_lost"``, ``"no_workers"``, ``"draining"``, ``"deadline"``,
+    ``"protocol"``) so callers can branch without string matching.
+    """
+
+    def __init__(self, message: str, reason: str = "worker_lost") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0] if self.args else "", self.reason))
+
+
+class RemoteWorkerError(ReproError):
+    """Stand-in for an exception that originally rose in a worker process.
+
+    Exceptions cross the fleet RPC as structured payloads (type name,
+    message, cause chain), not pickled objects -- a worker crash must
+    never force the router to unpickle arbitrary classes.  The decoded
+    error's ``__cause__`` chain is rebuilt from these stand-ins so
+    ``raise ... from`` context survives the process boundary; the
+    original type's qualified name is kept in :attr:`remote_type`.
+    """
+
+    def __init__(self, message: str, remote_type: str = "Exception") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+
+    def __str__(self) -> str:
+        base = self.args[0] if self.args else ""
+        return f"[{self.remote_type}] {base}"
+
+    def __reduce__(self):
+        return (
+            self.__class__,
+            (self.args[0] if self.args else "", self.remote_type),
+        )

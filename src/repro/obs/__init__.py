@@ -31,7 +31,12 @@ from repro.obs.counters import (
     kernel_note,
     merge_kernel_snapshots,
 )
-from repro.obs.export import JsonlEventLog, prometheus_text, validate_exposition
+from repro.obs.export import (
+    JsonlEventLog,
+    fleet_prometheus_text,
+    prometheus_text,
+    validate_exposition,
+)
 from repro.obs.trace import Span, Trace, Tracer, TraceSummary, current_span
 
 __all__ = [
@@ -45,6 +50,7 @@ __all__ = [
     "kernel_note",
     "merge_kernel_snapshots",
     "prometheus_text",
+    "fleet_prometheus_text",
     "validate_exposition",
     "JsonlEventLog",
 ]

@@ -28,6 +28,7 @@ from pathlib import Path
 
 __all__ = [
     "prometheus_text",
+    "fleet_prometheus_text",
     "validate_exposition",
     "JsonlEventLog",
 ]
@@ -335,6 +336,139 @@ def prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
             tracing["buffered"],
             "Completed traces currently in the ring buffer.",
         )
+    return w.text()
+
+
+def fleet_prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a fleet snapshot as one exposition with a ``worker`` label.
+
+    Accepts :meth:`repro.serve.fleet.FleetRouter.snapshot` output:
+    ``{"fleet": <router counters>, "workers": {slot: <service snapshot
+    or None>}}``.  Router-level supervision counters become
+    ``{prefix}_fleet_*`` families; the headline series of every live
+    worker's embedded-service snapshot are re-emitted under a
+    ``worker="<slot>"`` label so one scrape shows the whole fleet.
+    Workers that did not answer the snapshot RPC (dead, restarting)
+    appear only in ``{prefix}_fleet_worker_up`` as ``0``.
+
+    Returns:
+        Exposition text parseable by :func:`validate_exposition`.
+    """
+    w = _Writer()
+    fleet = snapshot.get("fleet") or {}
+    for key, help_text in (
+        ("submitted", "Requests admitted by the fleet router."),
+        ("completed", "Requests resolved with a successful response."),
+        ("failed", "Requests resolved with a worker-side inference error."),
+        ("shed", "Requests shed by admission control (router or worker)."),
+        ("router_errors", "Requests failed with a router-side FleetError."),
+        ("retries", "Requests re-dispatched after their worker died."),
+        ("hedges", "Speculative duplicate dispatches (tail hedging)."),
+        ("hedge_wins", "Hedged requests whose duplicate answered first."),
+        ("worker_deaths", "Worker processes lost to crash or hang."),
+        ("restarts", "Supervision restarts charged to slot budgets."),
+        ("replacements", "Planned rolling-restart worker replacements."),
+    ):
+        w.counter(
+            f"{prefix}_fleet_{key}_total", fleet.get(key, 0), help_text
+        )
+    w.gauge(
+        f"{prefix}_fleet_queue_depth",
+        fleet.get("queue_depth", 0),
+        "Requests waiting in the router dispatch queue.",
+    )
+    w.gauge(
+        f"{prefix}_fleet_inflight",
+        fleet.get("inflight", 0),
+        "Admitted requests not yet resolved.",
+    )
+    w.gauge(
+        f"{prefix}_fleet_workers_ready",
+        fleet.get("workers_ready", 0),
+        "Worker processes currently accepting dispatches.",
+    )
+    states = fleet.get("worker_states") or {}
+    if states:
+        w.family(
+            f"{prefix}_fleet_worker_up",
+            "gauge",
+            "Per-slot worker liveness (1 = ready).",
+        )
+        for slot in sorted(states, key=str):
+            w.sample(
+                f"{prefix}_fleet_worker_up",
+                1 if states[slot] == "ready" else 0,
+                {"worker": slot, "state": states[slot]},
+            )
+    workers = {
+        str(slot): snap
+        for slot, snap in (snapshot.get("workers") or {}).items()
+        if snap
+    }
+    if workers:
+        for key, help_text in (
+            ("requests", "Completed requests inside each worker's service."),
+            ("images", "Images answered by each worker."),
+            ("cache_hits", "Cache-served images per worker."),
+            ("batches", "Merged micro-batches dispatched per worker."),
+        ):
+            w.family(
+                f"{prefix}_worker_{key}_total",
+                "counter",
+                help_text,
+            )
+            for slot in sorted(workers, key=str):
+                w.sample(
+                    f"{prefix}_worker_{key}_total",
+                    workers[slot].get(key, 0),
+                    {"worker": slot},
+                )
+        for fault_key, name, help_text in (
+            ("retries", "batch_retries", "In-process batch retries per worker."),
+            (
+                "restarts",
+                "replica_restarts",
+                "In-process replica restarts per worker.",
+            ),
+            (
+                "failed_requests",
+                "failed_requests",
+                "Requests failed inside each worker's service.",
+            ),
+            (
+                "degraded_requests",
+                "degraded_requests",
+                "Overload-degraded requests per worker.",
+            ),
+        ):
+            w.family(
+                f"{prefix}_worker_{name}_total",
+                "counter",
+                help_text,
+            )
+            for slot in sorted(workers, key=str):
+                faults = workers[slot].get("faults") or {}
+                w.sample(
+                    f"{prefix}_worker_{name}_total",
+                    faults.get(fault_key, 0),
+                    {"worker": slot},
+                )
+        if any(workers[slot].get("latency_ms") for slot in workers):
+            w.family(
+                f"{prefix}_worker_latency_ms",
+                "summary",
+                "Per-worker request latency quantiles (ms).",
+            )
+            for slot in sorted(workers, key=str):
+                latency = workers[slot].get("latency_ms")
+                if not latency:
+                    continue
+                for quantile in ("p50", "p95", "p99"):
+                    w.sample(
+                        f"{prefix}_worker_latency_ms",
+                        latency[quantile],
+                        {"worker": slot, "quantile": f"0.{quantile[1:]}"},
+                    )
     return w.text()
 
 

@@ -23,6 +23,13 @@ stream cycles can each request get away with*.  It contains:
   (:class:`~repro.serve.faults.FaultPlan`) wired in via
   :attr:`~repro.config.ServiceConfig.fault_plan`, so chaos tests of the
   supervision / admission / degradation paths are ordinary pytest tests.
+* :mod:`~repro.serve.fleet` -- horizontal scale-out:
+  :class:`~repro.serve.fleet.FleetRouter` supervises a fleet of worker
+  *processes* (:mod:`~repro.serve.fleet_worker`, one embedded service
+  each, rehydrated bit-identically from a shared artifact) over the
+  :mod:`~repro.serve.rpc` pipe protocol, with heartbeat health checks,
+  crash/hang restart within budgets, deadline-aware request retry,
+  tail-latency hedging, bounded admission and graceful/rolling drains.
 
 Observability rides on :mod:`repro.obs`: with ``trace_sample_rate`` set,
 sampled requests carry a :class:`~repro.obs.TraceSummary` on their
@@ -37,8 +44,13 @@ stream-cycle savings in ``BENCH_serve.json``; ``examples/serve_demo.py``
 is the minimal end-to-end walkthrough.
 """
 
-from repro.config import ServiceConfig
-from repro.errors import InferenceError, ServiceOverloadError
+from repro.config import FleetConfig, ServiceConfig
+from repro.errors import (
+    FleetError,
+    InferenceError,
+    RemoteWorkerError,
+    ServiceOverloadError,
+)
 from repro.serve.cache import CachedResult, LruResultCache, image_digest
 from repro.serve.faults import (
     FaultPlan,
@@ -47,7 +59,11 @@ from repro.serve.faults import (
     PoolBreak,
     ReplicaCrash,
     SlowReplica,
+    SlowWorker,
+    WorkerHang,
+    WorkerKill,
 )
+from repro.serve.fleet import FleetMetrics, FleetRouter
 from repro.obs import TraceSummary
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.progressive import (
@@ -78,5 +94,13 @@ __all__ = [
     "SlowReplica",
     "PoisonedBatch",
     "PoolBreak",
+    "WorkerKill",
+    "WorkerHang",
+    "SlowWorker",
     "InjectedCrashError",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetMetrics",
+    "FleetError",
+    "RemoteWorkerError",
 ]

@@ -51,6 +51,9 @@ __all__ = [
     "SlowReplica",
     "PoisonedBatch",
     "PoolBreak",
+    "WorkerKill",
+    "WorkerHang",
+    "SlowWorker",
     "InjectedCrashError",
 ]
 
@@ -167,6 +170,73 @@ class PoolBreak(_Fault):
             break_pool()
 
 
+@dataclass
+class WorkerKill(_Fault):
+    """SIGKILL a fleet worker *process* as a request is dispatched to it.
+
+    The process-level analogue of :class:`ReplicaCrash`, consumed by
+    :meth:`FaultPlan.before_dispatch` from the fleet router's dispatcher:
+    the targeted worker dies instantly (no drain, no goodbye frame), the
+    router's pipe-EOF death path fires, the in-flight requests -- the one
+    being dispatched included -- are re-dispatched to healthy workers,
+    and the slot is restarted from the artifact within its budget.
+    """
+
+    kind = "worker_kill"
+
+    def apply(self, handle) -> None:
+        handle.kill()
+
+
+@dataclass
+class WorkerHang(_Fault):
+    """Make a fleet worker live-but-unresponsive for ``hang_s`` seconds.
+
+    The worker's frame-reader loop sleeps, so heartbeat pings go
+    unanswered while the process stays alive -- the pathology SIGKILL
+    escalation exists for.  After ``heartbeat_misses`` silent intervals
+    the router kills and restarts it; requests it held are retried.
+    Defaults to an hour: effectively "until the router shoots it".
+    """
+
+    hang_s: float = 3600.0
+    kind = "worker_hang"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.hang_s <= 0:
+            raise ConfigurationError(
+                f"hang_s must be > 0, got {self.hang_s}"
+            )
+
+    def apply(self, handle) -> None:
+        handle.inject_hang(self.hang_s)
+
+
+@dataclass
+class SlowWorker(_Fault):
+    """Delay a fleet worker's request handling by ``delay_s`` seconds.
+
+    The process-level :class:`SlowReplica`: the worker keeps answering
+    heartbeats (it is slow, not hung -- no restart fires) but requests
+    dispatched to it from this point on are answered ``delay_s`` late,
+    the straggler profile tail-latency hedging exists for.
+    """
+
+    delay_s: float = 0.25
+    kind = "slow_worker"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.delay_s < 0:
+            raise ConfigurationError(
+                f"delay_s must be >= 0, got {self.delay_s}"
+            )
+
+    def apply(self, handle) -> None:
+        handle.inject_slow(self.delay_s)
+
+
 class FaultPlan:
     """A deterministic bundle of fault injectors for one service run.
 
@@ -242,6 +312,36 @@ class FaultPlan:
                 fault.apply(replica)
         if raising is not None:
             raising.apply(replica)
+
+    def before_dispatch(self, worker: int, handle=None) -> None:
+        """One request is being dispatched to fleet worker slot ``worker``.
+
+        Called by the :class:`~repro.serve.fleet.FleetRouter` dispatcher
+        just before the request frame is sent; process-level injectors
+        (:class:`WorkerKill`, :class:`WorkerHang`, :class:`SlowWorker`)
+        act on the worker *handle* -- killing the process, putting its
+        reader to sleep, or arming a response delay.  Dispatch attempts
+        tick the same per-worker / plan-wide counters as
+        :meth:`before_batch` (a plan is used against one layer at a
+        time: :class:`~repro.config.FleetConfig` rejects in-process
+        plans, so the counter spaces never mix in practice).
+        """
+        with self._lock:
+            worker_seq = self._worker_seq.get(worker, 0)
+            matched = [
+                fault
+                for fault in self.faults
+                if fault._matches(worker, worker_seq, self._global_seq, self._rng)
+            ]
+            for fault in matched:
+                fault._fired += 1
+                self.fired[fault.kind] = self.fired.get(fault.kind, 0) + 1
+            self._worker_seq[worker] = worker_seq + 1
+            self._global_seq += 1
+        # Apply outside the lock: a kill triggers the router's death path
+        # on another thread, which must not contend with this lock.
+        for fault in matched:
+            fault.apply(handle)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kinds = ", ".join(f.kind for f in self.faults) or "none"

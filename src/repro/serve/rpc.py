@@ -1,0 +1,231 @@
+"""Length-prefixed frame RPC between the fleet router and its workers.
+
+The wire format is deliberately boring: every message is one *frame* --
+a 4-byte big-endian unsigned length followed by a pickled ``dict``
+payload -- written atomically under a per-stream lock and read with
+exact-length reads.  Frames flow full duplex over a worker process's
+stdin/stdout pipes; a ``"kind"`` field discriminates requests, responses,
+heartbeats and control messages, and an integer ``"id"`` correlates
+responses with requests so many requests can be in flight per worker.
+
+Two invariants the fleet layer leans on:
+
+* **Errors are structured, not pickled.**  A failure crossing the
+  boundary is encoded with :func:`encode_error` into plain data (type
+  name, message, ``reason``, the ``__cause__`` chain as reprs) and
+  rebuilt with :func:`decode_error` into the matching *typed* exception
+  (:class:`~repro.errors.InferenceError`,
+  :class:`~repro.errors.ServiceOverloadError`,
+  :class:`~repro.errors.FleetError`) with the cause chain restored as
+  :class:`~repro.errors.RemoteWorkerError` stand-ins -- so a worker can
+  never make the router unpickle an arbitrary class, and ``reason`` /
+  cause-chain fields survive the trip.
+* **Truncation is loud.**  A frame cut short by a dying peer raises
+  :class:`RpcConnectionError` (EOF mid-frame is a *crash signal*, not a
+  clean close); only EOF on a frame boundary reads as ``None``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+from typing import BinaryIO
+
+from repro.errors import (
+    ConfigurationError,
+    EncodingError,
+    FleetError,
+    InferenceError,
+    RemoteWorkerError,
+    ServiceOverloadError,
+    ShapeError,
+)
+
+__all__ = [
+    "FrameStream",
+    "RpcConnectionError",
+    "encode_error",
+    "decode_error",
+    "MAX_FRAME_BYTES",
+]
+
+_HEADER = struct.Struct("!I")
+
+#: Upper bound on one frame's payload (64 MiB).  A length beyond this is
+#: stream corruption (e.g. reading from an offset), not a real message.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class RpcConnectionError(ConnectionError):
+    """The peer vanished or the stream is corrupt mid-frame."""
+
+
+class FrameStream:
+    """One side of a duplex length-prefixed pickle-frame connection.
+
+    Args:
+        reader: binary stream frames are read from (may be ``None`` for a
+            write-only stream).
+        writer: binary stream frames are written to (may be ``None`` for
+            a read-only stream).
+
+    Writes are serialised under an internal lock so response frames from
+    worker callback threads and heartbeat replies from the reader thread
+    never interleave bytes.  Reads are *not* locked -- exactly one reader
+    thread owns each stream by construction.
+    """
+
+    def __init__(
+        self, reader: BinaryIO | None, writer: BinaryIO | None
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = threading.Lock()
+
+    def send(self, payload: dict) -> None:
+        """Write one frame (atomic with respect to other senders)."""
+        if self._writer is None:
+            raise RpcConnectionError("stream is not writable")
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(data) > MAX_FRAME_BYTES:
+            raise FleetError(
+                f"frame of {len(data)} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte RPC limit",
+                reason="protocol",
+            )
+        frame = _HEADER.pack(len(data)) + data
+        try:
+            with self._write_lock:
+                self._writer.write(frame)
+                self._writer.flush()
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            # ValueError: write to a closed file object.
+            raise RpcConnectionError(f"peer went away mid-send: {exc}") from exc
+
+    def recv(self) -> dict | None:
+        """Read one frame; ``None`` on clean EOF (frame boundary)."""
+        if self._reader is None:
+            raise RpcConnectionError("stream is not readable")
+        header = self._read_exact(_HEADER.size, at_boundary=True)
+        if header is None:
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise RpcConnectionError(
+                f"frame header announces {length} bytes "
+                f"(limit {MAX_FRAME_BYTES}): stream corrupt"
+            )
+        body = self._read_exact(length, at_boundary=False)
+        try:
+            payload = pickle.loads(body)
+        except Exception as exc:
+            raise RpcConnectionError(f"undecodable frame: {exc!r}") from exc
+        if not isinstance(payload, dict):
+            raise RpcConnectionError(
+                f"frame payload must be a dict, got {type(payload).__name__}"
+            )
+        return payload
+
+    def _read_exact(self, n: int, at_boundary: bool) -> bytes | None:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._reader.read(remaining)
+            except (OSError, ValueError) as exc:
+                raise RpcConnectionError(
+                    f"peer went away mid-recv: {exc}"
+                ) from exc
+            if not chunk:
+                if at_boundary and remaining == n:
+                    return None  # clean EOF between frames
+                raise RpcConnectionError(
+                    f"stream truncated {n - remaining}/{n} bytes into a frame"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        for stream in (self._reader, self._writer):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+
+
+#: Error types allowed to cross the boundary *as themselves*; anything
+#: else decodes to the fallback type the context dictates.
+_TYPED_ERRORS = {
+    "InferenceError": InferenceError,
+    "ServiceOverloadError": ServiceOverloadError,
+    "FleetError": FleetError,
+    # Fail-fast submit validation errors keep their types too, so the
+    # fleet's error surface matches the in-process service's.
+    "ConfigurationError": ConfigurationError,
+    "ShapeError": ShapeError,
+    "EncodingError": EncodingError,
+}
+
+
+def encode_error(exc: BaseException, limit: int = 8) -> dict:
+    """Flatten an exception (and its cause chain) into plain data.
+
+    Args:
+        exc: the exception to encode.
+        limit: maximum cause-chain depth captured (cycles cannot recurse).
+
+    Returns:
+        ``{"type", "message", "reason", "chain"}`` where ``chain`` lists
+        ``{"type", "message"}`` for each ``__cause__``/``__context__``
+        link, outermost first.
+    """
+    chain: list[dict] = []
+    seen: set[int] = {id(exc)}
+    cursor = exc.__cause__ or exc.__context__
+    while cursor is not None and len(chain) < limit and id(cursor) not in seen:
+        seen.add(id(cursor))
+        chain.append(
+            {"type": type(cursor).__name__, "message": str(cursor)}
+        )
+        cursor = cursor.__cause__ or cursor.__context__
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "reason": getattr(exc, "reason", None),
+        "chain": chain,
+    }
+
+
+def decode_error(
+    payload: dict, fallback: type = InferenceError
+) -> BaseException:
+    """Rebuild a typed exception from :func:`encode_error` data.
+
+    Known typed errors come back as their own class with ``reason``
+    preserved; unknown worker-side types come back as ``fallback`` (the
+    request-scoped :class:`~repro.errors.InferenceError` by default) so
+    the caller's failure-policy branches stay type-driven.  The original
+    cause chain is re-attached as
+    :class:`~repro.errors.RemoteWorkerError` links.
+    """
+    type_name = payload.get("type", "Exception")
+    message = payload.get("message", "")
+    reason = payload.get("reason")
+    cls = _TYPED_ERRORS.get(type_name)
+    if cls is not None:
+        error = cls(message, reason) if reason is not None else cls(message)
+    else:
+        error = fallback(f"worker-side {type_name}: {message}")
+    cause: BaseException | None = None
+    for link in reversed(payload.get("chain") or ()):
+        nested = RemoteWorkerError(
+            link.get("message", ""), remote_type=link.get("type", "Exception")
+        )
+        nested.__cause__ = cause
+        cause = nested
+    if cause is not None:
+        error.__cause__ = cause
+    return error
