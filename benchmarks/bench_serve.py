@@ -43,11 +43,23 @@ relocate it, delete the directory to retrain).  Sections:
   an injected :class:`~repro.serve.WorkerKill` (every future resolves,
   the death is restarted, stranded requests retried).  Skipped cleanly
   on hosts with fewer than 4 CPUs.
+* **http sweep** (``--http``) -- the network front end
+  (:class:`~repro.serve.ScHttpServer` over a
+  :class:`~repro.serve.ModelRegistry`): an *open-loop* load generator
+  fires requests at pre-computed absolute arrival times (arrivals never
+  wait for responses, so a slow server faces a growing backlog exactly
+  like production traffic) under a **burst** trace (base rate with
+  periodic 5x bursts) and a **diurnal** trace (sinusoidally modulated
+  rate), recording client-observed p50/p95/p99 over the wire; then an
+  **overhead guard**: p99 over HTTP on a steady trace must stay within
+  ``MAX_HTTP_OVERHEAD`` (10%) of the identical trace driven in-process
+  through ``ScInferenceService.submit`` (best of several attempts).
+  The ``/metrics`` exposition is scraped over the wire and golden-parsed.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--faults]
-        [--fleet] [--output PATH]
+        [--fleet] [--http] [--output PATH]
 
 ``--smoke`` (alias ``--quick``) shrinks the training budget and the load
 burst (used by the CI smoke jobs and ``tests/test_serve.py``); the
@@ -89,6 +101,12 @@ MIN_CYCLE_REDUCTION = 1.5
 #: Overhead guard: p99 latency with trace sampling at 0.01 must stay
 #: under this multiple of the sampling-off p99 (best of several runs).
 MAX_OBS_OVERHEAD = 1.05
+
+#: HTTP overhead guard: client-observed p99 over the wire must stay
+#: under this multiple of the same offered-load trace driven in-process
+#: (best of several attempts -- the socket + JSON tax is bounded, but a
+#: single noisy scheduler run must not fail CI).
+MAX_HTTP_OVERHEAD = 1.10
 
 #: Margin for the bit-exact packed spot check.  Bit-exact prefix scores
 #: carry the *actual* decoding noise of short streams (the score quantum
@@ -746,12 +764,237 @@ def bench_fleet(artifact: Path, images, smoke: bool) -> dict:
     }
 
 
+def bench_http(artifact: Path, mapper, images, smoke: bool) -> dict:
+    """HTTP sweep: open-loop offered-load traces + in-process overhead guard.
+
+    The generator is **open loop**: every arrival time is computed up
+    front from the offered-rate profile and each request fires at its
+    absolute scheduled instant whether or not earlier requests have
+    completed, so the server sees the offered load rather than a
+    response-gated echo of its own latency.  Two non-stationary traces
+    (periodic 5x bursts; a sinusoidal "diurnal" rate) record the
+    client-observed latency distribution over the wire; a steady trace
+    is then replayed both over HTTP and directly through
+    ``ScInferenceService.submit`` and the p99 ratio must stay under
+    :data:`MAX_HTTP_OVERHEAD` (best of several attempts).
+    """
+    import http.client
+    import math
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.config import HttpConfig
+    from repro.obs import validate_exposition
+    from repro.serve import ModelRegistry, ScHttpServer
+
+    n_requests = 48 if smoke else 160
+    base_rps = 60.0 if smoke else 120.0
+
+    def _service_config() -> ServiceConfig:
+        return ServiceConfig(
+            backend="sc-fast",
+            max_batch_size=16,
+            max_wait_ms=2.0,
+            num_workers=2,
+            cache_capacity=0,
+            early_exit=True,
+            margin=MARGIN,
+            stable_checkpoints=STABLE_CHECKPOINTS,
+        )
+
+    # -- offered-load profiles (arrival times in seconds from trace start) -----
+    def _burst_times(n: int) -> list:
+        """Base rate with 5x bursts for the first quarter of each period."""
+        times, t = [], 0.0
+        period, mult = 0.8, 5.0
+        for _ in range(n):
+            times.append(t)
+            rate = base_rps * (mult if (t % period) < period / 4 else 1.0)
+            t += 1.0 / rate
+        return times
+
+    def _diurnal_times(n: int) -> list:
+        """Sinusoidally modulated rate: a compressed day/night cycle."""
+        times, t = [], 0.0
+        period, amplitude = 2.0, 0.6
+        for _ in range(n):
+            times.append(t)
+            rate = base_rps * (1.0 + amplitude * math.sin(2 * math.pi * t / period))
+            t += 1.0 / rate
+        return times
+
+    def _steady_times(n: int) -> list:
+        return [i / base_rps for i in range(n)]
+
+    # -- clients ---------------------------------------------------------------
+    local = threading.local()
+    connections: list = []
+    conn_lock = threading.Lock()
+
+    def _connection(port: int) -> http.client.HTTPConnection:
+        conn = getattr(local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+            local.conn = conn
+            with conn_lock:
+                connections.append(conn)
+        return conn
+
+    def _drive(times: list, call) -> dict:
+        """Fire ``call(i)`` at each absolute arrival time; collect latency."""
+        latencies: list = []
+        failures = 0
+        lock = threading.Lock()
+        start = time.perf_counter() + 0.05
+
+        def _fire(item) -> None:
+            nonlocal failures
+            i, t = item
+            delay = start + t - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            t0 = time.perf_counter()
+            try:
+                ok = call(i)
+            except Exception:
+                ok = False
+            latency = (time.perf_counter() - t0) * 1e3
+            with lock:
+                latencies.append(latency)
+                if not ok:
+                    failures += 1
+
+        with ThreadPoolExecutor(max_workers=32) as pool:
+            list(pool.map(_fire, enumerate(times)))
+        elapsed = time.perf_counter() - start
+        lat = np.asarray(latencies) if latencies else np.zeros(1)
+        return {
+            "requests": len(times),
+            "failures": failures,
+            "duration_s": round(elapsed, 3),
+            "achieved_rps": round(len(times) / elapsed, 1) if elapsed else 0.0,
+            "latency_ms": {
+                "p50": round(float(np.percentile(lat, 50)), 2),
+                "p95": round(float(np.percentile(lat, 95)), 2),
+                "p99": round(float(np.percentile(lat, 99)), 2),
+            },
+        }
+
+    registry = ModelRegistry(models={"bench": artifact}, service=_service_config())
+    server = ScHttpServer(registry, HttpConfig(port=0)).start_background()
+    try:
+        def _http_call(i: int) -> bool:
+            conn = _connection(server.port)
+            body = json.dumps(
+                {"images": [images[i % images.shape[0]].tolist()]}
+            )
+            try:
+                conn.request(
+                    "POST",
+                    "/v1/models/bench/predict",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                response.read()
+            except (http.client.HTTPException, OSError):
+                local.conn = None
+                raise
+            return response.status == 200
+
+        traces = {}
+        for name, times in (
+            ("burst", _burst_times(n_requests)),
+            ("diurnal", _diurnal_times(n_requests)),
+        ):
+            entry = _drive(times, _http_call)
+            assert entry["failures"] == 0, (
+                f"{name} trace had {entry['failures']} failed HTTP requests"
+            )
+            traces[name] = entry
+            print(
+                f"  {name:7s}: {entry['achieved_rps']:6.1f} req/s achieved  "
+                f"p50 {entry['latency_ms']['p50']:7.1f} ms  "
+                f"p95 {entry['latency_ms']['p95']:7.1f} ms  "
+                f"p99 {entry['latency_ms']['p99']:7.1f} ms"
+            )
+
+        # -- overhead guard: identical steady trace, HTTP vs in-process --------
+        steady = _steady_times(n_requests)
+        attempts = 3 if smoke else 5
+        best_ratio = float("inf")
+        http_p99 = inproc_p99 = None
+        for _ in range(attempts):
+            over_http = _drive(steady, _http_call)
+            assert over_http["failures"] == 0, over_http
+            with ScInferenceService(mapper, _service_config()) as service:
+                def _inproc_call(i: int) -> bool:
+                    service.submit(
+                        images[i % images.shape[0]]
+                    ).result(timeout=120)
+                    return True
+
+                in_process = _drive(steady, _inproc_call)
+            assert in_process["failures"] == 0, in_process
+            p99_wire = over_http["latency_ms"]["p99"]
+            p99_direct = in_process["latency_ms"]["p99"]
+            if p99_direct <= 0.0:
+                continue
+            ratio = p99_wire / p99_direct
+            if ratio < best_ratio:
+                best_ratio, http_p99, inproc_p99 = ratio, p99_wire, p99_direct
+            if best_ratio < MAX_HTTP_OVERHEAD:
+                break
+        print(
+            f"  overhead: steady {base_rps:.0f} req/s p99 {inproc_p99:.1f} ms "
+            f"in-process -> {http_p99:.1f} ms over HTTP (best ratio "
+            f"{best_ratio:.3f}, guard < {MAX_HTTP_OVERHEAD})"
+        )
+        assert best_ratio < MAX_HTTP_OVERHEAD, (
+            f"HTTP front end inflated p99 latency {best_ratio:.3f}x over "
+            f"in-process on every one of {attempts} attempts "
+            f"(guard {MAX_HTTP_OVERHEAD}x)"
+        )
+
+        # -- exposition scrape over the wire -----------------------------------
+        scrape = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        scrape.request("GET", "/metrics")
+        response = scrape.getresponse()
+        exposition = response.read().decode()
+        scrape.close()
+        assert response.status == 200, f"/metrics returned {response.status}"
+        families = validate_exposition(exposition)
+        print(f"  metrics: exposition scraped and valid ({len(families)} families)")
+    finally:
+        for conn in connections:
+            conn.close()
+        server.close()
+        registry.close()
+
+    return {
+        "endpoint": "/v1/models/bench/predict",
+        "requests_per_trace": n_requests,
+        "base_offered_rps": base_rps,
+        "traces": traces,
+        "overhead_guard": {
+            "offered_rps": base_rps,
+            "attempts": attempts,
+            "http_p99_ms": http_p99,
+            "inprocess_p99_ms": inproc_p99,
+            "best_ratio": round(best_ratio, 4),
+            "max_ratio": MAX_HTTP_OVERHEAD,
+        },
+        "metrics_exposition_families": len(families),
+    }
+
+
 def run(
     smoke: bool,
     output: Path,
     artifact: Path | None = None,
     faults: bool = False,
     fleet: bool = False,
+    http: bool = False,
 ) -> dict:
     if artifact is None:
         artifact = output.parent / (output.stem + "_model")
@@ -793,6 +1036,9 @@ def run(
         else:
             print("fleet sweep (worker scaling, rolling restart, kill burst):")
             report["fleet"] = bench_fleet(artifact, images, smoke)
+    if http:
+        print("http front end (open-loop traces + overhead guard):")
+        report["http"] = bench_http(artifact, mapper, images, smoke)
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {output}")
     print(
@@ -832,6 +1078,14 @@ def main(argv: list[str] | None = None) -> int:
         "CPUs)",
     )
     parser.add_argument(
+        "--http",
+        action="store_true",
+        help="run the HTTP front-end sweep: open-loop burst and diurnal "
+        "offered-load traces against the network endpoint with "
+        "client-observed percentiles, plus an HTTP-vs-in-process p99 "
+        "overhead guard and a /metrics golden-parse over the wire",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_serve.json",
@@ -853,6 +1107,7 @@ def main(argv: list[str] | None = None) -> int:
         args.artifact,
         faults=args.faults,
         fleet=args.fleet,
+        http=args.http,
     )
     return 0
 

@@ -11,7 +11,13 @@ in-process with three lines of Python:
   JSON, for the CI bit-exactness cross-check).
 * ``evaluate``  -- accuracy of an artifact under any registered backend.
 * ``serve``     -- stand up the micro-batching service on an artifact and
-  push a demo burst through it.
+  push a demo burst through it; with ``--http-port`` it instead runs the
+  asyncio HTTP front end (unary + streaming prediction, ``/metrics``,
+  hot-reloadable multi-model ``--registry`` mode) until SIGINT/SIGTERM
+  drains it.
+* ``models``    -- list a registry directory's (or explicit artifacts')
+  catalog metadata: name, format version, weight bits, stream length,
+  manifest sha256.
 * ``metrics``   -- serve a burst and export the service snapshot in
   Prometheus text exposition format (kernel-tier counters included).
 * ``trace``     -- serve a burst at trace sample rate 1.0 and print every
@@ -357,10 +363,93 @@ def _restore_handlers(previous) -> None:
         signal.signal(sig, old)
 
 
+def _cmd_serve_http(args: argparse.Namespace, backend: str, config) -> int:
+    """``serve --http-port``: run the network front end until a signal.
+
+    Serves one ``--model`` artifact (optionally renamed with
+    ``--model-name``) or a whole ``--registry`` directory of artifacts,
+    over an in-process service per model or -- with ``--fleet-workers``
+    -- a supervised multi-process fleet per model.  SIGINT/SIGTERM
+    drains open HTTP connections and replica pools, then exits 0.
+    """
+    import asyncio
+    import signal
+
+    from repro.config import FleetConfig, HttpConfig
+    from repro.serve import ModelRegistry, ScHttpServer
+
+    fleet_config = None
+    if args.fleet_workers:
+        fleet_config = FleetConfig(
+            num_workers=args.fleet_workers,
+            service=config,
+            max_inflight=args.max_queue_depth,
+            hedge_after_ms=args.hedge_after_ms,
+        )
+    if args.registry:
+        registry = ModelRegistry(
+            root=args.registry, service=config, fleet=fleet_config
+        )
+    else:
+        name = args.model_name or Path(args.model).name
+        registry = ModelRegistry(
+            models={name: args.model}, service=config, fleet=fleet_config
+        )
+    http_config = HttpConfig(
+        host=args.http_host,
+        port=args.http_port,
+        reload_interval_s=args.reload_interval,
+    )
+
+    async def run() -> None:
+        server = await ScHttpServer(registry, http_config).start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        mode = (
+            f"{args.fleet_workers}-process fleets"
+            if args.fleet_workers
+            else "in-process services"
+        )
+        print(
+            f"serving {len(registry)} model(s) on "
+            f"http://{server.host}:{server.port} ({mode}, backend "
+            f"{backend}); SIGINT/SIGTERM drains",
+            flush=True,
+        )
+        await stop.wait()
+        print(
+            "\ndraining open connections and replica pools...", flush=True
+        )
+        await server.drain()
+
+    try:
+        asyncio.run(run())
+    finally:
+        registry.close()
+    print("drained cleanly")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import PredictOptions, Session
     from repro.config import FleetConfig, ServiceConfig
     from repro.errors import FleetError, ServiceOverloadError
+
+    if args.registry and args.model:
+        print("serve: use --model or --registry, not both", file=sys.stderr)
+        return 2
+    if args.registry and args.http_port is None:
+        print(
+            "serve: --registry mode needs --http-port (the demo burst "
+            "serves a single --model)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.registry and not args.model:
+        print("serve: --model (or --registry) is required", file=sys.stderr)
+        return 2
 
     backend, backend_options = backend_selection(args)
     config = ServiceConfig(
@@ -376,6 +465,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample_rate=args.trace_sample_rate,
         event_log_path=args.trace_file,
     )
+    if args.http_port is not None or args.registry:
+        return _cmd_serve_http(args, backend, config)
     # `is not None` (not truthiness): a zero deadline must reach the
     # PredictOptions validator and raise, not silently mean "no deadline".
     options = (
@@ -680,6 +771,59 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_models(args: argparse.Namespace) -> int:
+    """List registry/artifact catalog metadata (manifests only).
+
+    Reads nothing but ``manifest.json`` files -- no weights load, no
+    replica pools spawn -- so it is safe to point at a production
+    registry directory.
+    """
+    from repro.errors import ConfigurationError
+    from repro.serve.registry import describe_artifact
+
+    entries = []
+    problems = []
+    if args.registry:
+        root = Path(args.registry)
+        if not root.is_dir():
+            print(f"models: no directory at {root}", file=sys.stderr)
+            return 2
+        for child in sorted(root.iterdir()):
+            if not (child / "manifest.json").is_file():
+                continue
+            try:
+                entries.append(describe_artifact(child))
+            except ConfigurationError as exc:
+                problems.append((child.name, str(exc)))
+    for path in args.model or []:
+        try:
+            entries.append(describe_artifact(path))
+        except ConfigurationError as exc:
+            problems.append((str(path), str(exc)))
+    if args.json:
+        print(json.dumps([e.listing() for e in entries], indent=2))
+    else:
+        if entries:
+            width = max(len(e.name) for e in entries)
+            width = max(width, len("name"))
+            print(
+                f"{'name':<{width}}  version  bits  stream  "
+                f"sha256        params"
+            )
+            for e in entries:
+                print(
+                    f"{e.name:<{width}}  {e.format_version:<7}  "
+                    f"{e.weight_bits:<4}  {e.stream_length:<6}  "
+                    f"{e.sha256[:12]}  {e.n_parameters}"
+                )
+        for name, problem in problems:
+            print(f"unreadable artifact {name}: {problem}", file=sys.stderr)
+    if not entries and not problems:
+        print("no model artifacts found", file=sys.stderr)
+        return 1
+    return 0 if not problems else 1
+
+
 # -- parser --------------------------------------------------------------------
 
 
@@ -771,9 +915,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve",
-        help="run a demo burst through the micro-batching service",
+        help="run a demo burst through the micro-batching service, or "
+        "(with --http-port) the asyncio HTTP front end",
     )
-    serve.add_argument("--model", required=True, help="artifact directory")
+    serve.add_argument(
+        "--model",
+        default=None,
+        help="artifact directory (required unless --registry is given)",
+    )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="serve over HTTP on this port instead of the demo burst "
+        "(0 = ephemeral; runs until SIGINT/SIGTERM drains)",
+    )
+    serve.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        help="interface the HTTP listener binds (default: loopback)",
+    )
+    serve.add_argument(
+        "--registry",
+        default=None,
+        help="HTTP mode: serve every artifact subdirectory of this "
+        "directory as a named model (hot-reloaded on manifest change "
+        "when --reload-interval is set)",
+    )
+    serve.add_argument(
+        "--model-name",
+        default=None,
+        help="HTTP mode: name the single --model artifact is served "
+        "under (default: its directory name)",
+    )
+    serve.add_argument(
+        "--reload-interval",
+        type=float,
+        default=None,
+        help="HTTP mode: rescan the registry for changed/added/removed "
+        "artifacts every this many seconds (hot reload)",
+    )
     serve.add_argument(
         "--requests", type=int, default=32, help="single-image requests"
     )
@@ -906,6 +1087,26 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list the execution-backend registry"
     )
     backends.set_defaults(func=_cmd_backends)
+
+    models = commands.add_parser(
+        "models",
+        help="list model-artifact catalog metadata (manifests only)",
+    )
+    models.add_argument(
+        "--registry",
+        default=None,
+        help="directory whose artifact subdirectories are listed",
+    )
+    models.add_argument(
+        "--model",
+        action="append",
+        default=None,
+        help="explicit artifact directory to list (repeatable)",
+    )
+    models.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+    models.set_defaults(func=_cmd_models)
     return parser
 
 

@@ -21,6 +21,7 @@ __all__ = [
     "ExperimentConfig",
     "ServiceConfig",
     "FleetConfig",
+    "HttpConfig",
     "PredictOptions",
     "ResolvedPredictOptions",
     "resolve_checkpoints",
@@ -458,6 +459,76 @@ class FleetConfig:
         if self.max_worker_inflight is not None:
             return self.max_worker_inflight
         return 2 * self.worker_service.max_batch_size
+
+
+@dataclass(frozen=True)
+class HttpConfig:
+    """Knobs of the asyncio HTTP front end (:mod:`repro.serve.http`).
+
+    Attributes:
+        host: interface the listener binds (default loopback).
+        port: TCP port; ``0`` binds an ephemeral port (the bound port is
+            published on :attr:`repro.serve.http.ScHttpServer.port` after
+            start -- what the tests and benchmarks use).
+        max_body_bytes: largest accepted request body; a larger
+            ``Content-Length`` is rejected with HTTP 413 before a single
+            body byte is read.
+        request_timeout_s: server-side cap on how long a unary request
+            may wait for its service future when the request carries no
+            ``deadline_ms`` of its own.
+        deadline_grace_ms: extra wall-clock granted on top of a request's
+            ``deadline_ms`` before the wire layer gives up and answers
+            HTTP 504 -- the service normally answers expired deadlines
+            *itself* (capped at the first checkpoint), so this only fires
+            when the future is truly stuck.
+        drain_timeout_s: graceful-drain budget: seconds
+            :meth:`~repro.serve.http.ScHttpServer.drain` waits for open
+            connections (streams included) to finish before force-closing
+            them.
+        reload_interval_s: when set, the server polls
+            :meth:`~repro.serve.registry.ModelRegistry.scan` at this
+            period so manifest changes hot-reload without an operator
+            call (``None`` disables polling; ``scan()`` can still be
+            invoked directly).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_body_bytes: int = 8 * 1024 * 1024
+    request_timeout_s: float = 300.0
+    deadline_grace_ms: float = 1000.0
+    drain_timeout_s: float = 30.0
+    reload_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigurationError(
+                f"host must be a non-empty string, got {self.host!r}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(
+                f"port must lie in [0, 65535], got {self.port}"
+            )
+        if self.max_body_bytes < 1:
+            raise ConfigurationError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+        if not self.request_timeout_s > 0:
+            raise ConfigurationError(
+                f"request_timeout_s must be > 0, got {self.request_timeout_s}"
+            )
+        if self.deadline_grace_ms < 0:
+            raise ConfigurationError(
+                f"deadline_grace_ms must be >= 0, got {self.deadline_grace_ms}"
+            )
+        if not self.drain_timeout_s > 0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be > 0, got {self.drain_timeout_s}"
+            )
+        if self.reload_interval_s is not None and not self.reload_interval_s > 0:
+            raise ConfigurationError(
+                f"reload_interval_s must be > 0, got {self.reload_interval_s}"
+            )
 
 
 def resolve_checkpoints(

@@ -19,6 +19,7 @@ __all__ = [
     "InferenceError",
     "ServiceOverloadError",
     "FleetError",
+    "ModelNotFoundError",
     "RemoteWorkerError",
 ]
 
@@ -112,6 +113,25 @@ class FleetError(ReproError):
 
     def __reduce__(self):
         return (self.__class__, (self.args[0] if self.args else "", self.reason))
+
+
+class ModelNotFoundError(ReproError):
+    """A request named a model the registry does not serve.
+
+    Raised by :class:`repro.serve.registry.ModelRegistry` lookups (and
+    therefore surfaced as HTTP 404 by :mod:`repro.serve.http`) when the
+    requested model name is not in the catalog -- distinct from
+    :class:`ConfigurationError` so the wire layer can map "you asked for
+    something that does not exist" separately from "your request is
+    malformed".  The :attr:`model` attribute carries the requested name.
+    """
+
+    def __init__(self, message: str, model: str = "") -> None:
+        super().__init__(message)
+        self.model = model
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0] if self.args else "", self.model))
 
 
 class RemoteWorkerError(ReproError):

@@ -35,6 +35,7 @@ from repro.obs.export import (
     JsonlEventLog,
     fleet_prometheus_text,
     prometheus_text,
+    registry_prometheus_text,
     validate_exposition,
 )
 from repro.obs.trace import Span, Trace, Tracer, TraceSummary, current_span
@@ -51,6 +52,7 @@ __all__ = [
     "merge_kernel_snapshots",
     "prometheus_text",
     "fleet_prometheus_text",
+    "registry_prometheus_text",
     "validate_exposition",
     "JsonlEventLog",
 ]

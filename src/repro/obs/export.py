@@ -29,6 +29,7 @@ from pathlib import Path
 __all__ = [
     "prometheus_text",
     "fleet_prometheus_text",
+    "registry_prometheus_text",
     "validate_exposition",
     "JsonlEventLog",
 ]
@@ -469,6 +470,112 @@ def fleet_prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
                         latency[quantile],
                         {"worker": slot, "quantile": f"0.{quantile[1:]}"},
                     )
+    return w.text()
+
+
+def _model_counter(entry: dict, key: str) -> float:
+    """One headline counter of a registry pool entry, service or fleet.
+
+    Service pools report the counter directly; fleet pools aggregate the
+    per-worker embedded-service snapshots (``requests`` additionally
+    falls back to the router's ``completed`` count when no worker
+    answered the snapshot RPC).
+    """
+    inner = entry.get("snapshot") or {}
+    if entry.get("kind") == "fleet":
+        workers = [w for w in (inner.get("workers") or {}).values() if w]
+        if workers:
+            return sum(w.get(key, 0) for w in workers)
+        if key == "requests":
+            return (inner.get("fleet") or {}).get("completed", 0)
+        return 0
+    return inner.get(key, 0)
+
+
+def registry_prometheus_text(snapshots: dict, prefix: str = "repro") -> str:
+    """Render a multi-model registry snapshot with a ``model`` label.
+
+    Accepts :meth:`repro.serve.registry.ModelRegistry.snapshot` output:
+    ``{name: {"kind", "generation", "snapshot"} | None}`` (``None`` for
+    catalog entries whose pool was never built).  Catalog-level gauges
+    come first; the headline series of every live pool are re-emitted
+    under a ``model="<name>"`` label, so one scrape covers every model a
+    process serves.  Single-model processes keep the unlabeled
+    :func:`prometheus_text` / :func:`fleet_prometheus_text` shape
+    instead (the HTTP front end picks per scrape).
+
+    Returns:
+        Exposition text parseable by :func:`validate_exposition`.
+    """
+    w = _Writer()
+    loaded = {name: snap for name, snap in snapshots.items() if snap}
+    w.gauge(
+        f"{prefix}_registry_models",
+        len(snapshots),
+        "Models in the serving catalog.",
+    )
+    w.gauge(
+        f"{prefix}_registry_loaded",
+        len(loaded),
+        "Models with a live replica pool.",
+    )
+    if snapshots:
+        w.family(
+            f"{prefix}_model_up",
+            "gauge",
+            "Per-model pool liveness (1 = replica pool built).",
+        )
+        for name in sorted(snapshots, key=str):
+            w.sample(
+                f"{prefix}_model_up",
+                1 if snapshots[name] else 0,
+                {"model": name},
+            )
+    if not loaded:
+        return w.text()
+    w.family(
+        f"{prefix}_model_generation",
+        "gauge",
+        "Pool generation of each model (bumps on hot reload).",
+    )
+    for name in sorted(loaded, key=str):
+        w.sample(
+            f"{prefix}_model_generation",
+            loaded[name].get("generation", 0),
+            {"model": name},
+        )
+    for key, help_text in (
+        ("requests", "Completed requests per model."),
+        ("images", "Images answered per model."),
+        ("cache_hits", "Cache-served images per model."),
+        ("batches", "Merged micro-batches dispatched per model."),
+    ):
+        w.family(f"{prefix}_model_{key}_total", "counter", help_text)
+        for name in sorted(loaded, key=str):
+            w.sample(
+                f"{prefix}_model_{key}_total",
+                _model_counter(loaded[name], key),
+                {"model": name},
+            )
+    latencies = {
+        name: (entry.get("snapshot") or {}).get("latency_ms")
+        for name, entry in loaded.items()
+        if entry.get("kind") != "fleet"
+    }
+    latencies = {name: lat for name, lat in latencies.items() if lat}
+    if latencies:
+        w.family(
+            f"{prefix}_model_latency_ms",
+            "summary",
+            "Per-model request latency quantiles (ms).",
+        )
+        for name in sorted(latencies, key=str):
+            for quantile in ("p50", "p95", "p99"):
+                w.sample(
+                    f"{prefix}_model_latency_ms",
+                    latencies[name][quantile],
+                    {"model": name, "quantile": f"0.{quantile[1:]}"},
+                )
     return w.text()
 
 

@@ -23,6 +23,17 @@ stream cycles can each request get away with*.  It contains:
   (:class:`~repro.serve.faults.FaultPlan`) wired in via
   :attr:`~repro.config.ServiceConfig.fault_plan`, so chaos tests of the
   supervision / admission / degradation paths are ordinary pytest tests.
+* :mod:`~repro.serve.registry` -- the serving catalog:
+  :class:`~repro.serve.registry.ModelRegistry` maps model names to
+  versioned artifacts and lazily builds one replica pool per model
+  (service or fleet), with atomic hot-reload on manifest change --
+  in-flight requests drain on the old pool, new requests route to the
+  new one.
+* :mod:`~repro.serve.http` -- the network front end:
+  :class:`~repro.serve.http.ScHttpServer`, a stdlib-asyncio HTTP/1.1
+  JSON server with unary and SSE progressive-streaming prediction
+  routes, Prometheus ``/metrics``, health/readiness probes, typed
+  4xx/5xx error mapping and graceful drain through open connections.
 * :mod:`~repro.serve.fleet` -- horizontal scale-out:
   :class:`~repro.serve.fleet.FleetRouter` supervises a fleet of worker
   *processes* (:mod:`~repro.serve.fleet_worker`, one embedded service
@@ -44,10 +55,11 @@ stream-cycle savings in ``BENCH_serve.json``; ``examples/serve_demo.py``
 is the minimal end-to-end walkthrough.
 """
 
-from repro.config import FleetConfig, ServiceConfig
+from repro.config import FleetConfig, HttpConfig, ServiceConfig
 from repro.errors import (
     FleetError,
     InferenceError,
+    ModelNotFoundError,
     RemoteWorkerError,
     ServiceOverloadError,
 )
@@ -64,6 +76,8 @@ from repro.serve.faults import (
     WorkerKill,
 )
 from repro.serve.fleet import FleetMetrics, FleetRouter
+from repro.serve.http import HttpError, ScHttpServer
+from repro.serve.registry import ModelInfo, ModelRegistry, describe_artifact
 from repro.obs import TraceSummary
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.progressive import (
@@ -103,4 +117,11 @@ __all__ = [
     "FleetMetrics",
     "FleetError",
     "RemoteWorkerError",
+    "HttpConfig",
+    "ScHttpServer",
+    "HttpError",
+    "ModelRegistry",
+    "ModelInfo",
+    "ModelNotFoundError",
+    "describe_artifact",
 ]

@@ -1,0 +1,702 @@
+"""HTTP front end + model registry: the serving stack on the wire.
+
+Pins down the network-surface contracts of :mod:`repro.serve.http` and
+:mod:`repro.serve.registry`:
+
+* **the wire adds no numerics** -- unary responses and every streamed
+  checkpoint event are bit-identical to in-process
+  :meth:`~repro.api.Session.predict` (checkpoint events against the
+  matching single-point prefix schedule, the terminal event against the
+  full early-exit result, exit checkpoints included);
+* **typed errors survive HTTP** -- malformed JSON / oversized bodies /
+  unknown models / unknown options map to 4xx with machine-readable
+  ``type``/``reason`` fields, deadline shedding maps to 504 with
+  ``reason="deadline"`` and never writes the result cache (the PR 6
+  invariant extended to the wire);
+* **hot reload is atomic** -- overwriting an artifact and scanning swaps
+  the replica pool with zero dropped requests under concurrent load, and
+  every response is bit-exact against one of the two artifact versions;
+* **drain extends through open connections** -- a checkpoint stream open
+  across ``close()`` ends with a terminal ``"draining"`` event instead
+  of a dead socket.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import PredictOptions, ScModel, Session
+from repro.config import HttpConfig, ServiceConfig
+from repro.errors import ConfigurationError, ModelNotFoundError
+from repro.nn.architectures import LayerSpec, build_network
+from repro.obs import validate_exposition
+from repro.serve import ModelRegistry, ScHttpServer, describe_artifact
+
+BACKEND = "bit-exact-packed"
+STREAM_LENGTH = 128
+
+
+def _tiny_cnn(seed: int):
+    specs = [
+        LayerSpec(kind="conv", name="Conv3_x", kernel=3, channels=2),
+        LayerSpec(kind="pool", name="AvgPool", kernel=4, stride=4),
+        LayerSpec(kind="fc", name="FC16", units=16),
+        LayerSpec(kind="output", name="OutLayer", units=10),
+    ]
+    return build_network(
+        specs,
+        activation="hardware",
+        seed=seed,
+        name="tiny-test",
+        training_stream_length=STREAM_LENGTH,
+    )
+
+
+def _tiny_model(seed: int) -> ScModel:
+    return ScModel(
+        _tiny_cnn(seed), weight_bits=10, stream_length=STREAM_LENGTH, seed=7
+    )
+
+
+def _service_config(**overrides) -> ServiceConfig:
+    defaults = dict(backend=BACKEND, num_workers=1, cache_capacity=0)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _request(port, method, path, body=None, timeout=120.0):
+    """One HTTP request; returns ``(status, parsed-or-raw body)``."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        if isinstance(body, (dict, list)):
+            body = json.dumps(body)
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        raw = resp.read()
+    finally:
+        conn.close()
+    if resp.getheader("Content-Type", "").startswith("application/json"):
+        return resp.status, json.loads(raw)
+    return resp.status, raw
+
+
+def _read_events(resp):
+    """Decode SSE ``data:`` events from a streaming response."""
+    events = []
+    for block in resp.read().decode("utf-8").split("\n\n"):
+        if block.startswith("data: "):
+            events.append(json.loads(block[len("data: ") :]))
+    return events
+
+
+def _stream(port, path, body, timeout=120.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("POST", path, body=json.dumps(body))
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type") == "text/event-stream"
+        return _read_events(resp)
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.random.default_rng(11).random((4, 1, 28, 28))
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    return _tiny_model(seed=5).save(tmp_path_factory.mktemp("models") / "m1")
+
+
+@pytest.fixture(scope="module")
+def session(artifact):
+    with Session.from_artifact(artifact, backend=BACKEND) as sess:
+        yield sess
+
+
+@pytest.fixture(scope="module")
+def server(artifact):
+    registry = ModelRegistry(
+        models={"m1": artifact},
+        service=_service_config(cache_capacity=64, num_workers=2),
+    )
+    with ScHttpServer(registry, HttpConfig()) as srv:
+        yield srv
+    registry.close()
+
+
+class TestProbesAndCatalog:
+    def test_healthz(self, server):
+        status, payload = _request(server.port, "GET", "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "draining": False}
+
+    def test_readyz(self, server):
+        status, payload = _request(server.port, "GET", "/readyz")
+        assert status == 200
+        assert payload == {"status": "ready", "models": ["m1"]}
+
+    def test_models_listing(self, server, artifact):
+        status, payload = _request(server.port, "GET", "/v1/models")
+        assert status == 200
+        (entry,) = payload["models"]
+        info = describe_artifact(artifact)
+        assert entry["name"] == "m1"
+        assert entry["format_version"] == info.format_version
+        assert entry["weight_bits"] == info.weight_bits
+        assert entry["stream_length"] == STREAM_LENGTH
+        assert entry["sha256"] == info.sha256
+
+    def test_metrics_golden_parse(self, server):
+        status, raw = _request(server.port, "GET", "/metrics")
+        assert status == 200
+        families = validate_exposition(raw.decode("utf-8"))
+        assert families  # non-empty exposition either shape
+
+    def test_unknown_route_404(self, server):
+        status, payload = _request(server.port, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["type"] == "NotFound"
+
+    def test_wrong_method_405(self, server):
+        status, payload = _request(server.port, "GET", "/v1/models/m1/predict")
+        assert status == 405
+        assert payload["error"]["type"] == "MethodNotAllowed"
+
+
+class TestUnaryPredict:
+    def test_bit_identical_to_session(self, server, session, images):
+        status, payload = _request(
+            server.port,
+            "POST",
+            "/v1/models/m1/predict",
+            {"images": images.tolist()},
+        )
+        assert status == 200
+        reference = session.predict(images, PredictOptions(early_exit=True))
+        assert np.array_equal(np.asarray(payload["scores"]), reference.scores)
+        assert np.array_equal(
+            np.asarray(payload["predictions"]), reference.predictions
+        )
+        assert np.array_equal(
+            np.asarray(payload["exit_checkpoints"]),
+            reference.exit_checkpoints,
+        )
+        assert payload["stream_length"] == STREAM_LENGTH
+        assert payload["model"] == "m1"
+
+    def test_wire_options_respected(self, server, session, images):
+        body = {
+            "images": images.tolist(),
+            "options": {"stream_length": 64, "early_exit": False},
+        }
+        status, payload = _request(
+            server.port, "POST", "/v1/models/m1/predict", body
+        )
+        assert status == 200
+        reference = session.predict(
+            images, PredictOptions(stream_length=64, early_exit=False)
+        )
+        assert np.array_equal(np.asarray(payload["scores"]), reference.scores)
+        assert max(payload["exit_checkpoints"]) <= 64
+
+    def test_repeat_request_is_cache_served(self, server):
+        repeat = np.random.default_rng(21).random((2, 1, 28, 28)).tolist()
+        _, first = _request(
+            server.port, "POST", "/v1/models/m1/predict", {"images": repeat}
+        )
+        _, second = _request(
+            server.port, "POST", "/v1/models/m1/predict", {"images": repeat}
+        )
+        assert first["cached"] == [False, False]
+        assert second["cached"] == [True, True]
+        assert second["scores"] == first["scores"]
+
+
+class TestStreaming:
+    def test_checkpoints_bit_identical_to_prefixes(
+        self, server, session, images
+    ):
+        events = _stream(
+            server.port, "/v1/models/m1/predict/stream", {"images": images.tolist()}
+        )
+        assert events[-1]["kind"] == "done"
+        checkpoints = [e for e in events if e["kind"] == "checkpoint"]
+        assert checkpoints and checkpoints[0]["checkpoint"] == STREAM_LENGTH // 8
+        for event in checkpoints:
+            point = event["checkpoint"]
+            subset = images[event["images"]]
+            reference = session.predict(
+                subset,
+                PredictOptions(
+                    stream_length=point,
+                    checkpoints=(point,),
+                    early_exit=False,
+                ),
+            )
+            assert np.array_equal(
+                np.asarray(event["scores"]), reference.scores
+            ), f"checkpoint {point} not an exact prefix"
+            assert np.array_equal(
+                np.asarray(event["predictions"]), reference.predictions
+            )
+
+    def test_done_event_matches_early_exit_predict(
+        self, server, session, images
+    ):
+        events = _stream(
+            server.port, "/v1/models/m1/predict/stream", {"images": images.tolist()}
+        )
+        done = events[-1]
+        assert done["kind"] == "done"
+        assert done["reason"] in ("complete", "early_exit")
+        reference = session.predict(images, PredictOptions(early_exit=True))
+        assert np.array_equal(np.asarray(done["scores"]), reference.scores)
+        assert np.array_equal(
+            np.asarray(done["predictions"]), reference.predictions
+        )
+        assert np.array_equal(
+            np.asarray(done["exit_checkpoints"]), reference.exit_checkpoints
+        )
+        assert all(done["evaluated"])
+
+    def test_exited_images_leave_the_stream(self, server, images):
+        events = _stream(
+            server.port, "/v1/models/m1/predict/stream", {"images": images.tolist()}
+        )
+        done = events[-1]
+        gone: set[int] = set()
+        for event in events[:-1]:
+            assert not gone.intersection(event["images"])
+            gone.update(event["exited"])
+        # Each image's reported exit checkpoint is the last one it was
+        # streamed at.
+        last_seen = {}
+        for event in events[:-1]:
+            for index in event["images"]:
+                last_seen[index] = event["checkpoint"]
+        assert [last_seen[i] for i in range(images.shape[0])] == done[
+            "exit_checkpoints"
+        ]
+
+    def test_explicit_schedule_streams_every_point(
+        self, server, session, images
+    ):
+        schedule = [32, 64, 128]
+        events = _stream(
+            server.port,
+            "/v1/models/m1/predict/stream",
+            {
+                "images": images.tolist(),
+                "options": {"checkpoints": schedule, "early_exit": False},
+            },
+        )
+        checkpoints = [e["checkpoint"] for e in events if e["kind"] == "checkpoint"]
+        assert checkpoints == schedule
+        assert events[-1]["reason"] == "complete"
+        reference = session.predict(
+            images,
+            PredictOptions(checkpoints=tuple(schedule), early_exit=False),
+        )
+        assert np.array_equal(
+            np.asarray(events[-1]["scores"]), reference.scores
+        )
+
+
+class TestTypedRejections:
+    def test_malformed_json_400(self, server):
+        status, payload = _request(
+            server.port, "POST", "/v1/models/m1/predict", "{not json"
+        )
+        assert status == 400
+        assert payload["error"]["reason"] == "malformed_json"
+
+    def test_non_object_body_400(self, server):
+        status, payload = _request(
+            server.port, "POST", "/v1/models/m1/predict", [1, 2, 3]
+        )
+        assert status == 400
+        assert payload["error"]["reason"] == "malformed_json"
+
+    def test_missing_images_400(self, server):
+        status, payload = _request(
+            server.port, "POST", "/v1/models/m1/predict", {"options": {}}
+        )
+        assert status == 400
+        assert payload["error"]["reason"] == "missing_images"
+
+    def test_ragged_images_400(self, server):
+        status, payload = _request(
+            server.port,
+            "POST",
+            "/v1/models/m1/predict",
+            {"images": [[1.0, 2.0], [3.0]]},
+        )
+        assert status == 400
+        assert payload["error"]["reason"] == "bad_images"
+
+    def test_unknown_option_400(self, server):
+        status, payload = _request(
+            server.port,
+            "POST",
+            "/v1/models/m1/predict",
+            {"images": [[0.5]], "options": {"temperature": 2}},
+        )
+        assert status == 400
+        assert payload["error"]["reason"] == "bad_options"
+
+    def test_unknown_model_404(self, server, images):
+        status, payload = _request(
+            server.port,
+            "POST",
+            "/v1/models/ghost/predict",
+            {"images": images.tolist()},
+        )
+        assert status == 404
+        assert payload["error"]["type"] == "ModelNotFoundError"
+        assert payload["error"]["reason"] == "unknown_model"
+
+    def test_oversized_body_413(self, artifact):
+        registry = ModelRegistry(
+            models={"m1": artifact}, service=_service_config()
+        )
+        config = HttpConfig(max_body_bytes=1024)
+        try:
+            with ScHttpServer(registry, config) as server:
+                big = {"images": [[0.5] * 2000]}
+                status, payload = _request(
+                    server.port, "POST", "/v1/models/m1/predict", big
+                )
+                assert status == 413
+                assert payload["error"]["reason"] == "oversized_body"
+        finally:
+            registry.close()
+
+    def test_shape_error_400(self, server):
+        status, payload = _request(
+            server.port,
+            "POST",
+            "/v1/models/m1/predict",
+            {"images": [[0.1, 0.2, 0.3]]},
+        )
+        assert status == 400
+        assert payload["error"]["type"] in ("ShapeError", "EncodingError")
+
+
+class TestDeadlineOnTheWire:
+    """The PR 6 deadline invariant extended through HTTP."""
+
+    @pytest.fixture()
+    def shed_server(self, artifact):
+        registry = ModelRegistry(
+            models={"m1": artifact},
+            service=_service_config(shed_unmeetable_deadlines=True),
+        )
+        with ScHttpServer(registry, HttpConfig()) as srv:
+            yield srv
+        registry.close()
+
+    def test_unmeetable_deadline_returns_typed_504(self, shed_server, images):
+        # One computed request primes the service's streaming-rate
+        # estimate; only then can an unmeetable deadline be priced.
+        status, _ = _request(
+            shed_server.port,
+            "POST",
+            "/v1/models/m1/predict",
+            {"images": images.tolist()},
+        )
+        assert status == 200
+        status, payload = _request(
+            shed_server.port,
+            "POST",
+            "/v1/models/m1/predict",
+            {
+                "images": images.tolist(),
+                "options": {"deadline_ms": 0.001},
+            },
+        )
+        assert status == 504
+        assert payload["error"]["type"] == "ServiceOverloadError"
+        assert payload["error"]["reason"] == "deadline"
+
+    def test_streaming_deadline_ends_typed(self, shed_server, images):
+        status, _ = _request(
+            shed_server.port,
+            "POST",
+            "/v1/models/m1/predict",
+            {"images": images.tolist()},
+        )
+        assert status == 200
+        events = _stream(
+            shed_server.port,
+            "/v1/models/m1/predict/stream",
+            {
+                "images": images.tolist(),
+                "options": {"deadline_ms": 0.001},
+            },
+        )
+        terminal = events[-1]
+        if terminal["kind"] == "error":
+            assert terminal["error"]["reason"] == "deadline"
+        else:
+            assert terminal["kind"] == "done"
+            assert terminal["reason"] == "deadline"
+
+    def test_deadline_requests_never_write_the_cache(self, artifact):
+        registry = ModelRegistry(
+            models={"m1": artifact},
+            service=_service_config(cache_capacity=64),
+        )
+        probe = np.random.default_rng(31).random((2, 1, 28, 28)).tolist()
+        try:
+            with ScHttpServer(registry, HttpConfig()) as server:
+                # Deadline generous enough to complete -- the request
+                # succeeds, but a deadline-budgeted result must not be
+                # cached (wall-clock dependent answers poison reuse).
+                status, first = _request(
+                    server.port,
+                    "POST",
+                    "/v1/models/m1/predict",
+                    {
+                        "images": probe,
+                        "options": {"deadline_ms": 60000},
+                    },
+                )
+                assert status == 200
+                assert first["cached"] == [False, False]
+                status, second = _request(
+                    server.port,
+                    "POST",
+                    "/v1/models/m1/predict",
+                    {"images": probe},
+                )
+                assert status == 200
+                assert second["cached"] == [False, False]  # no stale write
+                status, third = _request(
+                    server.port,
+                    "POST",
+                    "/v1/models/m1/predict",
+                    {"images": probe},
+                )
+                assert third["cached"] == [True, True]  # plain one cached
+        finally:
+            registry.close()
+
+
+class TestHotReload:
+    def test_scan_swaps_bit_exactly(self, tmp_path, images):
+        path = _tiny_model(seed=5).save(tmp_path / "m")
+        registry = ModelRegistry(
+            models={"m": path}, service=_service_config()
+        )
+        try:
+            with ScHttpServer(registry, HttpConfig()) as server:
+                with Session.from_artifact(path, backend=BACKEND) as sess:
+                    v1 = sess.predict(images, PredictOptions(early_exit=True))
+                status, before = _request(
+                    server.port,
+                    "POST",
+                    "/v1/models/m/predict",
+                    {"images": images.tolist()},
+                )
+                assert status == 200
+                assert np.array_equal(np.asarray(before["scores"]), v1.scores)
+                assert before["generation"] == 1
+
+                _tiny_model(seed=17).save(tmp_path / "m")
+                changes = registry.scan()
+                assert changes["reloaded"] == ["m"]
+
+                with Session.from_artifact(path, backend=BACKEND) as sess:
+                    v2 = sess.predict(images, PredictOptions(early_exit=True))
+                assert not np.array_equal(v1.scores, v2.scores)
+                status, after = _request(
+                    server.port,
+                    "POST",
+                    "/v1/models/m/predict",
+                    {"images": images.tolist()},
+                )
+                assert status == 200
+                assert np.array_equal(np.asarray(after["scores"]), v2.scores)
+                assert after["generation"] > before["generation"]
+        finally:
+            registry.close()
+
+    def test_reload_drops_no_requests_under_load(self, tmp_path, images):
+        path = _tiny_model(seed=5).save(tmp_path / "m")
+        registry = ModelRegistry(
+            models={"m": path},
+            service=_service_config(num_workers=2),
+        )
+        with Session.from_artifact(path, backend=BACKEND) as sess:
+            v1 = sess.predict(images, PredictOptions(early_exit=True))
+        try:
+            with ScHttpServer(registry, HttpConfig()) as server:
+                results: list = []
+                errors: list = []
+                stop = threading.Event()
+
+                def hammer():
+                    while not stop.is_set():
+                        try:
+                            status, payload = _request(
+                                server.port,
+                                "POST",
+                                "/v1/models/m/predict",
+                                {"images": images.tolist()},
+                            )
+                            results.append((status, payload))
+                        except Exception as exc:  # noqa: BLE001
+                            errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=hammer) for _ in range(4)
+                ]
+                for t in threads:
+                    t.start()
+                try:
+                    while len(results) < 8 and not errors:
+                        time.sleep(0.02)
+                    _tiny_model(seed=17).save(tmp_path / "m")
+                    changes = registry.scan()
+                    while len(results) < 24 and not errors:
+                        time.sleep(0.02)
+                finally:
+                    stop.set()
+                    for t in threads:
+                        t.join(timeout=120)
+                with Session.from_artifact(path, backend=BACKEND) as sess:
+                    v2 = sess.predict(images, PredictOptions(early_exit=True))
+                assert not errors
+                assert changes["reloaded"] == ["m"]
+                generations = set()
+                for status, payload in results:
+                    assert status == 200, payload
+                    scores = np.asarray(payload["scores"])
+                    assert np.array_equal(scores, v1.scores) or np.array_equal(
+                        scores, v2.scores
+                    ), "a response matched neither artifact generation"
+                    generations.add(payload["generation"])
+                assert 2 in generations  # the new pool actually served
+        finally:
+            registry.close()
+
+
+class TestDrain:
+    def test_drain_with_open_stream_ends_typed(self, artifact, images):
+        # A slow micro-batching window stretches each checkpoint chunk,
+        # holding the stream open long enough to drain across it.
+        registry = ModelRegistry(
+            models={"m1": artifact},
+            service=_service_config(max_wait_ms=200.0),
+        )
+        server = ScHttpServer(registry, HttpConfig()).start_background()
+        closer: threading.Thread | None = None
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=120
+            )
+            conn.request(
+                "POST",
+                "/v1/models/m1/predict/stream",
+                body=json.dumps(
+                    {
+                        "images": images.tolist(),
+                        "options": {
+                            "checkpoints": [16, 32, 48, 64, 80, 96, 112, 128],
+                            "early_exit": False,
+                        },
+                    }
+                ),
+            )
+            resp = conn.getresponse()
+            assert resp.status == 200
+            closer = threading.Thread(target=server.close)
+            closer.start()
+            events = _read_events(resp)
+            conn.close()
+            terminal = events[-1]
+            assert terminal["kind"] in ("done", "error")
+            if terminal["kind"] == "done":
+                assert terminal["reason"] in ("draining", "complete")
+            else:
+                assert terminal["error"]["reason"] == "draining"
+            closer.join(timeout=120)
+            assert not closer.is_alive()
+        finally:
+            if closer is not None and closer.is_alive():  # pragma: no cover
+                closer.join(timeout=10)
+            server.close()
+            registry.close()
+
+    def test_readyz_reports_draining(self, artifact):
+        registry = ModelRegistry(
+            models={"m1": artifact}, service=_service_config()
+        )
+        server = ScHttpServer(registry, HttpConfig()).start_background()
+        try:
+            port = server.port
+            status, _ = _request(port, "GET", "/readyz")
+            assert status == 200
+            server.close()
+            with pytest.raises(OSError):
+                _request(port, "GET", "/readyz", timeout=5)
+        finally:
+            server.close()
+            registry.close()
+
+
+class TestRegistryUnit:
+    def test_unknown_name_is_typed(self, artifact, images):
+        registry = ModelRegistry(
+            models={"m1": artifact}, service=_service_config()
+        )
+        try:
+            with pytest.raises(ModelNotFoundError) as excinfo:
+                registry.submit("ghost", images)
+            assert excinfo.value.model == "ghost"
+        finally:
+            registry.close()
+
+    def test_describe_artifact_rejects_non_artifact(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            describe_artifact(tmp_path)
+
+    def test_root_scan_discovers_and_forgets(self, tmp_path):
+        root = tmp_path / "registry"
+        root.mkdir()
+        _tiny_model(seed=5).save(root / "alpha")
+        registry = ModelRegistry(root=root, service=_service_config())
+        try:
+            assert registry.names() == ["alpha"]
+            _tiny_model(seed=6).save(root / "beta")
+            assert registry.scan()["added"] == ["beta"]
+            assert registry.names() == ["alpha", "beta"]
+            import shutil
+
+            shutil.rmtree(root / "alpha")
+            assert registry.scan()["removed"] == ["alpha"]
+            assert registry.names() == ["beta"]
+        finally:
+            registry.close()
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelRegistry()
+
+
+class TestModelsCli:
+    def test_listing_matches_manifest(self, artifact, capsys):
+        from repro.cli import main
+
+        assert main(["models", "--model", str(artifact), "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        info = describe_artifact(artifact)
+        assert listing == [info.listing()]
